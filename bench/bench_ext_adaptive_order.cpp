@@ -1,0 +1,143 @@
+//===- bench/bench_ext_adaptive_order.cpp - Limitations extension ----------===//
+///
+/// Extension experiment beyond the paper: the Limitations paragraph of
+/// Sec. 8 suggests "an approach that can dynamically adjust a choice of a
+/// preference order based on partial verification efforts". This bench
+/// compares three single-core scheduling strategies over the preference
+/// orders:
+///   parallel    the paper's portfolio, charged only the winner's time
+///               (as-if-parallel lower bound; needs 5 cores)
+///   sequential  run orders one after another until one decides
+///               (naive single-core portfolio)
+///   adaptive    iterative-deepening budgets across orders (our dynamic
+///               adjustment; single core)
+///
+/// Expected shape: adaptive tracks the parallel portfolio's solved count
+/// while paying far less than the sequential worst case when the good
+/// order is not first.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "program/CfgBuilder.h"
+#include "support/StringUtils.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace seqver;
+using namespace seqver::bench;
+
+namespace {
+
+struct StrategyAgg {
+  int Solved = 0;
+  double TotalSeconds = 0;
+};
+
+StrategyAgg runParallel(const std::vector<workloads::WorkloadInstance> &Suite) {
+  StrategyAgg Out;
+  for (auto Records = runSuite(Suite, "gemcutter");
+       const RunRecord &R : Records) {
+    if (!R.successful())
+      continue;
+    ++Out.Solved;
+    Out.TotalSeconds += R.Seconds;
+  }
+  return Out;
+}
+
+StrategyAgg
+runSequential(const std::vector<workloads::WorkloadInstance> &Suite) {
+  StrategyAgg Out;
+  const char *Orders[] = {"seq", "lockstep", "rand(1)", "rand(2)",
+                          "rand(3)"};
+  for (const workloads::WorkloadInstance &W : Suite) {
+    double Spent = 0;
+    bool Solved = false;
+    for (const char *Order : Orders) {
+      RunRecord R = runTool(W, Order);
+      Spent += R.Seconds;
+      if (R.successful()) {
+        Solved = true;
+        break;
+      }
+      if (Spent > benchTimeout())
+        break;
+    }
+    if (Solved) {
+      ++Out.Solved;
+      Out.TotalSeconds += Spent;
+    }
+  }
+  return Out;
+}
+
+StrategyAgg
+runAdaptive(const std::vector<workloads::WorkloadInstance> &Suite) {
+  StrategyAgg Out;
+  for (const workloads::WorkloadInstance &W : Suite) {
+    smt::TermManager TM;
+    prog::BuildResult B = prog::buildFromSource(W.Source, TM);
+    if (!B.ok())
+      continue;
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = benchTimeout();
+    core::AdaptiveResult R = core::runAdaptivePortfolio(*B.Program, Config);
+    bool Successful =
+        (R.Result.V == core::Verdict::Correct) == W.ExpectedCorrect &&
+        (R.Result.V == core::Verdict::Correct ||
+         R.Result.V == core::Verdict::Incorrect);
+    if (Successful) {
+      ++Out.Solved;
+      Out.TotalSeconds += R.Result.Seconds;
+    }
+  }
+  return Out;
+}
+
+void BM_AdaptiveBluetooth2(benchmark::State &State) {
+  smt::TermManager TM;
+  prog::BuildResult B =
+      prog::buildFromSource(workloads::bluetoothSource(2), TM);
+  for (auto _ : State) {
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = 30;
+    auto R = core::runAdaptivePortfolio(*B.Program, Config);
+    benchmark::DoNotOptimize(R.Result.Rounds);
+  }
+}
+BENCHMARK(BM_AdaptiveBluetooth2)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("== Extension: dynamic preference-order scheduling "
+              "(Limitations, Sec. 8) ==\n\n");
+  const std::vector<std::pair<std::string,
+                              std::vector<workloads::WorkloadInstance>>>
+      Suites = {{"SV-COMP-like", workloads::svcompLikeSuite()},
+                {"Weaver-like", workloads::weaverLikeSuite()}};
+  printTableHeader({"suite", "strategy", "solved", "time(s)"},
+                   {14, 12, 7, 9});
+  for (const auto &[Name, Suite] : Suites) {
+    StrategyAgg Parallel = runParallel(Suite);
+    StrategyAgg Sequential = runSequential(Suite);
+    StrategyAgg Adaptive = runAdaptive(Suite);
+    printTableRow({Name, "parallel", std::to_string(Parallel.Solved),
+                   formatDouble(Parallel.TotalSeconds, 2)},
+                  {14, 12, 7, 9});
+    printTableRow({Name, "sequential", std::to_string(Sequential.Solved),
+                   formatDouble(Sequential.TotalSeconds, 2)},
+                  {14, 12, 7, 9});
+    printTableRow({Name, "adaptive", std::to_string(Adaptive.Solved),
+                   formatDouble(Adaptive.TotalSeconds, 2)},
+                  {14, 12, 7, 9});
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,144 @@
+//===- bench/bench_table2_variants.cpp - Table 2 ---------------------------===//
+///
+/// Regenerates Table 2: proof size for successfully verified correct
+/// programs and time per refinement round for all successfully analysed
+/// programs, for Automizer vs GemCutter variations: full portfolio,
+/// sleep-set-only reduction, persistent-set-only reduction, and the
+/// lockstep-order-only configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/StringUtils.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+using namespace seqver;
+using namespace seqver::bench;
+
+namespace {
+
+struct VariantStats {
+  double ProofSizeTotal = 0;
+  int ProofCount = 0;
+  double TimeTotal = 0;
+  int64_t RoundsTotal = 0;
+
+  double avgProof() const {
+    return ProofCount == 0 ? 0 : ProofSizeTotal / ProofCount;
+  }
+  double timePerRound() const {
+    return RoundsTotal == 0 ? 0 : TimeTotal / static_cast<double>(RoundsTotal);
+  }
+};
+
+void accumulate(const std::vector<RunRecord> &Records, VariantStats &Stats) {
+  for (const RunRecord &R : Records) {
+    if (!R.successful())
+      continue;
+    if (R.ExpectedCorrect && R.V == core::Verdict::Correct) {
+      Stats.ProofSizeTotal += static_cast<double>(R.ProofSize);
+      ++Stats.ProofCount;
+    }
+    Stats.TimeTotal += R.Seconds;
+    Stats.RoundsTotal += R.Rounds;
+  }
+}
+
+} // namespace
+
+namespace {
+
+/// Microbenchmark: one portfolio verification of a representative instance.
+void BM_PortfolioMutexSafe3(benchmark::State &State) {
+  workloads::WorkloadInstance W;
+  for (const auto &Inst : workloads::svcompLikeSuite())
+    if (Inst.Name == "mutex_safe_3")
+      W = Inst;
+  for (auto _ : State) {
+    RunRecord R = runTool(W, "gemcutter");
+    benchmark::DoNotOptimize(R.Rounds);
+  }
+}
+BENCHMARK(BM_PortfolioMutexSafe3)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+
+int main(int argc, char **argv) {
+  std::printf("== Table 2: proof size and proof-check efficiency for "
+              "Automizer vs GemCutter variants ==\n\n");
+
+  const std::vector<std::pair<std::string, std::string>> Variants = {
+      {"Automizer", "automizer"}, {"Portfolio", "gemcutter"},
+      {"sleep", "sleep"},         {"persistent", "persistent"},
+      {"lockstep", "lockstep"},
+  };
+  const std::vector<std::pair<std::string,
+                              std::vector<workloads::WorkloadInstance>>>
+      Suites = {{"SV-COMP", workloads::svcompLikeSuite()},
+                {"Weaver", workloads::weaverLikeSuite()}};
+
+  // variant -> suite -> stats
+  std::map<std::string, std::map<std::string, VariantStats>> Stats;
+  for (const auto &[Label, Tool] : Variants)
+    for (const auto &[SuiteName, Suite] : Suites)
+      accumulate(runSuite(Suite, Tool), Stats[Label][SuiteName]);
+
+  std::vector<int> Widths = {12, 10, 10, 10, 11, 10};
+  std::printf("-- Average proof size for successfully verified correct "
+              "programs --\n");
+  printTableHeader({"", "Automizer", "Portfolio", "sleep", "persistent",
+                    "lockstep"},
+                   Widths);
+  for (const char *Row : {"total", "SV-COMP", "Weaver"}) {
+    std::vector<std::string> Cells = {Row};
+    for (const auto &[Label, Tool] : Variants) {
+      (void)Tool;
+      VariantStats Combined;
+      if (std::string(Row) == "total") {
+        for (const auto &[SuiteName, S] : Stats[Label]) {
+          (void)SuiteName;
+          Combined.ProofSizeTotal += S.ProofSizeTotal;
+          Combined.ProofCount += S.ProofCount;
+        }
+      } else {
+        Combined = Stats[Label][Row];
+      }
+      Cells.push_back(formatDouble(Combined.avgProof(), 1));
+    }
+    printTableRow(Cells, Widths);
+  }
+
+  std::printf("\n-- Time per refinement round (in s) for successfully "
+              "analysed programs --\n");
+  printTableHeader({"", "Automizer", "Portfolio", "sleep", "persistent",
+                    "lockstep"},
+                   Widths);
+  for (const char *Row : {"total", "SV-COMP", "Weaver"}) {
+    std::vector<std::string> Cells = {Row};
+    for (const auto &[Label, Tool] : Variants) {
+      (void)Tool;
+      VariantStats Combined;
+      if (std::string(Row) == "total") {
+        for (const auto &[SuiteName, S] : Stats[Label]) {
+          (void)SuiteName;
+          Combined.TimeTotal += S.TimeTotal;
+          Combined.RoundsTotal += S.RoundsTotal;
+        }
+      } else {
+        Combined = Stats[Label][Row];
+      }
+      Cells.push_back(formatDouble(Combined.timePerRound(), 4));
+    }
+    printTableRow(Cells, Widths);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- examples/reduction_explorer.cpp - Inspecting reductions ------------===//
+///
+/// Shows the reduction machinery itself (Secs. 4-6), independent of the
+/// verifier: builds a small two-thread program, materializes the full
+/// interleaving product, the sleep-set automaton, and the combined
+/// sleep+persistent reduction for several preference orders, prints their
+/// sizes and the representative interleavings each reduction keeps, and
+/// dumps the combined automaton as Graphviz dot.
+///
+/// Usage:  ./build/examples/reduction_explorer [--dot]
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/DfaOps.h"
+#include "program/CfgBuilder.h"
+#include "reduction/SleepSet.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace seqver;
+using seqver::automata::Dfa;
+
+namespace {
+
+const char *Source = R"(
+  var int x := 0;
+  var int y := 0;
+
+  thread producer {
+    x := x + 1;
+    x := x + 1;
+  }
+
+  thread logger {
+    y := y + 1;
+    y := y + 1;
+  }
+)";
+
+void describe(const char *Title, const Dfa &A,
+              const prog::ConcurrentProgram &P) {
+  std::printf("%-28s states=%-4u transitions=%-4zu", Title,
+              A.numReachableStates(), A.numTransitions());
+  auto Words = automata::enumerateLanguage(A, 4);
+  std::printf(" interleavings(<=4)=%zu\n", Words.size());
+  int Shown = 0;
+  for (const auto &Word : Words) {
+    if (Word.size() != 4 || Shown >= 3)
+      continue;
+    std::printf("    e.g. ");
+    for (automata::Letter L : Word)
+      std::printf("%s; ", P.action(L).Name.c_str());
+    std::printf("\n");
+    ++Shown;
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool EmitDot = argc > 1 && std::strcmp(argv[1], "--dot") == 0;
+
+  smt::TermManager TM;
+  prog::BuildResult B = prog::buildFromSource(Source, TM);
+  if (!B.ok()) {
+    std::printf("frontend error: %s\n", B.Error.c_str());
+    return 1;
+  }
+  const prog::ConcurrentProgram &P = *B.Program;
+  smt::QueryEngine QE(TM);
+  red::CommutativityChecker Commut(
+      P, QE, red::CommutativityChecker::Mode::Semantic);
+
+  std::printf("Two independent threads, two steps each. All cross-thread "
+              "statements commute,\nso every reduction below keeps exactly "
+              "one representative of the single\nequivalence class of "
+              "complete interleavings (C(4,2) = 6 in the product).\n\n");
+
+  Dfa Product = P.explicitProduct(prog::AcceptMode::AllExit);
+  describe("full interleaving product", Product, P);
+
+  red::SequentialOrder Seq(P);
+  red::LockstepOrder Lockstep(P);
+  red::RandomOrder Rand(P, 1);
+
+  for (const red::PreferenceOrder *Order :
+       std::initializer_list<const red::PreferenceOrder *>{&Seq, &Lockstep,
+                                                           &Rand}) {
+    red::ReductionConfig SleepOnly;
+    SleepOnly.UsePersistentSets = false;
+    SleepOnly.Mode = prog::AcceptMode::AllExit;
+    Dfa SleepDfa =
+        red::buildReduction(P, Order, Commut, SleepOnly).Automaton;
+    std::string Title = "sleep sets, " + Order->name();
+    describe(Title.c_str(), SleepDfa, P);
+
+    red::ReductionConfig Combined;
+    Combined.Mode = prog::AcceptMode::AllExit;
+    Dfa CombinedDfa =
+        red::buildReduction(P, Order, Commut, Combined).Automaton;
+    Title = "combined, " + Order->name();
+    describe(Title.c_str(), CombinedDfa, P);
+
+    // Thm. 6.6: both recognize the same language.
+    std::printf("    language equal to sleep-only: %s\n\n",
+                automata::isEquivalent(SleepDfa, CombinedDfa) ? "yes"
+                                                              : "NO");
+    if (EmitDot && Order == &Seq)
+      std::printf("dot of the combined seq reduction:\n%s\n",
+                  CombinedDfa.toDot(P.letterNames()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,233 @@
+//===- automata/Dfa.cpp - Deterministic finite automata -------------------===//
+
+#include "automata/Dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace seqver;
+using namespace seqver::automata;
+
+State Dfa::addState(bool IsAccepting) {
+  Accepting.push_back(IsAccepting);
+  Transitions.emplace_back();
+  return numStates() - 1;
+}
+
+void Dfa::addTransition(State From, Letter L, State To) {
+  assert(From < numStates() && To < numStates() && "state out of range");
+  assert(L < NumLetters && "letter out of range");
+  auto &List = Transitions[From];
+  auto It = std::lower_bound(
+      List.begin(), List.end(), L,
+      [](const std::pair<Letter, State> &Entry, Letter Value) {
+        return Entry.first < Value;
+      });
+  assert((It == List.end() || It->first != L) &&
+         "duplicate transition breaks determinism");
+  List.insert(It, {L, To});
+}
+
+std::optional<State> Dfa::step(State From, Letter L) const {
+  const auto &List = Transitions[From];
+  auto It = std::lower_bound(
+      List.begin(), List.end(), L,
+      [](const std::pair<Letter, State> &Entry, Letter Value) {
+        return Entry.first < Value;
+      });
+  if (It == List.end() || It->first != L)
+    return std::nullopt;
+  return It->second;
+}
+
+std::vector<Letter> Dfa::enabledLetters(State From) const {
+  std::vector<Letter> Out;
+  Out.reserve(Transitions[From].size());
+  for (const auto &[L, To] : Transitions[From]) {
+    (void)To;
+    Out.push_back(L);
+  }
+  return Out;
+}
+
+std::optional<State> Dfa::run(const std::vector<Letter> &Word) const {
+  State Current = Initial;
+  for (Letter L : Word) {
+    std::optional<State> Next = step(Current, L);
+    if (!Next)
+      return std::nullopt;
+    Current = *Next;
+  }
+  return Current;
+}
+
+bool Dfa::accepts(const std::vector<Letter> &Word) const {
+  std::optional<State> End = run(Word);
+  return End && isAccepting(*End);
+}
+
+State Dfa::runLongestPrefix(const std::vector<Letter> &Word) const {
+  State Current = Initial;
+  for (Letter L : Word) {
+    std::optional<State> Next = step(Current, L);
+    if (!Next)
+      return Current;
+    Current = *Next;
+  }
+  return Current;
+}
+
+uint32_t Dfa::numReachableStates() const {
+  if (Initial == InvalidState)
+    return 0;
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<State> Worklist = {Initial};
+  Seen[Initial] = true;
+  uint32_t Count = 0;
+  while (!Worklist.empty()) {
+    State Current = Worklist.front();
+    Worklist.pop_front();
+    ++Count;
+    for (const auto &[L, To] : Transitions[Current]) {
+      (void)L;
+      if (!Seen[To]) {
+        Seen[To] = true;
+        Worklist.push_back(To);
+      }
+    }
+  }
+  return Count;
+}
+
+bool Dfa::isEmpty() const { return !shortestAcceptedWord().has_value(); }
+
+std::optional<std::vector<Letter>> Dfa::shortestAcceptedWord() const {
+  if (Initial == InvalidState)
+    return std::nullopt;
+  // BFS with predecessor tracking.
+  std::vector<State> Parent(numStates(), InvalidState);
+  std::vector<Letter> ParentLetter(numStates(), 0);
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<State> Worklist = {Initial};
+  Seen[Initial] = true;
+  State Found = InvalidState;
+  if (isAccepting(Initial))
+    Found = Initial;
+  while (!Worklist.empty() && Found == InvalidState) {
+    State Current = Worklist.front();
+    Worklist.pop_front();
+    for (const auto &[L, To] : Transitions[Current]) {
+      if (Seen[To])
+        continue;
+      Seen[To] = true;
+      Parent[To] = Current;
+      ParentLetter[To] = L;
+      if (isAccepting(To)) {
+        Found = To;
+        break;
+      }
+      Worklist.push_back(To);
+    }
+  }
+  if (Found == InvalidState)
+    return std::nullopt;
+  std::vector<Letter> Word;
+  for (State S = Found; S != Initial; S = Parent[S])
+    Word.push_back(ParentLetter[S]);
+  std::reverse(Word.begin(), Word.end());
+  return Word;
+}
+
+size_t Dfa::numTransitions() const {
+  size_t Total = 0;
+  for (const auto &List : Transitions)
+    Total += List.size();
+  return Total;
+}
+
+Dfa Dfa::trim() const {
+  uint32_t N = numStates();
+  // Forward reachability.
+  std::vector<bool> Forward(N, false);
+  if (Initial != InvalidState) {
+    std::deque<State> Worklist = {Initial};
+    Forward[Initial] = true;
+    while (!Worklist.empty()) {
+      State Current = Worklist.front();
+      Worklist.pop_front();
+      for (const auto &[L, To] : Transitions[Current]) {
+        (void)L;
+        if (!Forward[To]) {
+          Forward[To] = true;
+          Worklist.push_back(To);
+        }
+      }
+    }
+  }
+  // Backward reachability from accepting states (over forward-reachable
+  // part).
+  std::vector<std::vector<State>> Reverse(N);
+  for (State S = 0; S < N; ++S)
+    if (Forward[S])
+      for (const auto &[L, To] : Transitions[S]) {
+        (void)L;
+        if (Forward[To])
+          Reverse[To].push_back(S);
+      }
+  std::vector<bool> Backward(N, false);
+  std::deque<State> Worklist;
+  for (State S = 0; S < N; ++S)
+    if (Forward[S] && Accepting[S]) {
+      Backward[S] = true;
+      Worklist.push_back(S);
+    }
+  while (!Worklist.empty()) {
+    State Current = Worklist.front();
+    Worklist.pop_front();
+    for (State Pred : Reverse[Current])
+      if (!Backward[Pred]) {
+        Backward[Pred] = true;
+        Worklist.push_back(Pred);
+      }
+  }
+
+  Dfa Out(NumLetters);
+  std::vector<State> Remap(N, InvalidState);
+  for (State S = 0; S < N; ++S)
+    if (Forward[S] && Backward[S])
+      Remap[S] = Out.addState(Accepting[S]);
+  for (State S = 0; S < N; ++S) {
+    if (Remap[S] == InvalidState)
+      continue;
+    for (const auto &[L, To] : Transitions[S])
+      if (Remap[To] != InvalidState)
+        Out.addTransition(Remap[S], L, Remap[To]);
+  }
+  if (Initial != InvalidState && Remap[Initial] != InvalidState)
+    Out.setInitial(Remap[Initial]);
+  else
+    Out.setInitial(Out.addState(false)); // empty language: dead initial state
+  return Out;
+}
+
+std::string Dfa::toDot(const std::vector<std::string> &LetterNames) const {
+  std::string Out = "digraph dfa {\n  rankdir=LR;\n";
+  for (State S = 0; S < numStates(); ++S) {
+    Out += "  q" + std::to_string(S) + " [shape=" +
+           (isAccepting(S) ? "doublecircle" : "circle") + "];\n";
+  }
+  if (Initial != InvalidState) {
+    Out += "  init [shape=point];\n  init -> q" + std::to_string(Initial) +
+           ";\n";
+  }
+  for (State S = 0; S < numStates(); ++S)
+    for (const auto &[L, To] : Transitions[S]) {
+      std::string Name =
+          L < LetterNames.size() ? LetterNames[L] : std::to_string(L);
+      Out += "  q" + std::to_string(S) + " -> q" + std::to_string(To) +
+             " [label=\"" + Name + "\"];\n";
+    }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,99 @@
+//===- automata/Dfa.h - Deterministic finite automata ---------------------===//
+///
+/// \file
+/// Explicit deterministic finite automata with a partial transition function,
+/// as used throughout the paper: programs, reductions, and Floyd/Hoare proof
+/// automata are all DFA over the statement alphabet (Sec. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_AUTOMATA_DFA_H
+#define SEQVER_AUTOMATA_DFA_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seqver {
+namespace automata {
+
+using State = uint32_t;
+using Letter = uint32_t;
+
+constexpr State InvalidState = UINT32_MAX;
+
+/// A DFA (Q, Sigma, delta, q_init, F) with partial delta. Letters are dense
+/// indices 0..numLetters()-1; naming/ownership lives at the program layer.
+class Dfa {
+public:
+  explicit Dfa(uint32_t NumLetters) : NumLetters(NumLetters) {}
+
+  uint32_t numLetters() const { return NumLetters; }
+  uint32_t numStates() const {
+    return static_cast<uint32_t>(Accepting.size());
+  }
+
+  State addState(bool IsAccepting = false);
+
+  void setInitial(State S) { Initial = S; }
+  State initial() const { return Initial; }
+
+  bool isAccepting(State S) const { return Accepting[S]; }
+  void setAccepting(State S, bool Value) { Accepting[S] = Value; }
+
+  /// Adds a transition; asserts determinism (no duplicate letter from S).
+  void addTransition(State From, Letter L, State To);
+
+  /// Partial transition function.
+  std::optional<State> step(State From, Letter L) const;
+
+  /// Letters enabled in From, in increasing letter order.
+  std::vector<Letter> enabledLetters(State From) const;
+
+  const std::vector<std::pair<Letter, State>> &transitionsFrom(State S) const {
+    return Transitions[S];
+  }
+
+  /// Runs the automaton on Word from the initial state; nullopt if the run
+  /// dies.
+  std::optional<State> run(const std::vector<Letter> &Word) const;
+
+  /// True iff Word is accepted.
+  bool accepts(const std::vector<Letter> &Word) const;
+
+  /// delta*+ (Sec. 3): the state reached by the longest prefix of Word that
+  /// has a run.
+  State runLongestPrefix(const std::vector<Letter> &Word) const;
+
+  /// Number of states reachable from the initial state.
+  uint32_t numReachableStates() const;
+
+  /// True iff the accepted language is empty.
+  bool isEmpty() const;
+
+  /// A shortest accepted word, if any (BFS).
+  std::optional<std::vector<Letter>> shortestAcceptedWord() const;
+
+  /// Total number of transitions.
+  size_t numTransitions() const;
+
+  /// Returns a copy restricted to states co-reachable from accepting states
+  /// and reachable from the initial state ("trim"). State numbering changes.
+  Dfa trim() const;
+
+  /// Graphviz dump for debugging/documentation.
+  std::string toDot(const std::vector<std::string> &LetterNames) const;
+
+private:
+  uint32_t NumLetters;
+  State Initial = InvalidState;
+  std::vector<bool> Accepting;
+  /// Per-state transition list, sorted by letter.
+  std::vector<std::vector<std::pair<Letter, State>>> Transitions;
+};
+
+} // namespace automata
+} // namespace seqver
+
+#endif // SEQVER_AUTOMATA_DFA_H

@@ -1,0 +1,175 @@
+//===- automata/DfaOps.cpp - Language operations on DFA -------------------===//
+
+#include "automata/DfaOps.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace seqver;
+using namespace seqver::automata;
+
+Dfa seqver::automata::product(const Dfa &A, const Dfa &B) {
+  assert(A.numLetters() == B.numLetters() && "alphabet mismatch");
+  Dfa Out(A.numLetters());
+  std::map<std::pair<State, State>, State> Index;
+  std::deque<std::pair<State, State>> Worklist;
+
+  auto GetState = [&](State SA, State SB) {
+    auto Key = std::make_pair(SA, SB);
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    State S = Out.addState(A.isAccepting(SA) && B.isAccepting(SB));
+    Index.emplace(Key, S);
+    Worklist.push_back(Key);
+    return S;
+  };
+
+  State Init = GetState(A.initial(), B.initial());
+  Out.setInitial(Init);
+  while (!Worklist.empty()) {
+    auto [SA, SB] = Worklist.front();
+    Worklist.pop_front();
+    State From = Index.at({SA, SB});
+    for (const auto &[L, ToA] : A.transitionsFrom(SA)) {
+      std::optional<State> ToB = B.step(SB, L);
+      if (!ToB)
+        continue;
+      Out.addTransition(From, L, GetState(ToA, *ToB));
+    }
+  }
+  return Out;
+}
+
+Dfa seqver::automata::complement(const Dfa &A) {
+  Dfa Out(A.numLetters());
+  // Copy states with flipped acceptance, then totalize with a sink.
+  for (State S = 0; S < A.numStates(); ++S)
+    Out.addState(!A.isAccepting(S));
+  State Sink = Out.addState(true);
+  for (State S = 0; S < A.numStates(); ++S) {
+    for (Letter L = 0; L < A.numLetters(); ++L) {
+      std::optional<State> To = A.step(S, L);
+      Out.addTransition(S, L, To ? *To : Sink);
+    }
+  }
+  for (Letter L = 0; L < A.numLetters(); ++L)
+    Out.addTransition(Sink, L, Sink);
+  Out.setInitial(A.initial());
+  return Out;
+}
+
+bool seqver::automata::isSubsetOf(const Dfa &A, const Dfa &B,
+                                  std::vector<Letter> *Witness) {
+  Dfa Difference = product(A, complement(B));
+  std::optional<std::vector<Letter>> Word = Difference.shortestAcceptedWord();
+  if (!Word)
+    return true;
+  if (Witness)
+    *Witness = std::move(*Word);
+  return false;
+}
+
+bool seqver::automata::isEquivalent(const Dfa &A, const Dfa &B) {
+  return isSubsetOf(A, B) && isSubsetOf(B, A);
+}
+
+std::set<std::vector<Letter>>
+seqver::automata::enumerateLanguage(const Dfa &A, size_t MaxLength) {
+  std::set<std::vector<Letter>> Out;
+  // DFS over words up to MaxLength.
+  std::vector<Letter> Word;
+  struct Frame {
+    State S;
+    size_t NextIndex;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({A.initial(), 0});
+  if (A.isAccepting(A.initial()))
+    Out.insert(Word); // the empty word
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const auto &List = A.transitionsFrom(Top.S);
+    if (Word.size() == MaxLength || Top.NextIndex >= List.size()) {
+      Stack.pop_back();
+      if (!Word.empty())
+        Word.pop_back();
+      continue;
+    }
+    auto [L, To] = List[Top.NextIndex++];
+    Word.push_back(L);
+    if (A.isAccepting(To))
+      Out.insert(Word);
+    Stack.push_back({To, 0});
+  }
+  return Out;
+}
+
+Dfa seqver::automata::minimize(const Dfa &A) {
+  // Work on the totalized automaton: states 0..n-1 plus sink n.
+  const uint32_t N = A.numStates();
+  const uint32_t Sink = N;
+  const uint32_t Total = N + 1;
+  auto StepTotal = [&](State S, Letter L) -> State {
+    if (S == Sink)
+      return Sink;
+    std::optional<State> To = A.step(S, L);
+    return To ? *To : Sink;
+  };
+
+  // Moore refinement: start from accepting / rejecting.
+  std::vector<uint32_t> Class(Total);
+  for (State S = 0; S < N; ++S)
+    Class[S] = A.isAccepting(S) ? 1 : 0;
+  Class[Sink] = 0;
+
+  for (;;) {
+    // Signature: (class, successor class per letter).
+    std::map<std::vector<uint32_t>, uint32_t> SignatureToClass;
+    std::vector<uint32_t> NewClass(Total);
+    for (State S = 0; S < Total; ++S) {
+      std::vector<uint32_t> Signature;
+      Signature.reserve(A.numLetters() + 1);
+      Signature.push_back(Class[S]);
+      for (Letter L = 0; L < A.numLetters(); ++L)
+        Signature.push_back(Class[StepTotal(S, L)]);
+      auto [It, Inserted] = SignatureToClass.emplace(
+          std::move(Signature),
+          static_cast<uint32_t>(SignatureToClass.size()));
+      (void)Inserted;
+      NewClass[S] = It->second;
+    }
+    if (NewClass == Class)
+      break;
+    Class = std::move(NewClass);
+  }
+
+  // Build the quotient, skipping transitions whose target class is the
+  // (all-rejecting, self-looping) class of the sink *only when that class
+  // contains no accepting state and cannot reach one*; equivalently, just
+  // keep all classes and trim at the end.
+  uint32_t NumClasses = 0;
+  for (uint32_t C : Class)
+    NumClasses = std::max(NumClasses, C + 1);
+  Dfa Quotient(A.numLetters());
+  std::vector<State> ClassState(NumClasses);
+  std::vector<bool> ClassAccepting(NumClasses, false);
+  for (State S = 0; S < N; ++S)
+    if (A.isAccepting(S))
+      ClassAccepting[Class[S]] = true;
+  for (uint32_t C = 0; C < NumClasses; ++C)
+    ClassState[C] = Quotient.addState(ClassAccepting[C]);
+  std::vector<bool> Emitted(NumClasses, false);
+  for (State S = 0; S < Total; ++S) {
+    uint32_t C = Class[S];
+    if (Emitted[C])
+      continue;
+    Emitted[C] = true;
+    for (Letter L = 0; L < A.numLetters(); ++L)
+      Quotient.addTransition(ClassState[C], L,
+                             ClassState[Class[StepTotal(S, L)]]);
+  }
+  Quotient.setInitial(ClassState[Class[A.initial()]]);
+  return Quotient.trim();
+}

@@ -1,0 +1,49 @@
+//===- automata/DfaOps.h - Language operations on DFA ---------------------===//
+///
+/// \file
+/// Product, complement, inclusion, equivalence, and bounded language
+/// enumeration. The verification algorithm itself uses on-the-fly inclusion
+/// (Sec. 7); these explicit operations back the test suite's language-level
+/// theorems (Thm. 5.3, 6.4, 6.6) and the reduction-size experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_AUTOMATA_DFAOPS_H
+#define SEQVER_AUTOMATA_DFAOPS_H
+
+#include "automata/Dfa.h"
+
+#include <set>
+#include <vector>
+
+namespace seqver {
+namespace automata {
+
+/// Intersection product (reachable part only). Both automata must share the
+/// alphabet size.
+Dfa product(const Dfa &A, const Dfa &B);
+
+/// Complement; totalizes with a sink state first.
+Dfa complement(const Dfa &A);
+
+/// Language inclusion L(A) subset of L(B). If it fails and Witness is
+/// non-null, stores a word in L(A) \ L(B).
+bool isSubsetOf(const Dfa &A, const Dfa &B,
+                std::vector<Letter> *Witness = nullptr);
+
+/// Language equivalence.
+bool isEquivalent(const Dfa &A, const Dfa &B);
+
+/// All accepted words of length at most MaxLength (test-sized automata).
+std::set<std::vector<Letter>> enumerateLanguage(const Dfa &A,
+                                                size_t MaxLength);
+
+/// Language-preserving minimization (Moore partition refinement over the
+/// totalized automaton; the dead class is dropped again on output). Used to
+/// compare reduction representations at equal footing in the size studies.
+Dfa minimize(const Dfa &A);
+
+} // namespace automata
+} // namespace seqver
+
+#endif // SEQVER_AUTOMATA_DFAOPS_H

@@ -1,0 +1,88 @@
+//===- automata/Explore.h - On-the-fly automaton materialization ----------===//
+///
+/// \file
+/// Generic worklist exploration that materializes an implicitly-defined
+/// deterministic automaton into an explicit Dfa. The reduction constructions
+/// of Sec. 5/6 (sleep set automaton, pi-reduction, combined reduction) are
+/// all implicit automata whose states are structured values (location plus
+/// sleep set, etc.); this template does the interning and bookkeeping once.
+///
+/// The implicit automaton is described by a class exposing:
+///   using StateType = ...;            // value type with operator<
+///   StateType initialState();
+///   bool isAccepting(const StateType &);
+///   /// Successors in increasing letter order.
+///   std::vector<std::pair<Letter, StateType>> successors(const StateType &);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_AUTOMATA_EXPLORE_H
+#define SEQVER_AUTOMATA_EXPLORE_H
+
+#include "automata/Dfa.h"
+
+#include <deque>
+#include <map>
+
+namespace seqver {
+namespace automata {
+
+/// Result of materializing an implicit automaton: the explicit Dfa plus the
+/// structured state of every Dfa state index.
+template <typename ImplicitAutomaton> struct Materialized {
+  Dfa Automaton;
+  std::vector<typename ImplicitAutomaton::StateType> States;
+
+  Materialized() : Automaton(0) {}
+};
+
+/// Breadth-first materialization. MaxStates guards against accidental
+/// state-space blowups (0 = unlimited); exceeding it aborts via the returned
+/// Overflow flag so that callers can fall back or report.
+template <typename ImplicitAutomaton>
+Materialized<ImplicitAutomaton>
+materialize(ImplicitAutomaton &Impl, uint32_t NumLetters,
+            uint32_t MaxStates = 0, bool *Overflow = nullptr) {
+  using StateType = typename ImplicitAutomaton::StateType;
+  Materialized<ImplicitAutomaton> Result;
+  Result.Automaton = Dfa(NumLetters);
+  if (Overflow)
+    *Overflow = false;
+
+  std::map<StateType, State> Index;
+  std::deque<State> Worklist;
+
+  auto GetState = [&](const StateType &S) -> State {
+    auto It = Index.find(S);
+    if (It != Index.end())
+      return It->second;
+    State Id = Result.Automaton.addState(Impl.isAccepting(S));
+    Index.emplace(S, Id);
+    Result.States.push_back(S);
+    Worklist.push_back(Id);
+    return Id;
+  };
+
+  Result.Automaton.setInitial(GetState(Impl.initialState()));
+  while (!Worklist.empty()) {
+    State Id = Worklist.front();
+    Worklist.pop_front();
+    // Copy: successors() may grow Result.States.
+    StateType Current = Result.States[Id];
+    for (auto &[L, Next] : Impl.successors(Current)) {
+      if (MaxStates != 0 && Result.Automaton.numStates() >= MaxStates &&
+          Index.find(Next) == Index.end()) {
+        if (Overflow)
+          *Overflow = true;
+        return Result;
+      }
+      Result.Automaton.addTransition(Id, L, GetState(Next));
+    }
+  }
+  return Result;
+}
+
+} // namespace automata
+} // namespace seqver
+
+#endif // SEQVER_AUTOMATA_EXPLORE_H

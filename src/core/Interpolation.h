@@ -1,0 +1,55 @@
+//===- core/Interpolation.h - Farkas sequence interpolants ----------------===//
+///
+/// \file
+/// Sequence interpolation for infeasible traces, the predicate source used
+/// by the paper's implementation ("the subprocedure ... can be implemented,
+/// for example, by an interpolant-generating SMT solver", Sec. 7.2).
+///
+/// The trace is SSA-encoded into blocks of linear constraints
+///   B_0 (initial constraint), B_1..B_n (one per action),
+///   B_{n+1} (negated final obligation),
+/// program booleans become 0/1 integer shadows. If the conjunction is
+/// infeasible over the rationals, a Farkas certificate exists and its
+/// partial sums are sequence interpolants J_0..J_n:
+///   B_0 -> J_0,   J_k /\ B_{k+1} -> J_{k+1},   J_n /\ B_{n+1} -> false,
+/// each J_k over the variables live at cut k (prefix-local SSA versions
+/// cancel). They are returned rewritten over the program variables.
+///
+/// The engine is partial by design: disjunctive guards, disequalities,
+/// non-constant boolean assignments, and integer-only infeasibility
+/// (LRA-feasible traces) make it report failure, and the verifier falls
+/// back to weakest-precondition chains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_CORE_INTERPOLATION_H
+#define SEQVER_CORE_INTERPOLATION_H
+
+#include "program/Program.h"
+#include "smt/Term.h"
+
+#include <vector>
+
+namespace seqver {
+namespace core {
+
+struct TraceInterpolation {
+  bool Success = false;
+  /// J_0 .. J_n over program variables; J_n implies the final obligation.
+  std::vector<smt::Term> Chain;
+};
+
+/// Computes sequence interpolants for Trace. FinalObligation must hold in
+/// the final state for the trace to be harmless; null means false (error
+/// traces). The trace must be infeasible (callers establish this first);
+/// if its rational relaxation is feasible or the encoding is out of
+/// fragment, Success is false.
+TraceInterpolation
+sequenceInterpolants(smt::TermManager &TM, const prog::ConcurrentProgram &P,
+                     const std::vector<automata::Letter> &Trace,
+                     smt::Term FinalObligation = nullptr);
+
+} // namespace core
+} // namespace seqver
+
+#endif // SEQVER_CORE_INTERPOLATION_H

@@ -1,0 +1,114 @@
+//===- core/Portfolio.cpp - Preference-order portfolio --------------------===//
+
+#include "core/Portfolio.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace seqver;
+using namespace seqver::core;
+
+PortfolioResult seqver::core::runPortfolio(const prog::ConcurrentProgram &P,
+                                           const VerifierConfig &Base) {
+  PortfolioResult Out;
+  auto Orders = red::makePortfolioOrders(P);
+
+  bool HaveBest = false;
+  for (auto &Order : Orders) {
+    VerifierConfig Config = Base;
+    Config.Order = Order.get();
+    Verifier V(P, Config);
+    VerificationResult R = V.run();
+    bool Decisive = R.V == Verdict::Correct || R.V == Verdict::Incorrect;
+    PortfolioEntry Entry;
+    Entry.OrderName = Order->name();
+    Entry.Result = R;
+
+    // As-if-parallel: the portfolio's result is the fastest decisive run.
+    if (Decisive && (!HaveBest || R.Seconds < Out.Best.Seconds ||
+                     !(Out.Best.V == Verdict::Correct ||
+                       Out.Best.V == Verdict::Incorrect))) {
+      Out.Best = R;
+      Out.BestOrder = Order->name();
+      HaveBest = true;
+    }
+    if (!HaveBest) {
+      // Keep some result around even if nothing is decisive yet.
+      Out.Best = R;
+      Out.BestOrder = Order->name();
+    }
+    Out.Entries.push_back(std::move(Entry));
+  }
+  return Out;
+}
+
+VerificationResult
+seqver::core::runSingleOrder(const prog::ConcurrentProgram &P,
+                             const VerifierConfig &Base,
+                             const std::string &OrderName) {
+  if (OrderName == "baseline") {
+    VerifierConfig Config = Base;
+    Config.UseSleepSets = false;
+    Config.UsePersistentSets = false;
+    Config.ProofSensitive = false;
+    Config.Order = nullptr;
+    Verifier V(P, Config);
+    return V.run();
+  }
+  auto Orders = red::makePortfolioOrders(P);
+  for (auto &Order : Orders) {
+    if (Order->name() != OrderName)
+      continue;
+    VerifierConfig Config = Base;
+    Config.Order = Order.get();
+    Verifier V(P, Config);
+    return V.run();
+  }
+  assert(false && "unknown preference order name");
+  return {};
+}
+
+AdaptiveResult
+seqver::core::runAdaptivePortfolio(const prog::ConcurrentProgram &P,
+                                   const VerifierConfig &Base,
+                                   double InitialBudgetSeconds) {
+  AdaptiveResult Out;
+  auto Orders = red::makePortfolioOrders(P);
+  Timer Total;
+  double Budget = InitialBudgetSeconds;
+
+  for (int Doubling = 0;; ++Doubling) {
+    for (auto &Order : Orders) {
+      if (Base.TimeoutSeconds > 0 &&
+          Total.seconds() >= Base.TimeoutSeconds) {
+        Out.Result.V = Verdict::Timeout;
+        Out.Result.Seconds = Total.seconds();
+        Out.BudgetDoublings = Doubling;
+        return Out;
+      }
+      VerifierConfig Config = Base;
+      Config.Order = Order.get();
+      Config.TimeoutSeconds = Budget;
+      if (Base.TimeoutSeconds > 0)
+        Config.TimeoutSeconds =
+            std::min(Budget, Base.TimeoutSeconds - Total.seconds());
+      Verifier V(P, Config);
+      VerificationResult R = V.run();
+      if (R.V == Verdict::Correct || R.V == Verdict::Incorrect) {
+        Out.Result = std::move(R);
+        Out.Result.Seconds = Total.seconds();
+        Out.DecidingOrder = Order->name();
+        Out.BudgetDoublings = Doubling;
+        return Out;
+      }
+      if (R.V == Verdict::Unknown) {
+        // A solver give-up will not improve with more time on this order;
+        // remember it but keep trying the others.
+        Out.Result = std::move(R);
+        Out.DecidingOrder.clear();
+      }
+    }
+    Budget *= 2;
+  }
+}

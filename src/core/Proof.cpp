@@ -1,0 +1,112 @@
+//===- core/Proof.cpp - Floyd/Hoare proof automaton -----------------------===//
+
+#include "core/Proof.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace seqver;
+using namespace seqver::core;
+using seqver::automata::Letter;
+using seqver::smt::Term;
+
+ProofAutomaton::ProofAutomaton(smt::TermManager &TM, smt::QueryEngine &QE,
+                               prog::FreshVarSource &Fresh,
+                               const prog::ConcurrentProgram &P)
+    : TM(TM), QE(QE), Fresh(Fresh), P(P) {
+  // Predicate 0 is always "false".
+  Predicates.push_back(TM.mkFalse());
+  PredicateIds.emplace(TM.mkFalse(), FalseId);
+}
+
+uint32_t ProofAutomaton::addPredicate(Term Predicate) {
+  auto It = PredicateIds.find(Predicate);
+  if (It != PredicateIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Predicates.size());
+  Predicates.push_back(Predicate);
+  PredicateIds.emplace(Predicate, Id);
+  return Id;
+}
+
+Term ProofAutomaton::conjunction(const PredSet &S) {
+  auto It = ConjCache.find(S);
+  if (It != ConjCache.end())
+    return It->second;
+  std::vector<Term> Conjuncts;
+  Conjuncts.reserve(S.size());
+  for (uint32_t Id : S)
+    Conjuncts.push_back(Predicates[Id]);
+  Term Result = TM.mkAnd(std::move(Conjuncts));
+  ConjCache.emplace(S, Result);
+  return Result;
+}
+
+PredSet ProofAutomaton::initialSet() {
+  Term Init = P.initialConstraint();
+  PredSet Out;
+  for (uint32_t Id = 0; Id < Predicates.size(); ++Id) {
+    if (!isEnabled(Id))
+      continue;
+    ++HoareQueries;
+    if (QE.implies(Init, Predicates[Id]))
+      Out.push_back(Id);
+  }
+  return Out;
+}
+
+Term ProofAutomaton::wpCached(Letter L, uint32_t PredId) {
+  auto Key = std::make_pair(L, PredId);
+  auto It = WpCache.find(Key);
+  if (It != WpCache.end())
+    return It->second;
+  Term Wp = prog::wpAction(TM, P.action(L), Predicates[PredId], Fresh);
+  WpCache.emplace(Key, Wp);
+  return Wp;
+}
+
+const PredSet &ProofAutomaton::step(const PredSet &S, Letter L) {
+  auto Key = std::make_pair(S, L);
+  auto It = StepCache.find(Key);
+  if (It != StepCache.end())
+    return It->second;
+
+  PredSet Out;
+  Term Pre = conjunction(S);
+  if (Pre == TM.mkFalse()) {
+    // False is preserved by every action.
+    Out.push_back(FalseId);
+  } else {
+    for (uint32_t Id = 0; Id < Predicates.size(); ++Id) {
+      if (!isEnabled(Id))
+        continue;
+      ++HoareQueries;
+      if (QE.implies(Pre, wpCached(L, Id)))
+        Out.push_back(Id);
+    }
+  }
+  return StepCache.emplace(Key, std::move(Out)).first->second;
+}
+
+void ProofAutomaton::invalidateCaches() {
+  StepCache.clear();
+  // Conj and wp caches stay valid: they are keyed by content that does not
+  // change when the pool grows.
+}
+
+void ProofAutomaton::setEnabledMask(std::vector<bool> Mask) {
+  assert((Mask.empty() || Mask.size() == Predicates.size()) &&
+         "mask size mismatch");
+  assert((Mask.empty() || Mask[FalseId]) && "false must stay enabled");
+  EnabledMask = std::move(Mask);
+  invalidateCaches();
+}
+
+size_t ProofAutomaton::numEnabled() const {
+  if (EnabledMask.empty())
+    return Predicates.size();
+  size_t Count = 0;
+  for (bool Enabled : EnabledMask)
+    Count += Enabled;
+  return Count;
+}

@@ -1,0 +1,104 @@
+//===- core/Proof.h - Floyd/Hoare proof automaton -------------------------===//
+///
+/// \file
+/// The candidate proof of the trace abstraction refinement scheme (Sec. 7.2,
+/// after Heizmann et al.): a pool of assertions (predicates) and a
+/// deterministic automaton over predicate *sets*. In state S (a set of
+/// predicates known to hold), reading action a leads to the set of all pool
+/// predicates psi with valid Hoare triple {conj(S)} a {psi}. A trace is
+/// covered by the proof iff its run ends in a set containing the predicate
+/// "false" (the trace is infeasible).
+///
+/// The paper's proof-size metric is the number of assertions in the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_CORE_PROOF_H
+#define SEQVER_CORE_PROOF_H
+
+#include "program/Program.h"
+#include "program/Semantics.h"
+#include "smt/Solver.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace seqver {
+namespace core {
+
+/// Canonical sorted vector of predicate ids.
+using PredSet = std::vector<uint32_t>;
+
+/// Grows monotonically across refinement rounds; transitions are computed
+/// lazily with caching.
+class ProofAutomaton {
+public:
+  ProofAutomaton(smt::TermManager &TM, smt::QueryEngine &QE,
+                 prog::FreshVarSource &Fresh,
+                 const prog::ConcurrentProgram &P);
+
+  /// Id of the distinguished predicate "false".
+  static constexpr uint32_t FalseId = 0;
+
+  /// Adds Predicate to the pool (deduplicated); returns its id. Adding
+  /// "true" is a no-op returning an id that never helps coverage.
+  uint32_t addPredicate(smt::Term Predicate);
+
+  size_t numPredicates() const { return Predicates.size(); }
+  smt::Term predicate(uint32_t Id) const { return Predicates[Id]; }
+
+  /// Conjunction term of the predicates in S (cached).
+  smt::Term conjunction(const PredSet &S);
+
+  /// Predicates implied by the program's initial constraint.
+  PredSet initialSet();
+
+  /// Proof transition: largest T with {conj(S)} a {conj(T)} valid.
+  const PredSet &step(const PredSet &S, automata::Letter L);
+
+  bool isFalse(const PredSet &S) const {
+    return !S.empty() && S.front() == FalseId;
+  }
+
+  /// Drops transition/initial caches; called when the pool grows between
+  /// rounds (cached steps would otherwise miss new predicates).
+  void invalidateCaches();
+
+  /// Restricts the automaton to a subset of the pool: disabled predicates
+  /// are never produced by initialSet()/step(). Used by proof minimization.
+  /// An empty mask (the default) enables everything. Invalidates caches.
+  void setEnabledMask(std::vector<bool> Mask);
+  /// Number of currently enabled predicates.
+  size_t numEnabled() const;
+  /// True if predicate Id is enabled under the current mask.
+  bool predicateEnabled(uint32_t Id) const { return isEnabled(Id); }
+
+  uint64_t numHoareQueries() const { return HoareQueries; }
+
+private:
+  /// wp(a, psi), cached per (letter, predicate).
+  smt::Term wpCached(automata::Letter L, uint32_t PredId);
+
+  smt::TermManager &TM;
+  smt::QueryEngine &QE;
+  prog::FreshVarSource &Fresh;
+  const prog::ConcurrentProgram &P;
+
+  bool isEnabled(uint32_t Id) const {
+    return EnabledMask.empty() || EnabledMask[Id];
+  }
+
+  std::vector<smt::Term> Predicates;
+  std::vector<bool> EnabledMask; // empty = all enabled
+  std::map<smt::Term, uint32_t> PredicateIds;
+  std::map<PredSet, smt::Term> ConjCache;
+  std::map<std::pair<PredSet, automata::Letter>, PredSet> StepCache;
+  std::map<std::pair<automata::Letter, uint32_t>, smt::Term> WpCache;
+  uint64_t HoareQueries = 0;
+};
+
+} // namespace core
+} // namespace seqver
+
+#endif // SEQVER_CORE_PROOF_H

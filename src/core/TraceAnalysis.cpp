@@ -1,0 +1,42 @@
+//===- core/TraceAnalysis.cpp - Counterexample trace analysis -------------===//
+
+#include "core/TraceAnalysis.h"
+
+#include <algorithm>
+
+using namespace seqver;
+using namespace seqver::core;
+using seqver::smt::Term;
+
+TraceAnalysis seqver::core::analyzeTrace(
+    smt::TermManager &TM, smt::QueryEngine &QE, prog::FreshVarSource &Fresh,
+    const prog::ConcurrentProgram &P,
+    const std::vector<automata::Letter> &Trace, Term FinalObligation) {
+  TraceAnalysis Result;
+
+  // Backwards wp chain from the final obligation (false for error traces).
+  std::vector<Term> Chain(Trace.size() + 1);
+  Chain[Trace.size()] =
+      FinalObligation ? FinalObligation : TM.mkFalse();
+  for (size_t I = Trace.size(); I > 0; --I)
+    Chain[I - 1] =
+        prog::wpAction(TM, P.action(Trace[I - 1]), Chain[I], Fresh);
+
+  // The trace witnesses a violation iff some initial store admits an
+  // execution whose final state violates the obligation:
+  // init /\ not wp(trace, obligation) satisfiable.
+  Term Query = TM.mkAnd(P.initialConstraint(), TM.mkNot(Chain[0]));
+  switch (QE.checkSat(Query)) {
+  case smt::SolverResult::Sat:
+    Result.Status = TraceStatus::Feasible;
+    return Result;
+  case smt::SolverResult::Unknown:
+    Result.Status = TraceStatus::Unknown;
+    return Result;
+  case smt::SolverResult::Unsat:
+    break;
+  }
+  Result.Status = TraceStatus::Infeasible;
+  Result.WpChain = std::move(Chain);
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- core/TraceAnalysis.h - Counterexample trace analysis ---------------===//
+///
+/// \file
+/// Feasibility analysis and Floyd/Hoare annotation of counterexample traces.
+/// An error trace is infeasible iff no initial store admits an execution;
+/// for infeasible traces, the weakest-precondition chain yields a sequence
+/// of assertions annotating the trace (first implied by the initial
+/// condition, last equal to false), which refines the proof automaton.
+/// This replaces the interpolant generation of the paper's implementation
+/// with an equally sound (if usually less general) predicate source; see
+/// DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_CORE_TRACEANALYSIS_H
+#define SEQVER_CORE_TRACEANALYSIS_H
+
+#include "program/Program.h"
+#include "program/Semantics.h"
+#include "smt/Solver.h"
+
+#include <vector>
+
+namespace seqver {
+namespace core {
+
+enum class TraceStatus {
+  Feasible,   ///< a real execution reaches the error
+  Infeasible, ///< spurious; WpChain annotates the trace
+  Unknown,    ///< the solver could not decide feasibility
+};
+
+struct TraceAnalysis {
+  TraceStatus Status = TraceStatus::Unknown;
+  /// Assertions A_0 .. A_n with A_n = false, A_i = wp(a_{i+1}, A_{i+1});
+  /// valid only when Status == Infeasible.
+  std::vector<smt::Term> WpChain;
+};
+
+/// Analyzes a counterexample trace. FinalObligation is the condition that
+/// must hold in the trace's final state for the trace to be harmless:
+/// "false" for error traces (reaching the error location is itself the
+/// violation) and the program's postcondition for all-exit traces
+/// (pre/post setting, Sec. 3). Null means false.
+TraceAnalysis analyzeTrace(smt::TermManager &TM, smt::QueryEngine &QE,
+                           prog::FreshVarSource &Fresh,
+                           const prog::ConcurrentProgram &P,
+                           const std::vector<automata::Letter> &Trace,
+                           smt::Term FinalObligation = nullptr);
+
+} // namespace core
+} // namespace seqver
+
+#endif // SEQVER_CORE_TRACEANALYSIS_H

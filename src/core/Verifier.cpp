@@ -1,0 +1,448 @@
+//===- core/Verifier.cpp - Trace abstraction with sequentialization -------===//
+
+#include "core/Verifier.h"
+
+#include "core/Interpolation.h"
+
+#include "support/Bitset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+using namespace seqver;
+using namespace seqver::core;
+using seqver::automata::Letter;
+using seqver::prog::ProductState;
+using seqver::red::PreferenceOrder;
+using seqver::smt::Term;
+
+std::string seqver::core::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Correct:
+    return "correct";
+  case Verdict::Incorrect:
+    return "incorrect";
+  case Verdict::Timeout:
+    return "timeout";
+  case Verdict::Unknown:
+    return "unknown";
+  }
+  return "invalid";
+}
+
+namespace {
+
+/// True iff Sub (sorted) is a subset of Super (sorted).
+bool isSubset(const PredSet &Sub, const PredSet &Super) {
+  return std::includes(Super.begin(), Super.end(), Sub.begin(), Sub.end());
+}
+
+/// Collects the atomic boolean sub-formulas of Formula (linear atoms,
+/// boolean variables, and disequalities) into Atoms.
+void collectAtoms(Term Formula, std::vector<Term> &Atoms) {
+  switch (Formula->kind()) {
+  case smt::TermKind::BoolConst:
+    return;
+  case smt::TermKind::BoolVar:
+  case smt::TermKind::AtomLe:
+  case smt::TermKind::AtomEq:
+    Atoms.push_back(Formula);
+    return;
+  case smt::TermKind::Not:
+    collectAtoms(Formula->child(0), Atoms);
+    return;
+  case smt::TermKind::And:
+  case smt::TermKind::Or:
+  case smt::TermKind::Iff:
+    for (Term Child : Formula->children())
+      collectAtoms(Child, Atoms);
+    return;
+  case smt::TermKind::IntVar:
+    assert(false && "int term in boolean position");
+    return;
+  }
+}
+
+} // namespace
+
+class Verifier::Impl {
+public:
+  Impl(const prog::ConcurrentProgram &P, const VerifierConfig &Config)
+      : P(P), Config(Config), TM(P.termManager()), QE(TM), Fresh(TM),
+        Commut(P, QE, Config.CommutMode), Proof(TM, QE, Fresh, P) {
+    if (Config.UsePersistentSets)
+      Persistent = std::make_unique<red::PersistentSetComputer>(
+          P, Commut, Config.Order);
+    assert((Config.Order || !Config.UseSleepSets) &&
+           "sleep sets require a preference order");
+  }
+
+  VerificationResult run();
+
+private:
+  /// The DFS node identity: product state, order context, sleep set, proof
+  /// assertion set.
+  struct Key {
+    ProductState Q;
+    PreferenceOrder::Context Ctx;
+    Bitset Sleep;
+    PredSet Phi;
+
+    bool operator<(const Key &Other) const {
+      return std::tie(Q, Ctx, Sleep, Phi) <
+             std::tie(Other.Q, Other.Ctx, Other.Sleep, Other.Phi);
+    }
+  };
+
+  enum class NodeStatus : uint8_t { OnStack, DoneUseless, DoneUnknown };
+
+  /// Outcome of one proof-check round.
+  struct RoundResult {
+    enum class Kind { ProofValid, Counterexample, Aborted } K;
+    std::vector<Letter> Trace;
+    /// True when the counterexample ends at an all-exit state and violates
+    /// the postcondition (pre/post setting) rather than reaching an error
+    /// location.
+    bool IsExitTrace = false;
+  };
+
+  RoundResult checkProofRound(const Deadline &Budget);
+  std::vector<std::pair<Letter, Key>> expand(const Key &Node);
+  bool isKnownUseless(const Key &Node);
+  void markUseless(const Key &Node);
+  size_t minimizeProof(const Deadline &Budget);
+
+  const prog::ConcurrentProgram &P;
+  VerifierConfig Config;
+  smt::TermManager &TM;
+  smt::QueryEngine QE;
+  prog::FreshVarSource Fresh;
+  red::CommutativityChecker Commut;
+  ProofAutomaton Proof;
+  std::unique_ptr<red::PersistentSetComputer> Persistent;
+
+  /// Cross-round useless-state cache: (Q, Ctx, Sleep) -> assertions under
+  /// which the node was counterexample-free.
+  std::map<std::tuple<ProductState, PreferenceOrder::Context, Bitset>,
+           std::vector<PredSet>>
+      UselessCache;
+  static constexpr size_t MaxUselessEntriesPerNode = 8;
+
+  Statistics Stats;
+};
+
+bool Verifier::Impl::isKnownUseless(const Key &Node) {
+  if (!Config.UselessStateCache)
+    return false;
+  auto It = UselessCache.find(std::make_tuple(Node.Q, Node.Ctx, Node.Sleep));
+  if (It == UselessCache.end())
+    return false;
+  for (const PredSet &Recorded : It->second)
+    if (isSubset(Recorded, Node.Phi)) {
+      Stats.add("useless_cache_hits");
+      return true;
+    }
+  return false;
+}
+
+void Verifier::Impl::markUseless(const Key &Node) {
+  if (!Config.UselessStateCache)
+    return;
+  auto &Entries =
+      UselessCache[std::make_tuple(Node.Q, Node.Ctx, Node.Sleep)];
+  for (const PredSet &Recorded : Entries)
+    if (isSubset(Recorded, Node.Phi))
+      return; // already subsumed
+  if (Entries.size() < MaxUselessEntriesPerNode)
+    Entries.push_back(Node.Phi);
+}
+
+std::vector<std::pair<Letter, Verifier::Impl::Key>>
+Verifier::Impl::expand(const Key &Node) {
+  std::vector<std::pair<Letter, Key>> Out;
+  if (Proof.isFalse(Node.Phi))
+    return Out; // covered by the proof
+
+  auto Successors = P.successors(Node.Q); // empty at error states
+  if (Successors.empty())
+    return Out;
+
+  const Bitset *Membrane = nullptr;
+  if (Persistent)
+    Membrane = &Persistent->compute(Node.Q, Node.Ctx);
+
+  std::vector<Letter> Enabled;
+  Enabled.reserve(Successors.size());
+  for (const auto &[L, NextQ] : Successors) {
+    (void)NextQ;
+    Enabled.push_back(L);
+  }
+
+  Term Phi = Config.ProofSensitive ? Proof.conjunction(Node.Phi) : nullptr;
+
+  for (const auto &[L, NextQ] : Successors) {
+    if (Config.UseSleepSets && Node.Sleep.test(L)) {
+      Stats.add("sleep_pruned");
+      continue;
+    }
+    if (Membrane && !Membrane->test(L)) {
+      Stats.add("persistent_pruned");
+      continue;
+    }
+    Key Next;
+    Next.Q = NextQ;
+    Next.Ctx = Config.Order ? Config.Order->advance(Node.Ctx, L)
+                            : PreferenceOrder::InitialContext;
+    Next.Sleep = Bitset(P.numLetters());
+    if (Config.UseSleepSets) {
+      for (Letter B : Enabled) {
+        if (B == L)
+          continue;
+        bool Candidate =
+            Node.Sleep.test(B) || Config.Order->less(Node.Ctx, B, L);
+        if (!Candidate)
+          continue;
+        bool Commutes = Config.ProofSensitive
+                            ? Commut.commutesUnder(Phi, L, B)
+                            : Commut.commutes(L, B);
+        if (Commutes)
+          Next.Sleep.set(B);
+      }
+    }
+    Next.Phi = Proof.step(Node.Phi, L);
+    Out.emplace_back(L, std::move(Next));
+  }
+
+  // Explore most-preferred letters first: minimal counterexamples surface
+  // early and match the reduction's representatives.
+  if (Config.Order) {
+    std::stable_sort(Out.begin(), Out.end(),
+                     [this, &Node](const auto &A, const auto &B) {
+                       return Config.Order->less(Node.Ctx, A.first, B.first);
+                     });
+  }
+  return Out;
+}
+
+Verifier::Impl::RoundResult
+Verifier::Impl::checkProofRound(const Deadline &Budget) {
+  struct Frame {
+    Key Node;
+    Letter InLetter = 0;
+    std::vector<std::pair<Letter, Key>> Succs;
+    size_t NextIndex = 0;
+    bool TouchedUnknown = false;
+  };
+
+  std::map<Key, NodeStatus> Visited;
+  std::vector<Frame> Stack;
+  uint64_t Pops = 0;
+  bool ExitCtex = false;
+  const bool CheckPost = P.hasPostCondition();
+  Term Post = P.postCondition();
+
+  Key Init;
+  Init.Q = P.initialProductState();
+  Init.Ctx = PreferenceOrder::InitialContext;
+  Init.Sleep = Bitset(P.numLetters());
+  Init.Phi = Proof.initialSet();
+
+  auto Push = [&](Key Node, Letter InLetter) -> bool {
+    // Returns false if the node produced a counterexample.
+    if (P.isErrorState(Node.Q) && !Proof.isFalse(Node.Phi))
+      return false;
+    if (CheckPost && P.isAllExitState(Node.Q) && !Proof.isFalse(Node.Phi) &&
+        !QE.implies(Proof.conjunction(Node.Phi), Post)) {
+      ExitCtex = true;
+      return false;
+    }
+    if (isKnownUseless(Node)) {
+      // Counts as a useless (done) node: nothing to propagate.
+      return true;
+    }
+    auto It = Visited.find(Node);
+    if (It != Visited.end()) {
+      // Gray or non-useless black nodes taint the parent's subtree.
+      if (It->second != NodeStatus::DoneUseless && !Stack.empty())
+        Stack.back().TouchedUnknown = true;
+      return true;
+    }
+    Visited.emplace(Node, NodeStatus::OnStack);
+    Frame F;
+    F.Succs = expand(Node);
+    F.Node = std::move(Node);
+    F.InLetter = InLetter;
+    Stack.push_back(std::move(F));
+    return true;
+  };
+
+  if (!Push(Init, 0)) {
+    return {RoundResult::Kind::Counterexample, {}, ExitCtex};
+  }
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.NextIndex < Top.Succs.size()) {
+      auto &[L, Next] = Top.Succs[Top.NextIndex++];
+      if (!Push(std::move(Next), L)) {
+        // Counterexample: the path of in-letters plus this letter.
+        std::vector<Letter> Trace;
+        for (size_t I = 1; I < Stack.size(); ++I)
+          Trace.push_back(Stack[I].InLetter);
+        Trace.push_back(L);
+        Stats.setMax("peak_visited", static_cast<int64_t>(Visited.size()));
+        return {RoundResult::Kind::Counterexample, std::move(Trace),
+                ExitCtex};
+      }
+      continue;
+    }
+    // Pop.
+    ++Pops;
+    if ((Pops & 0x3FF) == 0 &&
+        (Budget.expired() || Visited.size() > Config.MaxVisitedPerRound)) {
+      Stats.setMax("peak_visited", static_cast<int64_t>(Visited.size()));
+      return {RoundResult::Kind::Aborted, {}};
+    }
+    bool Useless = !Top.TouchedUnknown;
+    Visited[Top.Node] =
+        Useless ? NodeStatus::DoneUseless : NodeStatus::DoneUnknown;
+    if (Useless)
+      markUseless(Top.Node);
+    bool Propagate = Top.TouchedUnknown;
+    Stack.pop_back();
+    if (Propagate && !Stack.empty())
+      Stack.back().TouchedUnknown = true;
+  }
+  Stats.setMax("peak_visited", static_cast<int64_t>(Visited.size()));
+  Stats.add("visited_total", static_cast<int64_t>(Visited.size()));
+  return {RoundResult::Kind::ProofValid, {}};
+}
+
+VerificationResult Verifier::Impl::run() {
+  VerificationResult Result;
+  Timer Total;
+  Deadline Budget(Config.TimeoutSeconds);
+
+  for (int Round = 1; Round <= Config.MaxRounds; ++Round) {
+    Result.Rounds = Round;
+    if (Budget.expired()) {
+      Result.V = Verdict::Timeout;
+      break;
+    }
+    RoundResult RR = checkProofRound(Budget);
+    if (RR.K == RoundResult::Kind::Aborted) {
+      Result.V = Verdict::Timeout;
+      break;
+    }
+    if (RR.K == RoundResult::Kind::ProofValid) {
+      Result.V = Verdict::Correct;
+      break;
+    }
+
+    TraceAnalysis Analysis =
+        analyzeTrace(TM, QE, Fresh, P, RR.Trace,
+                     RR.IsExitTrace ? P.postCondition() : nullptr);
+    if (Analysis.Status == TraceStatus::Feasible) {
+      Result.V = Verdict::Incorrect;
+      Result.Witness = RR.Trace;
+      break;
+    }
+    if (Analysis.Status == TraceStatus::Unknown) {
+      Result.V = Verdict::Unknown;
+      break;
+    }
+
+    size_t PoolBefore = Proof.numPredicates();
+    auto AddChain = [this](const std::vector<Term> &Chain) {
+      for (Term Assertion : Chain) {
+        if (Assertion == TM.mkTrue())
+          continue;
+        Proof.addPredicate(Assertion);
+        if (Config.AtomPredicates) {
+          std::vector<Term> Atoms;
+          collectAtoms(Assertion, Atoms);
+          for (Term Atom : Atoms) {
+            Proof.addPredicate(Atom);
+            Proof.addPredicate(TM.mkNot(Atom));
+          }
+        }
+      }
+    };
+    bool Interpolated = false;
+    if (Config.Source != PredicateSource::WpChain) {
+      TraceInterpolation TI = sequenceInterpolants(
+          TM, P, RR.Trace, RR.IsExitTrace ? P.postCondition() : nullptr);
+      if (TI.Success) {
+        AddChain(TI.Chain);
+        Interpolated = true;
+        Stats.add("interpolated_traces");
+      } else {
+        Stats.add("interpolation_fallbacks");
+      }
+    }
+    if (Config.Source != PredicateSource::Interpolation || !Interpolated)
+      AddChain(Analysis.WpChain);
+    if (Proof.numPredicates() == PoolBefore) {
+      // No progress: can only happen if a solver Unknown weakened coverage.
+      Result.V = Verdict::Unknown;
+      break;
+    }
+    Proof.invalidateCaches();
+    if (Round == Config.MaxRounds)
+      Result.V = Verdict::Timeout;
+  }
+
+  Result.ProofSize = Proof.numPredicates();
+  if (Result.V == Verdict::Correct && Config.MinimizeProof)
+    Result.MinimizedProofSize = minimizeProof(Budget);
+  Result.Seconds = Total.seconds();
+  if (Result.V == Verdict::Correct)
+    for (uint32_t Id = 0; Id < Proof.numPredicates(); ++Id)
+      if (Proof.predicateEnabled(Id)) // full pool unless minimized
+        Result.ProofAssertions.push_back(TM.str(Proof.predicate(Id)));
+  Stats.add("rounds", Result.Rounds);
+  Stats.add("hoare_queries",
+            static_cast<int64_t>(Proof.numHoareQueries()));
+  Stats.add("smt_queries", static_cast<int64_t>(QE.numQueries()));
+  Stats.add("semantic_commut_checks",
+            static_cast<int64_t>(Commut.numSemanticChecks()));
+  Result.Stats = Stats;
+  return Result;
+}
+
+Verifier::Verifier(const prog::ConcurrentProgram &P,
+                   const VerifierConfig &Config)
+    : ImplPtr(std::make_unique<Impl>(P, Config)) {}
+
+Verifier::~Verifier() = default;
+
+VerificationResult Verifier::run() { return ImplPtr->run(); }
+
+size_t Verifier::Impl::minimizeProof(const Deadline &Budget) {
+  // Greedy deletion: drop each predicate and keep the drop if the proof
+  // check still succeeds. The useless-state cache was built against the
+  // full pool (weaker pools may reach more states), so disable it here.
+  bool SavedCacheFlag = Config.UselessStateCache;
+  Config.UselessStateCache = false;
+  auto SavedCache = std::move(UselessCache);
+  UselessCache.clear();
+
+  std::vector<bool> Mask(Proof.numPredicates(), true);
+  for (uint32_t Id = 1; Id < Proof.numPredicates(); ++Id) {
+    if (Budget.expired())
+      break;
+    Mask[Id] = false;
+    Proof.setEnabledMask(Mask);
+    RoundResult RR = checkProofRound(Budget);
+    if (RR.K != RoundResult::Kind::ProofValid)
+      Mask[Id] = true; // needed (or budget pressure): keep it
+  }
+  Proof.setEnabledMask(Mask);
+  size_t Minimized = Proof.numEnabled();
+
+  Config.UselessStateCache = SavedCacheFlag;
+  UselessCache = std::move(SavedCache);
+  return Minimized;
+}

@@ -1,0 +1,133 @@
+//===- core/Verifier.h - Trace abstraction with sequentialization ---------===//
+///
+/// \file
+/// The paper's overall verification algorithm (Sec. 7.2): counterexample-
+/// guided trace abstraction refinement whose proof check constructs the
+/// reduction on the fly (Algorithm 2). The same engine, with the reduction
+/// machinery disabled, serves as the Automizer-style baseline of the
+/// evaluation (Sec. 8).
+///
+/// One refinement round runs CheckProof: a DFS over tuples (product state,
+/// order context, proof assertion, sleep set). Sleeping letters and letters
+/// outside the compatible weakly persistent membrane are pruned; sleep set
+/// successors use proof-sensitive conditional commutativity (Def. 7.3) when
+/// enabled. Reaching an error state yields a counterexample trace; feasible
+/// traces witness a bug, infeasible ones refine the proof with their wp
+/// chain. Completed counterexample-free subtrees are cached as "useless" and
+/// skipped in later rounds under stronger assertions (monotonicity of
+/// proof-sensitive commutativity, Sec. 7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_CORE_VERIFIER_H
+#define SEQVER_CORE_VERIFIER_H
+
+#include "core/Proof.h"
+#include "core/TraceAnalysis.h"
+#include "program/Program.h"
+#include "reduction/Commutativity.h"
+#include "reduction/PersistentSets.h"
+#include "reduction/PreferenceOrder.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seqver {
+namespace core {
+
+/// Where refinement predicates come from (Sec. 7.2's "sequence of Hoare
+/// triples for the proof of the trace").
+enum class PredicateSource : uint8_t {
+  WpChain,       ///< weakest-precondition chains (always applicable)
+  Interpolation, ///< Farkas sequence interpolants, wp fallback
+  Both,          ///< union of both chains
+};
+
+/// Tuning knobs for one verifier instance (one preference order).
+struct VerifierConfig {
+  /// Preference order driving the reduction; null disables ordering-based
+  /// pruning (required when UseSleepSets is false and baseline mode).
+  const red::PreferenceOrder *Order = nullptr;
+  bool UseSleepSets = true;
+  bool UsePersistentSets = true;
+  /// Conditional commutativity from the current proof assertion (Sec. 7.2).
+  bool ProofSensitive = true;
+  /// Reuse of counterexample-free subtrees across rounds.
+  bool UselessStateCache = true;
+  /// Also add the atomic sub-formulas of each wp-chain assertion (and their
+  /// negations) to the predicate pool. This predicate-abstraction-style
+  /// enrichment lets the Floyd/Hoare automaton generalize across loop
+  /// iterations, standing in for the interpolant generalization of the
+  /// paper's implementation.
+  bool AtomPredicates = true;
+  /// After a Correct verdict, greedily drop pool predicates while the proof
+  /// check still succeeds, reporting the shrunk pool as MinimizedProofSize.
+  /// This makes proof sizes comparable across predicate sources (wp chains
+  /// enumerate more candidates than the interpolants of the paper's
+  /// implementation, but most are redundant).
+  bool MinimizeProof = false;
+  /// Refinement predicate source (see PredicateSource).
+  PredicateSource Source = PredicateSource::WpChain;
+  red::CommutativityChecker::Mode CommutMode =
+      red::CommutativityChecker::Mode::Semantic;
+  int MaxRounds = 500;
+  double TimeoutSeconds = 60;
+  uint64_t MaxVisitedPerRound = 4000000;
+
+  /// Baseline configuration: explore all interleavings (Automizer role).
+  static VerifierConfig baseline() {
+    VerifierConfig C;
+    C.UseSleepSets = false;
+    C.UsePersistentSets = false;
+    C.ProofSensitive = false;
+    return C;
+  }
+};
+
+enum class Verdict : uint8_t {
+  Correct,   ///< proof found covering (a reduction of) all error traces
+  Incorrect, ///< feasible error trace found
+  Timeout,   ///< resource budget exhausted
+  Unknown,   ///< solver gave up on a decisive query
+};
+
+std::string verdictName(Verdict V);
+
+struct VerificationResult {
+  Verdict V = Verdict::Unknown;
+  int Rounds = 0;
+  /// Number of assertions in the final proof (the paper's proof size).
+  size_t ProofSize = 0;
+  /// Size of the greedily-minimized proof; 0 unless
+  /// VerifierConfig::MinimizeProof was set and the verdict is Correct.
+  size_t MinimizedProofSize = 0;
+  double Seconds = 0;
+  /// Feasible error trace (for Incorrect).
+  std::vector<automata::Letter> Witness;
+  /// Pretty-printed assertions of the final proof (for Correct): the pool
+  /// of Floyd/Hoare predicates the covering annotation draws from.
+  std::vector<std::string> ProofAssertions;
+  /// Peak DFS states visited in one round (memory proxy) and more.
+  Statistics Stats;
+};
+
+/// Verifies one program under one configuration.
+class Verifier {
+public:
+  Verifier(const prog::ConcurrentProgram &P, const VerifierConfig &Config);
+  ~Verifier();
+
+  VerificationResult run();
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> ImplPtr;
+};
+
+} // namespace core
+} // namespace seqver
+
+#endif // SEQVER_CORE_VERIFIER_H

@@ -1,0 +1,92 @@
+//===- lang/Ast.h - AST for the concurrent mini-language ------------------===//
+///
+/// \file
+/// Abstract syntax for programs: variable declarations, threads, and
+/// structured statements. Expressions are lowered to smt terms during
+/// parsing (the expression sub-language is exactly the solver's theory:
+/// linear integer arithmetic plus booleans), so only statements appear here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_LANG_AST_H
+#define SEQVER_LANG_AST_H
+
+#include "smt/Term.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seqver {
+namespace lang {
+
+/// A parsed expression: exactly one of the payloads is meaningful.
+struct Expr {
+  bool IsBool = false;
+  smt::Term BoolValue = nullptr; ///< valid iff IsBool
+  smt::LinSum IntValue;          ///< valid iff !IsBool
+};
+
+enum class StmtKind : uint8_t {
+  Assume, ///< assume Cond;
+  Assert, ///< assert Cond;
+  Assign, ///< Var := value;
+  Havoc,  ///< havoc Var;
+  Skip,   ///< skip;
+  Atomic, ///< atomic { ... } - body executes without interruption
+  While,  ///< while (Cond or *) { ... }
+  If,     ///< if (Cond or *) { ... } else { ... }
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  int Line = 0;
+
+  /// Assume/Assert/While/If condition. Null means nondeterministic ("*")
+  /// for While/If.
+  smt::Term Cond = nullptr;
+
+  /// Assign/Havoc target.
+  smt::Term Var = nullptr;
+  /// Assign right-hand side (int targets).
+  smt::LinSum IntValue;
+  /// Assign right-hand side (bool targets).
+  smt::Term BoolValue = nullptr;
+
+  /// Atomic/While/If-then body.
+  std::vector<StmtPtr> Body;
+  /// If-else body.
+  std::vector<StmtPtr> ElseBody;
+};
+
+struct VarDecl {
+  std::string Name;
+  smt::Term Var = nullptr; ///< the interned program variable
+  bool IsBool = false;
+  /// Initial value; integers default to 0, booleans to false.
+  int64_t IntInit = 0;
+  bool BoolInit = false;
+  bool HasInit = false;
+};
+
+struct ThreadDecl {
+  std::string Name;
+  std::vector<StmtPtr> Body;
+};
+
+struct Program {
+  std::vector<VarDecl> Globals;
+  std::vector<ThreadDecl> Threads;
+  /// Optional pre/postcondition specification (Sec. 3 of the paper):
+  /// conjunction of all `requires` / `ensures` clauses; null means true.
+  smt::Term Pre = nullptr;
+  smt::Term Post = nullptr;
+};
+
+} // namespace lang
+} // namespace seqver
+
+#endif // SEQVER_LANG_AST_H

@@ -1,0 +1,78 @@
+//===- lang/Lexer.h - Tokenizer for the concurrent mini-language ----------===//
+///
+/// \file
+/// Tokenizes the concurrent imperative mini-language used as the frontend of
+/// this reproduction (substituting for Ultimate's C frontend, see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_LANG_LEXER_H
+#define SEQVER_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seqver {
+namespace lang {
+
+enum class TokenKind : uint8_t {
+  Identifier,
+  Integer,
+  KwVar,
+  KwInt,
+  KwBool,
+  KwTrue,
+  KwFalse,
+  KwThread,
+  KwAssume,
+  KwAssert,
+  KwHavoc,
+  KwSkip,
+  KwAtomic,
+  KwRequires,
+  KwEnsures,
+  KwWhile,
+  KwIf,
+  KwElse,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semicolon,
+  Assign,   // :=
+  Eq,       // ==
+  Neq,      // !=
+  Le,       // <=
+  Lt,       // <
+  Ge,       // >=
+  Gt,       // >
+  Plus,
+  Minus,
+  Star,
+  Not,      // !
+  AndAnd,   // &&
+  OrOr,     // ||
+  EndOfFile,
+  Error,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text;
+  int64_t IntValue = 0;
+  int Line = 0;
+  int Column = 0;
+};
+
+/// Tokenizes Source; on lexical error the token stream ends with an Error
+/// token carrying a message in Text. Supports // and /* */ comments.
+std::vector<Token> tokenize(const std::string &Source);
+
+/// Human-readable token kind name for diagnostics.
+std::string tokenKindName(TokenKind Kind);
+
+} // namespace lang
+} // namespace seqver
+
+#endif // SEQVER_LANG_LEXER_H

@@ -1,0 +1,552 @@
+//===- lang/Parser.cpp - Recursive-descent parser --------------------------===//
+
+#include "lang/Parser.h"
+
+#include <cassert>
+#include <map>
+
+using namespace seqver;
+using namespace seqver::lang;
+using seqver::smt::LinSum;
+using seqver::smt::Sort;
+using seqver::smt::Term;
+using seqver::smt::TermManager;
+
+namespace {
+
+/// Thrown-less parser: first error wins, subsequent calls no-op.
+class Parser {
+public:
+  Parser(const std::vector<Token> &Tokens, TermManager &TM)
+      : Tokens(Tokens), TM(TM) {}
+
+  ParseResult run() {
+    Program Prog;
+    while (!failed() && peek().Kind != TokenKind::EndOfFile) {
+      if (peek().Kind == TokenKind::KwVar) {
+        parseVarDecl(Prog);
+      } else if (peek().Kind == TokenKind::KwThread) {
+        parseThread(Prog);
+      } else if (peek().Kind == TokenKind::KwRequires ||
+                 peek().Kind == TokenKind::KwEnsures) {
+        parseSpecClause(Prog);
+      } else {
+        fail("expected 'var', 'thread', 'requires' or 'ensures'");
+      }
+    }
+    if (!failed() && Prog.Threads.empty())
+      fail("program declares no threads");
+    ParseResult Result;
+    if (failed()) {
+      Result.Error = ErrorMessage;
+      return Result;
+    }
+    Result.Prog = std::move(Prog);
+    return Result;
+  }
+
+private:
+  bool failed() const { return !ErrorMessage.empty(); }
+
+  void fail(const std::string &Message) {
+    if (failed())
+      return;
+    const Token &T = peek();
+    ErrorMessage = std::to_string(T.Line) + ":" + std::to_string(T.Column) +
+                   ": " + Message;
+  }
+
+  const Token &peek(size_t Offset = 0) const {
+    size_t Index = Pos + Offset;
+    if (Index >= Tokens.size())
+      Index = Tokens.size() - 1;
+    return Tokens[Index];
+  }
+
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  bool check(TokenKind Kind) const { return peek().Kind == Kind; }
+
+  bool match(TokenKind Kind) {
+    if (!check(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  void expect(TokenKind Kind) {
+    if (check(Kind)) {
+      advance();
+      return;
+    }
+    fail("expected " + tokenKindName(Kind) + " but found " +
+         tokenKindName(peek().Kind));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  void parseVarDecl(Program &Prog) {
+    expect(TokenKind::KwVar);
+    bool IsBool = false;
+    if (match(TokenKind::KwInt)) {
+      IsBool = false;
+    } else if (match(TokenKind::KwBool)) {
+      IsBool = true;
+    } else {
+      fail("expected 'int' or 'bool'");
+      return;
+    }
+    if (!check(TokenKind::Identifier)) {
+      fail("expected variable name");
+      return;
+    }
+    std::string Name = advance().Text;
+    if (VarSorts.count(Name)) {
+      fail("variable '" + Name + "' redeclared");
+      return;
+    }
+    VarDecl Decl;
+    Decl.Name = Name;
+    Decl.IsBool = IsBool;
+    Decl.Var = TM.mkVar(Name, IsBool ? Sort::Bool : Sort::Int);
+    VarSorts[Name] = IsBool;
+    if (match(TokenKind::Assign)) {
+      Decl.HasInit = true;
+      if (IsBool) {
+        if (match(TokenKind::KwTrue)) {
+          Decl.BoolInit = true;
+        } else if (match(TokenKind::KwFalse)) {
+          Decl.BoolInit = false;
+        } else {
+          fail("expected boolean literal initializer");
+          return;
+        }
+      } else {
+        bool Negative = match(TokenKind::Minus);
+        if (!check(TokenKind::Integer)) {
+          fail("expected integer literal initializer");
+          return;
+        }
+        Decl.IntInit = advance().IntValue;
+        if (Negative)
+          Decl.IntInit = -Decl.IntInit;
+      }
+    }
+    expect(TokenKind::Semicolon);
+    if (!failed())
+      Prog.Globals.push_back(std::move(Decl));
+  }
+
+  void parseSpecClause(Program &Prog) {
+    bool IsRequires = peek().Kind == TokenKind::KwRequires;
+    advance();
+    Term Clause = parseBoolExpr();
+    expect(TokenKind::Semicolon);
+    if (failed())
+      return;
+    Term &Slot = IsRequires ? Prog.Pre : Prog.Post;
+    Slot = Slot ? TM.mkAnd(Slot, Clause) : Clause;
+  }
+
+  void parseThread(Program &Prog) {
+    expect(TokenKind::KwThread);
+    if (!check(TokenKind::Identifier)) {
+      fail("expected thread name");
+      return;
+    }
+    ThreadDecl Thread;
+    Thread.Name = advance().Text;
+    for (const ThreadDecl &Existing : Prog.Threads)
+      if (Existing.Name == Thread.Name) {
+        fail("thread '" + Thread.Name + "' redeclared");
+        return;
+      }
+    Thread.Body = parseBlock(/*InsideAtomic=*/false);
+    if (!failed())
+      Prog.Threads.push_back(std::move(Thread));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  std::vector<StmtPtr> parseBlock(bool InsideAtomic) {
+    std::vector<StmtPtr> Body;
+    expect(TokenKind::LBrace);
+    while (!failed() && !check(TokenKind::RBrace) &&
+           !check(TokenKind::EndOfFile)) {
+      StmtPtr S = parseStmt(InsideAtomic);
+      if (S)
+        Body.push_back(std::move(S));
+    }
+    expect(TokenKind::RBrace);
+    return Body;
+  }
+
+  StmtPtr parseStmt(bool InsideAtomic) {
+    int Line = peek().Line;
+    auto Make = [Line](StmtKind Kind) {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = Kind;
+      S->Line = Line;
+      return S;
+    };
+
+    if (match(TokenKind::KwSkip)) {
+      expect(TokenKind::Semicolon);
+      return Make(StmtKind::Skip);
+    }
+    if (match(TokenKind::KwAssume)) {
+      StmtPtr S = Make(StmtKind::Assume);
+      S->Cond = parseBoolExpr();
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    if (match(TokenKind::KwAssert)) {
+      if (InsideAtomic) {
+        fail("'assert' is not allowed inside 'atomic'");
+        return nullptr;
+      }
+      StmtPtr S = Make(StmtKind::Assert);
+      S->Cond = parseBoolExpr();
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    if (match(TokenKind::KwHavoc)) {
+      StmtPtr S = Make(StmtKind::Havoc);
+      S->Var = parseVarRef();
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    if (match(TokenKind::KwAtomic)) {
+      if (InsideAtomic) {
+        fail("nested 'atomic' blocks are not allowed");
+        return nullptr;
+      }
+      StmtPtr S = Make(StmtKind::Atomic);
+      S->Body = parseBlock(/*InsideAtomic=*/true);
+      return S;
+    }
+    if (match(TokenKind::KwWhile)) {
+      if (InsideAtomic) {
+        fail("'while' is not allowed inside 'atomic'");
+        return nullptr;
+      }
+      StmtPtr S = Make(StmtKind::While);
+      expect(TokenKind::LParen);
+      if (match(TokenKind::Star))
+        S->Cond = nullptr; // nondeterministic loop
+      else
+        S->Cond = parseBoolExpr();
+      expect(TokenKind::RParen);
+      S->Body = parseBlock(/*InsideAtomic=*/false);
+      return S;
+    }
+    if (match(TokenKind::KwIf)) {
+      StmtPtr S = Make(StmtKind::If);
+      expect(TokenKind::LParen);
+      if (match(TokenKind::Star))
+        S->Cond = nullptr; // nondeterministic branch
+      else
+        S->Cond = parseBoolExpr();
+      expect(TokenKind::RParen);
+      S->Body = parseBlock(InsideAtomic);
+      if (match(TokenKind::KwElse))
+        S->ElseBody = parseBlock(InsideAtomic);
+      return S;
+    }
+    if (check(TokenKind::Identifier)) {
+      StmtPtr S = Make(StmtKind::Assign);
+      S->Var = parseVarRef();
+      expect(TokenKind::Assign);
+      if (failed())
+        return nullptr;
+      bool IsBoolTarget = S->Var && S->Var->sort() == Sort::Bool;
+      if (IsBoolTarget) {
+        S->BoolValue = parseBoolExpr();
+      } else {
+        S->IntValue = parseIntExpr();
+      }
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    fail("expected a statement");
+    return nullptr;
+  }
+
+  Term parseVarRef() {
+    if (!check(TokenKind::Identifier)) {
+      fail("expected variable name");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    if (!VarSorts.count(Name)) {
+      fail("use of undeclared variable '" + Name + "'");
+      return nullptr;
+    }
+    return TM.lookupVar(Name);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Term parseBoolExpr() {
+    Expr E = parseExpr();
+    if (failed())
+      return TM.mkTrue();
+    if (!E.IsBool) {
+      fail("expected a boolean expression");
+      return TM.mkTrue();
+    }
+    return E.BoolValue;
+  }
+
+  LinSum parseIntExpr() {
+    Expr E = parseExpr();
+    if (failed())
+      return TM.sumOfConst(0);
+    if (E.IsBool) {
+      fail("expected an integer expression");
+      return TM.sumOfConst(0);
+    }
+    return E.IntValue;
+  }
+
+  Expr parseExpr() { return parseOr(); }
+
+  Expr parseOr() {
+    Expr Left = parseAnd();
+    while (!failed() && check(TokenKind::OrOr)) {
+      advance();
+      Expr Right = parseAnd();
+      Left = combineBool(Left, Right,
+                         [this](Term A, Term B) { return TM.mkOr(A, B); });
+    }
+    return Left;
+  }
+
+  Expr parseAnd() {
+    Expr Left = parseNot();
+    while (!failed() && check(TokenKind::AndAnd)) {
+      advance();
+      Expr Right = parseNot();
+      Left = combineBool(Left, Right,
+                         [this](Term A, Term B) { return TM.mkAnd(A, B); });
+    }
+    return Left;
+  }
+
+  Expr parseNot() {
+    if (match(TokenKind::Not)) {
+      Expr Operand = parseNot();
+      if (failed())
+        return Operand;
+      if (!Operand.IsBool) {
+        fail("'!' applied to an integer expression");
+        return Operand;
+      }
+      Operand.BoolValue = TM.mkNot(Operand.BoolValue);
+      return Operand;
+    }
+    return parseRel();
+  }
+
+  Expr parseRel() {
+    Expr Left = parseAdd();
+    if (failed())
+      return Left;
+    TokenKind Op = peek().Kind;
+    if (Op != TokenKind::Eq && Op != TokenKind::Neq && Op != TokenKind::Lt &&
+        Op != TokenKind::Le && Op != TokenKind::Gt && Op != TokenKind::Ge)
+      return Left;
+    advance();
+    Expr Right = parseAdd();
+    if (failed())
+      return Left;
+
+    Expr Result;
+    Result.IsBool = true;
+    if (Left.IsBool != Right.IsBool) {
+      fail("comparison between integer and boolean");
+      Result.BoolValue = TM.mkTrue();
+      return Result;
+    }
+    if (Left.IsBool) {
+      if (Op == TokenKind::Eq) {
+        Result.BoolValue = TM.mkIff(Left.BoolValue, Right.BoolValue);
+      } else if (Op == TokenKind::Neq) {
+        Result.BoolValue =
+            TM.mkNot(TM.mkIff(Left.BoolValue, Right.BoolValue));
+      } else {
+        fail("ordering comparison on booleans");
+        Result.BoolValue = TM.mkTrue();
+      }
+      return Result;
+    }
+    switch (Op) {
+    case TokenKind::Eq:
+      Result.BoolValue = TM.mkEq(Left.IntValue, Right.IntValue);
+      break;
+    case TokenKind::Neq:
+      Result.BoolValue = TM.mkNot(TM.mkEq(Left.IntValue, Right.IntValue));
+      break;
+    case TokenKind::Lt:
+      Result.BoolValue = TM.mkLt(Left.IntValue, Right.IntValue);
+      break;
+    case TokenKind::Le:
+      Result.BoolValue = TM.mkLe(Left.IntValue, Right.IntValue);
+      break;
+    case TokenKind::Gt:
+      Result.BoolValue = TM.mkGt(Left.IntValue, Right.IntValue);
+      break;
+    default:
+      Result.BoolValue = TM.mkGe(Left.IntValue, Right.IntValue);
+      break;
+    }
+    return Result;
+  }
+
+  Expr parseAdd() {
+    Expr Left = parseMul();
+    while (!failed() &&
+           (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+      bool IsPlus = advance().Kind == TokenKind::Plus;
+      Expr Right = parseMul();
+      if (failed())
+        return Left;
+      if (Left.IsBool || Right.IsBool) {
+        fail("arithmetic on boolean expressions");
+        return Left;
+      }
+      Left.IntValue = IsPlus
+                          ? TermManager::sumAdd(Left.IntValue, Right.IntValue)
+                          : TermManager::sumSub(Left.IntValue, Right.IntValue);
+    }
+    return Left;
+  }
+
+  Expr parseMul() {
+    Expr Left = parseUnary();
+    while (!failed() && check(TokenKind::Star)) {
+      advance();
+      Expr Right = parseUnary();
+      if (failed())
+        return Left;
+      if (Left.IsBool || Right.IsBool) {
+        fail("multiplication on boolean expressions");
+        return Left;
+      }
+      // Linear arithmetic: one factor must be constant.
+      if (Left.IntValue.isConstant()) {
+        Left.IntValue =
+            TermManager::sumScale(Right.IntValue, Left.IntValue.Constant);
+      } else if (Right.IntValue.isConstant()) {
+        Left.IntValue =
+            TermManager::sumScale(Left.IntValue, Right.IntValue.Constant);
+      } else {
+        fail("nonlinear multiplication is not supported");
+        return Left;
+      }
+    }
+    return Left;
+  }
+
+  Expr parseUnary() {
+    if (match(TokenKind::Minus)) {
+      Expr Operand = parseUnary();
+      if (failed())
+        return Operand;
+      if (Operand.IsBool) {
+        fail("unary minus on a boolean expression");
+        return Operand;
+      }
+      Operand.IntValue = TermManager::sumScale(Operand.IntValue, -1);
+      return Operand;
+    }
+    return parsePrimary();
+  }
+
+  Expr parsePrimary() {
+    Expr Result;
+    if (check(TokenKind::Integer)) {
+      Result.IsBool = false;
+      Result.IntValue = TM.sumOfConst(advance().IntValue);
+      return Result;
+    }
+    if (match(TokenKind::KwTrue)) {
+      Result.IsBool = true;
+      Result.BoolValue = TM.mkTrue();
+      return Result;
+    }
+    if (match(TokenKind::KwFalse)) {
+      Result.IsBool = true;
+      Result.BoolValue = TM.mkFalse();
+      return Result;
+    }
+    if (check(TokenKind::Identifier)) {
+      std::string Name = peek().Text;
+      Term Var = parseVarRef();
+      if (failed())
+        return Result;
+      (void)Name;
+      if (Var->sort() == Sort::Bool) {
+        Result.IsBool = true;
+        Result.BoolValue = Var;
+      } else {
+        Result.IsBool = false;
+        Result.IntValue = TM.sumOfVar(Var);
+      }
+      return Result;
+    }
+    if (match(TokenKind::LParen)) {
+      Result = parseExpr();
+      expect(TokenKind::RParen);
+      return Result;
+    }
+    fail("expected an expression");
+    Result.IsBool = true;
+    Result.BoolValue = TM.mkTrue();
+    return Result;
+  }
+
+  template <typename Fn> Expr combineBool(Expr Left, Expr Right, Fn Combine) {
+    if (failed())
+      return Left;
+    if (!Left.IsBool || !Right.IsBool) {
+      fail("boolean connective applied to an integer expression");
+      return Left;
+    }
+    Left.BoolValue = Combine(Left.BoolValue, Right.BoolValue);
+    return Left;
+  }
+
+  const std::vector<Token> &Tokens;
+  TermManager &TM;
+  size_t Pos = 0;
+  std::string ErrorMessage;
+  std::map<std::string, bool> VarSorts; ///< name -> is-bool
+};
+
+} // namespace
+
+ParseResult seqver::lang::parseProgram(const std::string &Source,
+                                       TermManager &TM) {
+  std::vector<Token> Tokens = tokenize(Source);
+  if (!Tokens.empty() && Tokens.back().Kind == TokenKind::Error) {
+    ParseResult Result;
+    Result.Error = std::to_string(Tokens.back().Line) + ":" +
+                   std::to_string(Tokens.back().Column) + ": " +
+                   Tokens.back().Text;
+    return Result;
+  }
+  Parser P(Tokens, TM);
+  return P.run();
+}

@@ -1,0 +1,39 @@
+//===- lang/Parser.h - Recursive-descent parser ---------------------------===//
+///
+/// \file
+/// Parses and type-checks the concurrent mini-language into an AST, lowering
+/// expressions to smt terms on the fly. Nonlinear multiplication (variable
+/// times variable) is rejected: the theory is linear integer arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_LANG_PARSER_H
+#define SEQVER_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+#include "smt/Term.h"
+
+#include <optional>
+#include <string>
+
+namespace seqver {
+namespace lang {
+
+/// Result of parsing: a program or a diagnostic.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::string Error; ///< empty on success; "line:col: message" otherwise
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses Source. Program variables are interned into TM (names are global;
+/// reusing a TermManager across programs that share variable names is
+/// intentional for the workload generators).
+ParseResult parseProgram(const std::string &Source, smt::TermManager &TM);
+
+} // namespace lang
+} // namespace seqver
+
+#endif // SEQVER_LANG_PARSER_H

@@ -1,0 +1,331 @@
+//===- program/CfgBuilder.cpp - AST to concurrent program lowering --------===//
+
+#include "program/CfgBuilder.h"
+
+#include "lang/Parser.h"
+
+#include <cassert>
+#include <map>
+
+using namespace seqver;
+using namespace seqver::prog;
+using seqver::lang::Stmt;
+using seqver::lang::StmtKind;
+using seqver::lang::StmtPtr;
+using seqver::smt::Term;
+using seqver::smt::TermManager;
+
+namespace {
+
+/// Lowers one thread body into locations and edges. Uses a union-find over
+/// provisional locations so that structured control flow can join blocks
+/// without epsilon edges: an epsilon connector simply merges two locations.
+class ThreadLowerer {
+public:
+  ThreadLowerer(ConcurrentProgram &Program, TermManager &TM, int ThreadId,
+                std::string ThreadName)
+      : Program(Program), TM(TM), ThreadId(ThreadId),
+        ThreadName(std::move(ThreadName)) {}
+
+  /// Lowers Body; returns an error message or empty string.
+  std::string lower(const std::vector<StmtPtr> &Body) {
+    uint32_t Entry = newLoc();
+    uint32_t Exit = lowerSeq(Body, Entry);
+    (void)Exit;
+    if (!ErrorMessage.empty())
+      return ErrorMessage;
+    finalize(Entry);
+    return "";
+  }
+
+private:
+  struct ProvEdge {
+    uint32_t From;
+    uint32_t To;
+    std::vector<Prim> Prims;
+    std::string Name;
+  };
+
+  uint32_t newLoc() {
+    UnionFind.push_back(static_cast<uint32_t>(UnionFind.size()));
+    return UnionFind.back();
+  }
+
+  uint32_t find(uint32_t Loc) {
+    while (UnionFind[Loc] != Loc) {
+      UnionFind[Loc] = UnionFind[UnionFind[Loc]];
+      Loc = UnionFind[Loc];
+    }
+    return Loc;
+  }
+
+  void merge(uint32_t A, uint32_t B) { UnionFind[find(A)] = find(B); }
+
+  void addEdge(uint32_t From, uint32_t To, std::vector<Prim> Prims,
+               std::string Name) {
+    Edges.push_back({From, To, std::move(Prims), std::move(Name)});
+  }
+
+  uint32_t errorLoc() {
+    if (!ErrLoc)
+      ErrLoc = newLoc();
+    return *ErrLoc;
+  }
+
+  Prim assumePrim(Term Guard) {
+    Prim P;
+    P.K = Prim::Kind::Assume;
+    P.Guard = Guard;
+    return P;
+  }
+
+  std::string edgeName(const char *Kind, int Line) {
+    return ThreadName + "." + Kind + "@" + std::to_string(Line);
+  }
+
+  uint32_t lowerSeq(const std::vector<StmtPtr> &Stmts, uint32_t Entry) {
+    uint32_t Current = Entry;
+    for (const StmtPtr &S : Stmts) {
+      Current = lowerStmt(*S, Current);
+      if (!ErrorMessage.empty())
+        return Current;
+    }
+    return Current;
+  }
+
+  uint32_t lowerStmt(const Stmt &S, uint32_t Entry) {
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      return Entry;
+
+    case StmtKind::Assume: {
+      uint32_t Exit = newLoc();
+      addEdge(Entry, Exit, {assumePrim(S.Cond)}, edgeName("assume", S.Line));
+      return Exit;
+    }
+
+    case StmtKind::Assert: {
+      uint32_t Exit = newLoc();
+      addEdge(Entry, Exit, {assumePrim(S.Cond)}, edgeName("assert_ok", S.Line));
+      addEdge(Entry, errorLoc(), {assumePrim(TM.mkNot(S.Cond))},
+              edgeName("assert_fail", S.Line));
+      return Exit;
+    }
+
+    case StmtKind::Assign: {
+      uint32_t Exit = newLoc();
+      Prim P;
+      if (S.Var->sort() == smt::Sort::Bool) {
+        P.K = Prim::Kind::AssignBool;
+        P.BoolValue = S.BoolValue;
+      } else {
+        P.K = Prim::Kind::AssignInt;
+        P.IntValue = S.IntValue;
+      }
+      P.Var = S.Var;
+      addEdge(Entry, Exit, {P},
+              edgeName(("assign_" + S.Var->name()).c_str(), S.Line));
+      return Exit;
+    }
+
+    case StmtKind::Havoc: {
+      uint32_t Exit = newLoc();
+      Prim P;
+      P.K = Prim::Kind::Havoc;
+      P.Var = S.Var;
+      addEdge(Entry, Exit, {P},
+              edgeName(("havoc_" + S.Var->name()).c_str(), S.Line));
+      return Exit;
+    }
+
+    case StmtKind::Atomic: {
+      uint32_t Exit = newLoc();
+      std::vector<std::vector<Prim>> Paths;
+      Paths.emplace_back();
+      enumeratePaths(S.Body, Paths);
+      if (!ErrorMessage.empty())
+        return Exit;
+      for (size_t I = 0; I < Paths.size(); ++I) {
+        std::string Name = edgeName("atomic", S.Line);
+        if (Paths.size() > 1)
+          Name += "#" + std::to_string(I);
+        addEdge(Entry, Exit, std::move(Paths[I]), std::move(Name));
+      }
+      return Exit;
+    }
+
+    case StmtKind::While: {
+      uint32_t Exit = newLoc();
+      uint32_t BodyEntry = newLoc();
+      Term Cond = S.Cond ? S.Cond : TM.mkTrue();
+      Term NegCond = S.Cond ? TM.mkNot(S.Cond) : TM.mkTrue();
+      addEdge(Entry, BodyEntry, {assumePrim(Cond)},
+              edgeName(S.Cond ? "while_true" : "while_enter", S.Line));
+      addEdge(Entry, Exit, {assumePrim(NegCond)},
+              edgeName(S.Cond ? "while_false" : "while_exit", S.Line));
+      uint32_t BodyExit = lowerSeq(S.Body, BodyEntry);
+      merge(BodyExit, Entry); // back edge
+      return Exit;
+    }
+
+    case StmtKind::If: {
+      uint32_t Exit = newLoc();
+      Term Cond = S.Cond ? S.Cond : TM.mkTrue();
+      Term NegCond = S.Cond ? TM.mkNot(S.Cond) : TM.mkTrue();
+      uint32_t Then = newLoc();
+      addEdge(Entry, Then, {assumePrim(Cond)},
+              edgeName(S.Cond ? "if_true" : "if_left", S.Line));
+      merge(lowerSeq(S.Body, Then), Exit);
+      uint32_t Else = newLoc();
+      addEdge(Entry, Else, {assumePrim(NegCond)},
+              edgeName(S.Cond ? "if_false" : "if_right", S.Line));
+      merge(lowerSeq(S.ElseBody, Else), Exit);
+      return Exit;
+    }
+    }
+    assert(false && "unhandled statement kind");
+    return Entry;
+  }
+
+  /// Cross-product path enumeration for atomic blocks (parser guarantees no
+  /// loops / asserts / nested atomics inside).
+  void enumeratePaths(const std::vector<StmtPtr> &Stmts,
+                      std::vector<std::vector<Prim>> &Paths) {
+    for (const StmtPtr &SP : Stmts) {
+      const Stmt &S = *SP;
+      switch (S.Kind) {
+      case StmtKind::Skip:
+        break;
+      case StmtKind::Assume:
+        for (auto &Path : Paths)
+          Path.push_back(assumePrim(S.Cond));
+        break;
+      case StmtKind::Assign: {
+        Prim P;
+        if (S.Var->sort() == smt::Sort::Bool) {
+          P.K = Prim::Kind::AssignBool;
+          P.BoolValue = S.BoolValue;
+        } else {
+          P.K = Prim::Kind::AssignInt;
+          P.IntValue = S.IntValue;
+        }
+        P.Var = S.Var;
+        for (auto &Path : Paths)
+          Path.push_back(P);
+        break;
+      }
+      case StmtKind::Havoc: {
+        Prim P;
+        P.K = Prim::Kind::Havoc;
+        P.Var = S.Var;
+        for (auto &Path : Paths)
+          Path.push_back(P);
+        break;
+      }
+      case StmtKind::If: {
+        Term Cond = S.Cond ? S.Cond : TM.mkTrue();
+        Term NegCond = S.Cond ? TM.mkNot(S.Cond) : TM.mkTrue();
+        std::vector<std::vector<Prim>> ThenPaths = Paths;
+        for (auto &Path : ThenPaths)
+          Path.push_back(assumePrim(Cond));
+        enumeratePaths(S.Body, ThenPaths);
+        std::vector<std::vector<Prim>> ElsePaths = std::move(Paths);
+        for (auto &Path : ElsePaths)
+          Path.push_back(assumePrim(NegCond));
+        enumeratePaths(S.ElseBody, ElsePaths);
+        Paths = std::move(ThenPaths);
+        Paths.insert(Paths.end(),
+                     std::make_move_iterator(ElsePaths.begin()),
+                     std::make_move_iterator(ElsePaths.end()));
+        break;
+      }
+      default:
+        ErrorMessage = "statement not allowed inside 'atomic' (line " +
+                       std::to_string(S.Line) + ")";
+        return;
+      }
+    }
+  }
+
+  /// Resolves the union-find, renumbers locations densely, and registers the
+  /// thread and its actions with the program.
+  void finalize(uint32_t Entry) {
+    ThreadCfg Cfg;
+    Cfg.Name = ThreadName;
+    std::map<uint32_t, Location> Remap;
+    auto Resolve = [&](uint32_t Prov) -> Location {
+      uint32_t Root = find(Prov);
+      auto It = Remap.find(Root);
+      if (It != Remap.end())
+        return It->second;
+      bool IsError = ErrLoc && find(*ErrLoc) == Root;
+      Location Loc = Cfg.addLocation(IsError);
+      Remap.emplace(Root, Loc);
+      return Loc;
+    };
+    Cfg.InitialLoc = Resolve(Entry);
+    // Resolve edge endpoints first so that location numbering follows
+    // creation order reasonably.
+    for (ProvEdge &E : Edges) {
+      Location From = Resolve(E.From);
+      Location To = Resolve(E.To);
+      Action A;
+      A.ThreadId = ThreadId;
+      A.Name = std::move(E.Name);
+      A.Prims = std::move(E.Prims);
+      automata::Letter L = Program.addAction(std::move(A));
+      Cfg.addEdge(From, L, To);
+    }
+    int Id = Program.addThread(std::move(Cfg));
+    (void)Id;
+    assert(Id == ThreadId && "thread id drifted");
+  }
+
+  ConcurrentProgram &Program;
+  TermManager &TM;
+  int ThreadId;
+  std::string ThreadName;
+  std::vector<uint32_t> UnionFind;
+  std::vector<ProvEdge> Edges;
+  std::optional<uint32_t> ErrLoc;
+  std::string ErrorMessage;
+};
+
+} // namespace
+
+BuildResult seqver::prog::buildProgram(const lang::Program &Prog,
+                                       TermManager &TM) {
+  BuildResult Result;
+  auto Program = std::make_unique<ConcurrentProgram>(TM);
+  for (const lang::VarDecl &Decl : Prog.Globals) {
+    if (!Decl.HasInit)
+      Program->addGlobalUnconstrained(Decl.Var);
+    else if (Decl.IsBool)
+      Program->addGlobalBool(Decl.Var, Decl.BoolInit);
+    else
+      Program->addGlobalInt(Decl.Var, Decl.IntInit);
+  }
+  Program->setSpec(Prog.Pre, Prog.Post);
+  for (size_t I = 0; I < Prog.Threads.size(); ++I) {
+    ThreadLowerer Lowerer(*Program, TM, static_cast<int>(I),
+                          Prog.Threads[I].Name);
+    std::string Error = Lowerer.lower(Prog.Threads[I].Body);
+    if (!Error.empty()) {
+      Result.Error = "thread '" + Prog.Threads[I].Name + "': " + Error;
+      return Result;
+    }
+  }
+  Result.Program = std::move(Program);
+  return Result;
+}
+
+BuildResult seqver::prog::buildFromSource(const std::string &Source,
+                                          TermManager &TM) {
+  lang::ParseResult Parsed = lang::parseProgram(Source, TM);
+  if (!Parsed.ok()) {
+    BuildResult Result;
+    Result.Error = Parsed.Error;
+    return Result;
+  }
+  return buildProgram(*Parsed.Prog, TM);
+}

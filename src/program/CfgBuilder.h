@@ -1,0 +1,47 @@
+//===- program/CfgBuilder.h - AST to concurrent program lowering ----------===//
+///
+/// \file
+/// Lowers a parsed lang::Program into a ConcurrentProgram: structured
+/// statements become control flow locations and edges, each edge carrying an
+/// atomic Action. `atomic` blocks with branching are compiled by enumerating
+/// the finitely many paths through the block, yielding one action per path
+/// (the actions share source and target location but are distinct letters,
+/// preserving per-state determinism of the thread DFA).
+///
+/// `assert e;` compiles to two edges: assume(e) to the continuation and
+/// assume(!e) to a fresh error location, following the paper's assert-based
+/// correctness setting (Sec. 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_PROGRAM_CFGBUILDER_H
+#define SEQVER_PROGRAM_CFGBUILDER_H
+
+#include "lang/Ast.h"
+#include "program/Program.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace seqver {
+namespace prog {
+
+/// Result of lowering: the program or a diagnostic message.
+struct BuildResult {
+  std::unique_ptr<ConcurrentProgram> Program;
+  std::string Error;
+
+  bool ok() const { return Program != nullptr; }
+};
+
+/// Lowers Prog (owned elsewhere) into a fresh ConcurrentProgram over TM.
+BuildResult buildProgram(const lang::Program &Prog, smt::TermManager &TM);
+
+/// Convenience: parse + lower in one step.
+BuildResult buildFromSource(const std::string &Source, smt::TermManager &TM);
+
+} // namespace prog
+} // namespace seqver
+
+#endif // SEQVER_PROGRAM_CFGBUILDER_H

@@ -1,0 +1,233 @@
+//===- program/Interpreter.cpp - Concrete execution of programs -----------===//
+
+#include "program/Interpreter.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace seqver;
+using namespace seqver::prog;
+using seqver::automata::Letter;
+using seqver::smt::Assignment;
+using seqver::smt::Sort;
+using seqver::smt::Term;
+
+bool seqver::prog::executeAction(const ConcurrentProgram &P, const Action &A,
+                                 Assignment &Store,
+                                 const std::vector<int64_t> *HavocValues) {
+  (void)P;
+  size_t HavocIndex = 0;
+  for (const Prim &Pr : A.Prims) {
+    switch (Pr.K) {
+    case Prim::Kind::Assume:
+      if (!smt::evalFormula(Pr.Guard, Store))
+        return false;
+      break;
+    case Prim::Kind::AssignInt:
+      Store.IntValues[Pr.Var] = smt::evalSum(Pr.IntValue, Store);
+      break;
+    case Prim::Kind::AssignBool:
+      Store.BoolValues[Pr.Var] = smt::evalFormula(Pr.BoolValue, Store);
+      break;
+    case Prim::Kind::Havoc: {
+      int64_t Value = 0;
+      if (HavocValues && HavocIndex < HavocValues->size())
+        Value = (*HavocValues)[HavocIndex];
+      ++HavocIndex;
+      if (Pr.Var->sort() == Sort::Int)
+        Store.IntValues[Pr.Var] = Value;
+      else
+        Store.BoolValues[Pr.Var] = Value != 0;
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+std::optional<Assignment>
+seqver::prog::replayTrace(const ConcurrentProgram &P,
+                          const std::vector<Letter> &Word) {
+  ProductState Locations = P.initialProductState();
+  Assignment Store = P.initialValues();
+  for (Letter L : Word) {
+    const Action &A = P.action(L);
+    // Follow the CFG edge of the owning thread.
+    const ThreadCfg &T = P.thread(A.ThreadId);
+    Location Current = Locations[static_cast<size_t>(A.ThreadId)];
+    std::optional<Location> Target;
+    for (const auto &[EdgeLetter, To] : T.Edges[Current])
+      if (EdgeLetter == L)
+        Target = To;
+    if (!Target)
+      return std::nullopt; // word is not a run of the product
+    if (!executeAction(P, A, Store))
+      return std::nullopt; // infeasible: an assume failed
+    Locations[static_cast<size_t>(A.ThreadId)] = *Target;
+  }
+  return Store;
+}
+
+namespace {
+
+/// Serializes the store over the program's declared globals plus locations.
+struct ExplicitState {
+  ProductState Locations;
+  std::vector<int64_t> Store; // globals in declaration order (bools as 0/1)
+
+  bool operator<(const ExplicitState &Other) const {
+    if (Locations != Other.Locations)
+      return Locations < Other.Locations;
+    return Store < Other.Store;
+  }
+};
+
+std::vector<int64_t> serializeStore(const ConcurrentProgram &P,
+                                    const Assignment &Store) {
+  std::vector<int64_t> Out;
+  Out.reserve(P.globals().size());
+  for (Term Var : P.globals())
+    Out.push_back(Var->sort() == Sort::Int ? Store.intValue(Var)
+                                           : (Store.boolValue(Var) ? 1 : 0));
+  return Out;
+}
+
+Assignment deserializeStore(const ConcurrentProgram &P,
+                            const std::vector<int64_t> &Values) {
+  Assignment Store;
+  for (size_t I = 0; I < P.globals().size(); ++I) {
+    Term Var = P.globals()[I];
+    if (Var->sort() == Sort::Int)
+      Store.IntValues[Var] = Values[I];
+    else
+      Store.BoolValues[Var] = Values[I] != 0;
+  }
+  return Store;
+}
+
+size_t countHavocs(const Action &A) {
+  size_t Count = 0;
+  for (const Prim &P : A.Prims)
+    if (P.K == Prim::Kind::Havoc)
+      ++Count;
+  return Count;
+}
+
+} // namespace
+
+ReachResult
+seqver::prog::explicitReach(const ConcurrentProgram &P, uint64_t MaxStates,
+                            const std::vector<int64_t> &HavocChoices) {
+  ReachResult Result;
+  std::map<ExplicitState, std::pair<ExplicitState, Letter>> Parent;
+  std::deque<ExplicitState> Worklist;
+
+  ExplicitState Init{P.initialProductState(),
+                     serializeStore(P, P.initialValues())};
+  Parent.emplace(Init, std::make_pair(Init, Letter(0)));
+  Worklist.push_back(Init);
+
+  auto IsInit = [&Init](const ExplicitState &State) {
+    return State.Locations == Init.Locations && State.Store == Init.Store;
+  };
+  auto BuildWitness = [&](ExplicitState State) {
+    std::vector<Letter> Witness;
+    while (!IsInit(State)) {
+      auto It = Parent.find(State);
+      assert(It != Parent.end() && "witness state without parent");
+      Witness.push_back(It->second.second);
+      State = It->second.first;
+    }
+    std::reverse(Witness.begin(), Witness.end());
+    return Witness;
+  };
+
+  while (!Worklist.empty()) {
+    ExplicitState Current = Worklist.front();
+    Worklist.pop_front();
+    ++Result.StatesExplored;
+
+    if (P.isErrorState(Current.Locations)) {
+      Result.ErrorReachable = true;
+      Result.Witness = BuildWitness(Current);
+      return Result;
+    }
+    if (MaxStates != 0 && Parent.size() >= MaxStates) {
+      Result.Overflow = true;
+      return Result;
+    }
+
+    Assignment Store = deserializeStore(P, Current.Store);
+    for (const auto &[L, NextLocations] : P.successors(Current.Locations)) {
+      const Action &A = P.action(L);
+      size_t NumHavocs = countHavocs(A);
+
+      // Enumerate havoc value tuples (|HavocChoices|^NumHavocs, all zeros if
+      // the action has no havoc).
+      size_t Combos = 1;
+      for (size_t I = 0; I < NumHavocs; ++I)
+        Combos *= HavocChoices.size();
+      if (NumHavocs == 0)
+        Combos = 1;
+      for (size_t Combo = 0; Combo < Combos; ++Combo) {
+        std::vector<int64_t> HavocValues;
+        size_t Rest = Combo;
+        for (size_t I = 0; I < NumHavocs; ++I) {
+          HavocValues.push_back(HavocChoices[Rest % HavocChoices.size()]);
+          Rest /= HavocChoices.size();
+        }
+        Assignment NextStore = Store;
+        if (!executeAction(P, A, NextStore, &HavocValues))
+          continue;
+        ExplicitState Next{NextLocations, serializeStore(P, NextStore)};
+        if (Parent.emplace(Next, std::make_pair(Current, L)).second)
+          Worklist.push_back(Next);
+      }
+    }
+  }
+  return Result;
+}
+
+std::optional<std::vector<Letter>>
+seqver::prog::randomWalkForBug(const ConcurrentProgram &P, uint64_t Seed,
+                               uint64_t NumWalks, uint64_t MaxSteps) {
+  Rng R(Seed);
+  for (uint64_t Walk = 0; Walk < NumWalks; ++Walk) {
+    ProductState Locations = P.initialProductState();
+    Assignment Store = P.initialValues();
+    std::vector<Letter> Trace;
+    for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+      if (P.isErrorState(Locations))
+        return Trace;
+      auto Successors = P.successors(Locations);
+      if (Successors.empty())
+        break;
+      // Collect the executable successors from this store.
+      std::vector<std::pair<Letter, ProductState>> Executable;
+      std::vector<Assignment> NextStores;
+      for (auto &[L, NextLocations] : Successors) {
+        std::vector<int64_t> HavocValues;
+        for (size_t I = 0; I < countHavocs(P.action(L)); ++I)
+          HavocValues.push_back(R.range(-2, 2));
+        Assignment Next = Store;
+        if (!executeAction(P, P.action(L), Next, &HavocValues))
+          continue;
+        Executable.emplace_back(L, NextLocations);
+        NextStores.push_back(std::move(Next));
+      }
+      if (Executable.empty())
+        break; // deadlocked under this schedule
+      size_t Pick = R.below(Executable.size());
+      Trace.push_back(Executable[Pick].first);
+      Locations = std::move(Executable[Pick].second);
+      Store = std::move(NextStores[Pick]);
+    }
+    if (P.isErrorState(Locations))
+      return Trace;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,68 @@
+//===- program/Interpreter.h - Concrete execution of programs -------------===//
+///
+/// \file
+/// A concrete interpreter and a small explicit-state model checker.
+///
+/// The interpreter replays traces (e.g., bug witnesses from the verifier)
+/// against concrete program states. The model checker exhaustively explores
+/// (product location, store) states of *finite-state* instances and is the
+/// test oracle that the verifier's verdicts are checked against; it is not
+/// part of the verification algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_PROGRAM_INTERPRETER_H
+#define SEQVER_PROGRAM_INTERPRETER_H
+
+#include "program/Program.h"
+#include "smt/Evaluator.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace seqver {
+namespace prog {
+
+/// Applies action A to Store. Returns false (leaving Store partially
+/// updated) if an assume inside the action fails, i.e. the action is not
+/// executable from this store. HavocValues supplies values for havoc
+/// primitives in order; missing entries default to 0/false.
+bool executeAction(const ConcurrentProgram &P, const Action &A,
+                   smt::Assignment &Store,
+                   const std::vector<int64_t> *HavocValues = nullptr);
+
+/// Replays Word from the initial store; returns the final store if every
+/// action is executable (a feasible execution), nullopt otherwise.
+std::optional<smt::Assignment>
+replayTrace(const ConcurrentProgram &P,
+            const std::vector<automata::Letter> &Word);
+
+/// Result of explicit-state exploration.
+struct ReachResult {
+  bool ErrorReachable = false;
+  /// Witness trace if an error is reachable.
+  std::vector<automata::Letter> Witness;
+  /// True if the exploration hit the state limit (verdict not exhaustive).
+  bool Overflow = false;
+  uint64_t StatesExplored = 0;
+};
+
+/// Explores all reachable (locations, store) states, trying the given values
+/// for every havoc. Intended for finite-state test programs.
+ReachResult explicitReach(const ConcurrentProgram &P, uint64_t MaxStates,
+                          const std::vector<int64_t> &HavocChoices = {0, 1});
+
+/// Random concrete testing: NumWalks random executions of at most MaxSteps
+/// actions each (uniform choice among executable actions; havocs draw small
+/// values). Returns a feasible error trace if one is stumbled upon --
+/// useful as a quick smoke test before running the verifier, and as a
+/// contrast between testing and verification in the examples.
+std::optional<std::vector<automata::Letter>>
+randomWalkForBug(const ConcurrentProgram &P, uint64_t Seed,
+                 uint64_t NumWalks = 1000, uint64_t MaxSteps = 200);
+
+} // namespace prog
+} // namespace seqver
+
+#endif // SEQVER_PROGRAM_INTERPRETER_H

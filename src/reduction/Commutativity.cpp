@@ -1,0 +1,84 @@
+//===- reduction/Commutativity.cpp - Statement commutativity --------------===//
+
+#include "reduction/Commutativity.h"
+
+#include <algorithm>
+
+using namespace seqver;
+using namespace seqver::red;
+using seqver::automata::Letter;
+using seqver::prog::Action;
+using seqver::prog::SymbolicState;
+using seqver::smt::Term;
+using seqver::smt::TermManager;
+
+bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
+  const Action &ActA = P.action(A);
+  const Action &ActB = P.action(B);
+  // Statements of the same thread never commute (Sec. 4).
+  if (ActA.ThreadId == ActB.ThreadId)
+    return false;
+  if (M == Mode::Full)
+    return true;
+
+  // Syntactic sufficient condition is independent of Phi.
+  if (!ActA.footprintConflictsWith(ActB))
+    return true;
+  if (M == Mode::Syntactic)
+    return false;
+
+  auto Key = std::make_tuple(std::min(A, B), std::max(A, B), Phi);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  bool Result = semanticCheck(Phi, P.action(std::min(A, B)),
+                              P.action(std::max(A, B)));
+  Cache.emplace(Key, Result);
+  return Result;
+}
+
+bool CommutativityChecker::semanticCheck(Term Phi, const Action &A,
+                                         const Action &B) {
+  ++SemanticChecks;
+  TermManager &TM = QE.termManager();
+
+  // Compose symbolically in both orders. Havoc primitives use canonical
+  // fresh variables keyed by (letter, prim index) so the two orders produce
+  // comparable symbols.
+  std::map<std::pair<Letter, size_t>, Term> Havocs;
+  SymbolicState AB = prog::symbolicIdentity(TM);
+  applySymbolic(TM, A, AB, Havocs);
+  applySymbolic(TM, B, AB, Havocs);
+  SymbolicState BA = prog::symbolicIdentity(TM);
+  applySymbolic(TM, B, BA, Havocs);
+  applySymbolic(TM, A, BA, Havocs);
+
+  Term Context = Phi ? Phi : TM.mkTrue();
+
+  // Guards must agree under Phi: Phi /\ (G_ab xor G_ba) unsat.
+  Term GuardsDiffer = TM.mkNot(TM.mkIff(AB.Guard, BA.Guard));
+  if (!QE.isUnsat(TM.mkAnd(Context, GuardsDiffer)))
+    return false;
+
+  // Final values of all written variables must agree under Phi and the
+  // (now common) guard.
+  std::vector<Term> Written;
+  Written.insert(Written.end(), A.Writes.begin(), A.Writes.end());
+  Written.insert(Written.end(), B.Writes.begin(), B.Writes.end());
+  std::sort(Written.begin(), Written.end(),
+            [](Term X, Term Y) { return X->id() < Y->id(); });
+  Written.erase(std::unique(Written.begin(), Written.end()), Written.end());
+
+  for (Term Var : Written) {
+    Term ValuesDiffer;
+    if (Var->sort() == smt::Sort::Int) {
+      ValuesDiffer = TM.mkNot(
+          TM.mkEq(AB.intValue(TM, Var), BA.intValue(TM, Var)));
+    } else {
+      ValuesDiffer = TM.mkNot(TM.mkIff(AB.boolValue(Var), BA.boolValue(Var)));
+    }
+    if (!QE.isUnsat(TM.mkAnd({Context, AB.Guard, ValuesDiffer})))
+      return false;
+  }
+  return true;
+}

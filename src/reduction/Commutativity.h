@@ -1,0 +1,69 @@
+//===- reduction/Commutativity.h - Statement commutativity ----------------===//
+///
+/// \file
+/// The commutativity relation over program statements (Sec. 4, Sec. 7).
+/// Mirrors GemCutter's layering (Sec. 8): a cheap syntactic sufficient
+/// condition -- neither action writes a variable accessed by the other --
+/// backed by a precise SMT-based check on symbolic compositions, including
+/// *conditional* commutativity under a context assertion phi (Def. 7.3).
+/// Whenever the solver cannot decide a query, the actions are conservatively
+/// declared non-commutative (always sound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_REDUCTION_COMMUTATIVITY_H
+#define SEQVER_REDUCTION_COMMUTATIVITY_H
+
+#include "program/Program.h"
+#include "program/Semantics.h"
+#include "smt/Solver.h"
+
+#include <cstdint>
+#include <map>
+
+namespace seqver {
+namespace red {
+
+/// Decides (conditional) commutativity of program actions, with caching.
+class CommutativityChecker {
+public:
+  enum class Mode : uint8_t {
+    Syntactic, ///< footprint disjointness only
+    Semantic,  ///< syntactic fast path + SMT equivalence of compositions
+    Full,      ///< test-only: all pairs from different threads commute
+  };
+
+  CommutativityChecker(const prog::ConcurrentProgram &P,
+                       smt::QueryEngine &QE, Mode M)
+      : P(P), QE(QE), M(M) {}
+
+  /// Unconditional commutativity a ~ b.
+  bool commutes(automata::Letter A, automata::Letter B) {
+    return commutesUnder(nullptr, A, B);
+  }
+
+  /// Conditional commutativity a ~_phi b (Def. 7.3); Phi == nullptr means
+  /// phi = true. Monotone: if a ~_phi b then a ~_psi b for stronger psi
+  /// (guaranteed by the semantics, not just the cache).
+  bool commutesUnder(smt::Term Phi, automata::Letter A, automata::Letter B);
+
+  Mode mode() const { return M; }
+  uint64_t numSemanticChecks() const { return SemanticChecks; }
+
+private:
+  bool semanticCheck(smt::Term Phi, const prog::Action &A,
+                     const prog::Action &B);
+
+  const prog::ConcurrentProgram &P;
+  smt::QueryEngine &QE;
+  Mode M;
+  /// Cache key: (min letter, max letter, condition or nullptr).
+  std::map<std::tuple<automata::Letter, automata::Letter, smt::Term>, bool>
+      Cache;
+  uint64_t SemanticChecks = 0;
+};
+
+} // namespace red
+} // namespace seqver
+
+#endif // SEQVER_REDUCTION_COMMUTATIVITY_H

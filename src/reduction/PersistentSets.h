@@ -1,0 +1,76 @@
+//===- reduction/PersistentSets.h - Algorithm 1 (Sec. 7.1) ----------------===//
+///
+/// \file
+/// Computes compatible weakly persistent membranes for product states of a
+/// concurrent program (Algorithm 1): a preprocessing step computes the
+/// location-level conflict relation; per state, a conflict graph over the
+/// active threads (with extra edges enforcing compatibility with the
+/// preference order, Sec. 6.2) is condensed into SCCs and a topologically
+/// maximal SCC is selected. The enabled actions of the selected threads form
+/// a weakly persistent set.
+///
+/// Membrane condition (Sec. 6.1, footnote 4): threads containing assert
+/// statements are forced into the selection whenever they are active, which
+/// makes the resulting set a membrane for error-acceptance as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_REDUCTION_PERSISTENTSETS_H
+#define SEQVER_REDUCTION_PERSISTENTSETS_H
+
+#include "program/Program.h"
+#include "reduction/Commutativity.h"
+#include "reduction/PreferenceOrder.h"
+#include "support/Bitset.h"
+
+#include <map>
+#include <vector>
+
+namespace seqver {
+namespace red {
+
+/// Per-program computer with caching by (product state, order context).
+class PersistentSetComputer {
+public:
+  /// Order may be null: then no compatibility edges are added (pure
+  /// conflict-closure), which is what the persistent-set-only verifier
+  /// variant of Table 2 uses.
+  PersistentSetComputer(const prog::ConcurrentProgram &P,
+                        CommutativityChecker &Commut,
+                        const PreferenceOrder *Order);
+
+  /// The weakly persistent membrane for state S under order context Ctx, as
+  /// a bitset over letters.
+  const Bitset &compute(const prog::ProductState &S,
+                        PreferenceOrder::Context Ctx);
+
+  /// Location-level conflict relation  l_i ~~> l_j  (Sec. 7.1): some action
+  /// enabled at l_i does not commute with some action reachable from l_j in
+  /// thread j. Exposed for tests.
+  bool locationsConflict(int ThreadI, prog::Location LocI, int ThreadJ,
+                         prog::Location LocJ) const;
+
+  uint64_t numCacheHits() const { return CacheHits; }
+
+private:
+  void precomputeConflicts();
+
+  const prog::ConcurrentProgram &P;
+  CommutativityChecker &Commut;
+  const PreferenceOrder *Order;
+
+  /// Conflict[i][li][j] = bitset over locations of thread j in conflict
+  /// with (i, li). Indexed sparsely via vectors.
+  std::vector<std::vector<std::vector<Bitset>>> Conflicts;
+  /// Threads containing assert statements (error locations).
+  std::vector<bool> HasAssert;
+
+  std::map<std::pair<prog::ProductState, PreferenceOrder::Context>, Bitset>
+      Cache;
+  uint64_t CacheHits = 0;
+};
+
+} // namespace red
+} // namespace seqver
+
+#endif // SEQVER_REDUCTION_PERSISTENTSETS_H

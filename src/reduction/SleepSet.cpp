@@ -1,0 +1,179 @@
+//===- reduction/SleepSet.cpp - Sleep set automaton (Def. 5.1) ------------===//
+
+#include "reduction/SleepSet.h"
+
+#include "automata/Explore.h"
+#include "support/Bitset.h"
+
+#include <cassert>
+#include <tuple>
+
+using namespace seqver;
+using namespace seqver::red;
+using seqver::automata::Dfa;
+using seqver::automata::Letter;
+using seqver::automata::State;
+
+namespace {
+
+/// Successor sleep set per Def. 5.1:
+///   S' = { b in enabled(q) | (b in S or b <_ctx a) and a ~ b }.
+/// Commutes may be conditional at the caller's discretion (Sec. 7.2).
+Bitset successorSleepSet(const std::vector<Letter> &Enabled, const Bitset &S,
+                         Letter A, const PreferenceOrder &Order,
+                         PreferenceOrder::Context Ctx,
+                         const std::function<bool(Letter, Letter)> &Commutes,
+                         uint32_t NumLetters) {
+  Bitset Out(NumLetters);
+  for (Letter B : Enabled) {
+    if (B == A)
+      continue;
+    if ((S.test(B) || Order.less(Ctx, B, A)) && Commutes(A, B))
+      Out.set(B);
+  }
+  return Out;
+}
+
+/// Implicit sleep set automaton over an explicit Dfa.
+struct DfaSleepAutomaton {
+  using StateType = std::tuple<State, Bitset, PreferenceOrder::Context>;
+
+  const Dfa &A;
+  const PreferenceOrder &Order;
+  const CommutesFn &Commutes;
+
+  StateType initialState() {
+    return {A.initial(), Bitset(A.numLetters()),
+            PreferenceOrder::InitialContext};
+  }
+  bool isAccepting(const StateType &S) { return A.isAccepting(std::get<0>(S)); }
+  std::vector<std::pair<Letter, StateType>> successors(const StateType &St) {
+    auto &[Q, Sleep, Ctx] = St;
+    std::vector<std::pair<Letter, StateType>> Out;
+    std::vector<Letter> Enabled = A.enabledLetters(Q);
+    for (Letter L : Enabled) {
+      if (Sleep.test(L))
+        continue;
+      State Next = *A.step(Q, L);
+      Bitset NextSleep = successorSleepSet(Enabled, Sleep, L, Order, Ctx,
+                                           Commutes, A.numLetters());
+      Out.emplace_back(
+          L, StateType{Next, std::move(NextSleep), Order.advance(Ctx, L)});
+    }
+    return Out;
+  }
+};
+
+} // namespace
+
+Dfa seqver::red::sleepSetAutomaton(const Dfa &A, const PreferenceOrder &Order,
+                                   const CommutesFn &Commutes,
+                                   uint32_t MaxStates, bool *Overflow) {
+  DfaSleepAutomaton Impl{A, Order, Commutes};
+  auto Result = automata::materialize(Impl, A.numLetters(), MaxStates,
+                                      Overflow);
+  return std::move(Result.Automaton);
+}
+
+Dfa seqver::red::piReduce(
+    const Dfa &A,
+    const std::function<std::vector<Letter>(State)> &Pi) {
+  Dfa Out(A.numLetters());
+  for (State S = 0; S < A.numStates(); ++S)
+    Out.addState(A.isAccepting(S));
+  Out.setInitial(A.initial());
+  for (State S = 0; S < A.numStates(); ++S) {
+    std::vector<Letter> Allowed = Pi(S);
+    Bitset Mask(A.numLetters());
+    for (Letter L : Allowed)
+      Mask.set(L);
+    for (const auto &[L, To] : A.transitionsFrom(S))
+      if (Mask.test(L))
+        Out.addTransition(S, L, To);
+  }
+  return Out;
+}
+
+namespace {
+
+/// Implicit combined reduction over a program: sleep sets composed with the
+/// persistent-set pi-reduction (Sec. 6.2).
+struct ProgramReductionAutomaton {
+  using StateType =
+      std::tuple<prog::ProductState, Bitset, PreferenceOrder::Context>;
+
+  const prog::ConcurrentProgram &P;
+  const PreferenceOrder *Order;
+  CommutativityChecker &Commut;
+  const ReductionConfig &Config;
+  PersistentSetComputer *Persistent; // null if disabled
+
+  StateType initialState() {
+    return {P.initialProductState(), Bitset(P.numLetters()),
+            PreferenceOrder::InitialContext};
+  }
+  bool isAccepting(const StateType &S) {
+    const prog::ProductState &Q = std::get<0>(S);
+    return Config.Mode == prog::AcceptMode::Error ? P.isErrorState(Q)
+                                                  : P.isAllExitState(Q);
+  }
+  std::vector<std::pair<Letter, StateType>> successors(const StateType &St) {
+    const auto &[Q, Sleep, Ctx] = St;
+    std::vector<std::pair<Letter, StateType>> Out;
+    auto Successors = P.successors(Q); // empty for error states
+    if (Successors.empty())
+      return Out;
+
+    // pi_S(q, S) = pi(q) \ S: membership filter below.
+    const Bitset *Membrane = nullptr;
+    if (Persistent)
+      Membrane = &Persistent->compute(Q, Ctx);
+
+    std::vector<Letter> Enabled;
+    Enabled.reserve(Successors.size());
+    for (const auto &[L, Next] : Successors) {
+      (void)Next;
+      Enabled.push_back(L);
+    }
+
+    for (const auto &[L, Next] : Successors) {
+      if (Sleep.test(L))
+        continue;
+      if (Membrane && !Membrane->test(L))
+        continue;
+      Bitset NextSleep(P.numLetters());
+      if (Config.UseSleepSets) {
+        assert(Order && "sleep sets require a preference order");
+        NextSleep = successorSleepSet(
+            Enabled, Sleep, L, *Order, Ctx,
+            [this](Letter A, Letter B) { return Commut.commutes(A, B); },
+            P.numLetters());
+      }
+      PreferenceOrder::Context NextCtx =
+          Order ? Order->advance(Ctx, L) : PreferenceOrder::InitialContext;
+      Out.emplace_back(L, StateType{Next, std::move(NextSleep), NextCtx});
+    }
+    return Out;
+  }
+};
+
+} // namespace
+
+ProgramReduction seqver::red::buildReduction(const prog::ConcurrentProgram &P,
+                                             const PreferenceOrder *Order,
+                                             CommutativityChecker &Commut,
+                                             const ReductionConfig &Config) {
+  assert((Order || !Config.UseSleepSets) &&
+         "sleep sets require a preference order");
+  std::unique_ptr<PersistentSetComputer> Persistent;
+  if (Config.UsePersistentSets)
+    Persistent =
+        std::make_unique<PersistentSetComputer>(P, Commut, Order);
+  ProgramReductionAutomaton Impl{P, Order, Commut, Config, Persistent.get()};
+  ProgramReduction Result;
+  auto Materialized = automata::materialize(Impl, P.numLetters(),
+                                            Config.MaxStates,
+                                            &Result.Overflow);
+  Result.Automaton = std::move(Materialized.Automaton);
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===- smt/Evaluator.cpp --------------------------------------------------===//
+
+#include "smt/Evaluator.h"
+
+#include <cassert>
+
+using namespace seqver;
+using namespace seqver::smt;
+
+int64_t seqver::smt::evalSum(const LinSum &Sum, const Assignment &Values) {
+  int64_t Acc = Sum.Constant;
+  for (const auto &[Var, Coeff] : Sum.Terms)
+    Acc += Coeff * Values.intValue(Var);
+  return Acc;
+}
+
+bool seqver::smt::evalFormula(Term Formula, const Assignment &Values) {
+  switch (Formula->kind()) {
+  case TermKind::BoolConst:
+    return Formula->boolValue();
+  case TermKind::BoolVar:
+    return Values.boolValue(Formula);
+  case TermKind::IntVar:
+    assert(false && "int term evaluated as formula");
+    return false;
+  case TermKind::AtomLe:
+    return evalSum(Formula->sum(), Values) <= 0;
+  case TermKind::AtomEq:
+    return evalSum(Formula->sum(), Values) == 0;
+  case TermKind::Not:
+    return !evalFormula(Formula->child(0), Values);
+  case TermKind::And:
+    for (Term Child : Formula->children())
+      if (!evalFormula(Child, Values))
+        return false;
+    return true;
+  case TermKind::Or:
+    for (Term Child : Formula->children())
+      if (evalFormula(Child, Values))
+        return true;
+    return false;
+  case TermKind::Iff:
+    return evalFormula(Formula->child(0), Values) ==
+           evalFormula(Formula->child(1), Values);
+  }
+  assert(false && "unhandled term kind");
+  return false;
+}

@@ -1,0 +1,47 @@
+//===- smt/Evaluator.h - Ground evaluation of terms -----------------------===//
+///
+/// \file
+/// Evaluates formulas under a total assignment of the program variables.
+/// Used by the explicit-state interpreter (bug-trace replay), by property
+/// tests that cross-check the solver against brute-force enumeration, and by
+/// the theory layer to validate candidate models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SMT_EVALUATOR_H
+#define SEQVER_SMT_EVALUATOR_H
+
+#include "smt/Term.h"
+
+#include <cstdint>
+#include <map>
+
+namespace seqver {
+namespace smt {
+
+/// A total assignment: integer variables default to 0 and boolean variables
+/// to false when not explicitly set.
+struct Assignment {
+  std::map<Term, int64_t> IntValues;
+  std::map<Term, bool> BoolValues;
+
+  int64_t intValue(Term Var) const {
+    auto It = IntValues.find(Var);
+    return It == IntValues.end() ? 0 : It->second;
+  }
+  bool boolValue(Term Var) const {
+    auto It = BoolValues.find(Var);
+    return It != BoolValues.end() && It->second;
+  }
+};
+
+/// Evaluates a linear sum under Values.
+int64_t evalSum(const LinSum &Sum, const Assignment &Values);
+
+/// Evaluates a boolean-sorted term under Values.
+bool evalFormula(Term Formula, const Assignment &Values);
+
+} // namespace smt
+} // namespace seqver
+
+#endif // SEQVER_SMT_EVALUATOR_H

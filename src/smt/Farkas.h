@@ -1,0 +1,44 @@
+//===- smt/Farkas.h - Farkas infeasibility certificates -------------------===//
+///
+/// \file
+/// Farkas' lemma: a system of linear inequalities  a_i . x <= b_i  is
+/// infeasible over the rationals iff there are multipliers lambda_i >= 0
+/// with  sum lambda_i a_i = 0  and  sum lambda_i b_i < 0. The certificate
+/// is itself the solution of a linear system, found here with the same
+/// simplex procedure used by the theory solver.
+///
+/// Certificates drive the sequence interpolation engine (core/
+/// Interpolation.h): partial sums of the certificate are interpolants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SMT_FARKAS_H
+#define SEQVER_SMT_FARKAS_H
+
+#include "smt/LiaSolver.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace seqver {
+namespace smt {
+
+/// Computes Farkas multipliers for the conjunction of Atoms (Le atoms mean
+/// Sum <= 0; Eq atoms are internally split into two inequalities, and the
+/// returned multiplier is their signed combination, i.e. may be negative
+/// for Eq atoms). Returns nullopt when the system is feasible over the
+/// rationals (including the LIA-infeasible-but-LRA-feasible case).
+std::optional<std::vector<Rational>>
+farkasCertificate(const std::vector<LiaAtom> &Atoms);
+
+/// Checks a certificate: multipliers combine the atoms to  c <= 0  with a
+/// positive constant c (i.e. the contradiction 0 < c <= 0). Exposed for
+/// tests.
+bool isValidFarkasCertificate(const std::vector<LiaAtom> &Atoms,
+                              const std::vector<Rational> &Lambda);
+
+} // namespace smt
+} // namespace seqver
+
+#endif // SEQVER_SMT_FARKAS_H

@@ -1,0 +1,158 @@
+//===- smt/LiaSolver.cpp - Linear integer arithmetic decisions ------------===//
+
+#include "smt/LiaSolver.h"
+
+#include "smt/Simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace seqver;
+using namespace seqver::smt;
+
+namespace {
+
+/// Collects the (deduplicated, id-sorted) variables of all sums.
+std::vector<Term> collectVars(const std::vector<LiaAtom> &Atoms,
+                              const std::vector<LinSum> &Diseqs) {
+  std::vector<Term> Vars;
+  auto AddSum = [&Vars](const LinSum &Sum) {
+    for (const auto &[Var, Coeff] : Sum.Terms) {
+      (void)Coeff;
+      Vars.push_back(Var);
+    }
+  };
+  for (const LiaAtom &Atom : Atoms)
+    AddSum(Atom.Sum);
+  for (const LinSum &Sum : Diseqs)
+    AddSum(Sum);
+  std::sort(Vars.begin(), Vars.end(),
+            [](Term A, Term B) { return A->id() < B->id(); });
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars;
+}
+
+} // namespace
+
+LiaResult LiaSolver::solveRec(const std::vector<LiaAtom> &Atoms,
+                              const std::vector<Term> &Vars,
+                              std::vector<Bound> &Extra,
+                              std::vector<Rational> &ModelOut,
+                              uint64_t &NodeBudget) {
+  if (NodeBudget == 0)
+    return LiaResult::Unknown;
+  --NodeBudget;
+
+  // Build a fresh simplex for this node. Rebuilding keeps the code simple;
+  // the tableaux in verification queries are small.
+  Simplex Splx;
+  std::map<Term, int> VarIndex;
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    int Col = Splx.addVar();
+    (void)Col;
+    assert(Col == static_cast<int>(I) && "column indices drifted");
+    VarIndex[Vars[I]] = static_cast<int>(I);
+  }
+  for (const LiaAtom &Atom : Atoms) {
+    std::vector<std::pair<int, Rational>> Definition;
+    Definition.reserve(Atom.Sum.Terms.size());
+    for (const auto &[Var, Coeff] : Atom.Sum.Terms)
+      Definition.emplace_back(VarIndex.at(Var), Rational(Coeff));
+    int Slack = Splx.addSlack(Definition);
+    // Sum + Constant <= 0 (or == 0) where Slack carries the variable part.
+    Rational Bound(-Atom.Sum.Constant);
+    Splx.setUpper(Slack, Bound);
+    if (Atom.IsEq)
+      Splx.setLower(Slack, Bound);
+  }
+  for (const Bound &B : Extra) {
+    if (B.IsUpper)
+      Splx.setUpper(static_cast<int>(B.VarIndex), Rational(B.Value));
+    else
+      Splx.setLower(static_cast<int>(B.VarIndex), Rational(B.Value));
+  }
+
+  if (Splx.check() == Simplex::Result::Unsat)
+    return LiaResult::Unsat;
+
+  // Find a fractional variable to branch on.
+  size_t Fractional = Vars.size();
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    if (!Splx.value(static_cast<int>(I)).isIntegral()) {
+      Fractional = I;
+      break;
+    }
+  }
+  if (Fractional == Vars.size()) {
+    ModelOut.resize(Vars.size());
+    for (size_t I = 0; I < Vars.size(); ++I)
+      ModelOut[I] = Splx.value(static_cast<int>(I));
+    return LiaResult::Sat;
+  }
+
+  const Rational &Value = Splx.value(static_cast<int>(Fractional));
+  // Left branch: x <= floor(value).
+  Extra.push_back({Fractional, /*IsUpper=*/true, Value.floor()});
+  LiaResult Left = solveRec(Atoms, Vars, Extra, ModelOut, NodeBudget);
+  Extra.pop_back();
+  if (Left == LiaResult::Sat || Left == LiaResult::Unknown)
+    return Left;
+  // Right branch: x >= ceil(value).
+  Extra.push_back({Fractional, /*IsUpper=*/false, Value.ceil()});
+  LiaResult Right = solveRec(Atoms, Vars, Extra, ModelOut, NodeBudget);
+  Extra.pop_back();
+  return Right;
+}
+
+LiaResult LiaSolver::check(const std::vector<LiaAtom> &Atoms,
+                           const std::vector<LinSum> &Diseqs,
+                           Assignment *Model, size_t *ViolatedDiseq) {
+  std::vector<Term> Vars = collectVars(Atoms, Diseqs);
+  std::vector<Bound> Extra;
+  std::vector<Rational> Values;
+  uint64_t Budget = MaxNodes;
+  LiaResult Result = solveRec(Atoms, Vars, Extra, Values, Budget);
+  if (Result != LiaResult::Sat)
+    return Result;
+
+  Assignment Candidate;
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    assert(Values[I].isIntegral() && "non-integral model escaped B&B");
+    Candidate.IntValues[Vars[I]] = Values[I].num();
+  }
+  for (size_t I = 0; I < Diseqs.size(); ++I) {
+    if (evalSum(Diseqs[I], Candidate) == 0) {
+      if (ViolatedDiseq)
+        *ViolatedDiseq = I;
+      if (Model)
+        *Model = std::move(Candidate);
+      return LiaResult::Diseq;
+    }
+  }
+  if (Model)
+    *Model = std::move(Candidate);
+  return LiaResult::Sat;
+}
+
+std::vector<size_t> LiaSolver::unsatCore(const std::vector<LiaAtom> &Atoms) {
+  std::vector<size_t> Kept(Atoms.size());
+  for (size_t I = 0; I < Atoms.size(); ++I)
+    Kept[I] = I;
+
+  // Deletion filter: drop an atom if the rest stays Unsat. Unknown results
+  // conservatively keep the atom (the core stays an over-approximation,
+  // which is sound for blocking clauses).
+  for (size_t I = 0; I < Kept.size();) {
+    std::vector<LiaAtom> Candidate;
+    Candidate.reserve(Kept.size() - 1);
+    for (size_t K = 0; K < Kept.size(); ++K)
+      if (K != I)
+        Candidate.push_back(Atoms[Kept[K]]);
+    if (check(Candidate, {}, nullptr, nullptr) == LiaResult::Unsat)
+      Kept.erase(Kept.begin() + static_cast<ptrdiff_t>(I));
+    else
+      ++I;
+  }
+  return Kept;
+}

@@ -1,0 +1,302 @@
+//===- smt/SatSolver.cpp - CDCL propositional solver ----------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace seqver;
+using namespace seqver::smt;
+
+uint32_t SatSolver::newVar() {
+  uint32_t Var = numVars();
+  Assigns.push_back(ValUnassigned);
+  SavedPhase.push_back(ValFalse);
+  Levels.push_back(0);
+  Reasons.push_back(InvalidClause);
+  Activities.push_back(0.0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  SeenFlags.push_back(0);
+  return Var;
+}
+
+bool SatSolver::addClause(std::vector<Lit> ClauseLits) {
+  if (TriviallyUnsat)
+    return false;
+  // New clauses may arrive between solve() calls while the trail still holds
+  // a model; reset to level 0 first.
+  backtrack(0);
+
+  // Simplify: dedup, detect tautology, drop level-0 false literals.
+  std::sort(ClauseLits.begin(), ClauseLits.end());
+  ClauseLits.erase(std::unique(ClauseLits.begin(), ClauseLits.end()),
+                   ClauseLits.end());
+  std::vector<Lit> Simplified;
+  for (size_t I = 0; I < ClauseLits.size(); ++I) {
+    Lit L = ClauseLits[I];
+    if (I + 1 < ClauseLits.size() && ClauseLits[I + 1] == negate(L))
+      return true; // tautology
+    uint8_t V = value(L);
+    if (V == ValTrue)
+      return true; // already satisfied at level 0
+    if (V == ValFalse)
+      continue; // falsified at level 0, drop
+    Simplified.push_back(L);
+  }
+
+  if (Simplified.empty()) {
+    TriviallyUnsat = true;
+    return false;
+  }
+  if (Simplified.size() == 1) {
+    enqueue(Simplified[0], InvalidClause);
+    if (propagate() != InvalidClause)
+      TriviallyUnsat = true;
+    return !TriviallyUnsat;
+  }
+  Clause C;
+  C.Lits = std::move(Simplified);
+  Clauses.push_back(std::move(C));
+  attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
+  return true;
+}
+
+void SatSolver::attachClause(ClauseRef Ref) {
+  const Clause &C = Clauses[Ref];
+  assert(C.Lits.size() >= 2 && "watching a unit clause");
+  Watches[negate(C.Lits[0])].push_back(Ref);
+  Watches[negate(C.Lits[1])].push_back(Ref);
+}
+
+void SatSolver::enqueue(Lit L, ClauseRef Reason) {
+  assert(value(L) == ValUnassigned && "enqueue of assigned literal");
+  uint32_t Var = litVar(L);
+  Assigns[Var] = litNegated(L) ? ValFalse : ValTrue;
+  Levels[Var] = static_cast<uint32_t>(TrailLimits.size());
+  Reasons[Var] = Reason;
+  Trail.push_back(L);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (PropagationHead < Trail.size()) {
+    Lit L = Trail[PropagationHead++];
+    std::vector<ClauseRef> &WatchList = Watches[L];
+    size_t Kept = 0;
+    for (size_t I = 0; I < WatchList.size(); ++I) {
+      ClauseRef Ref = WatchList[I];
+      Clause &C = Clauses[Ref];
+      // Ensure the falsified literal is at position 1.
+      Lit FalseLit = negate(L);
+      if (C.Lits[0] == FalseLit)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == FalseLit && "watch list out of sync");
+      if (value(C.Lits[0]) == ValTrue) {
+        WatchList[Kept++] = Ref;
+        continue;
+      }
+      // Look for a replacement watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != ValFalse) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[negate(C.Lits[1])].push_back(Ref);
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Clause is unit or conflicting.
+      WatchList[Kept++] = Ref;
+      if (value(C.Lits[0]) == ValFalse) {
+        // Conflict: restore remaining watches and report.
+        for (size_t K = I + 1; K < WatchList.size(); ++K)
+          WatchList[Kept++] = WatchList[K];
+        WatchList.resize(Kept);
+        PropagationHead = Trail.size();
+        return Ref;
+      }
+      enqueue(C.Lits[0], Ref);
+    }
+    WatchList.resize(Kept);
+  }
+  return InvalidClause;
+}
+
+void SatSolver::bumpVar(uint32_t Var) {
+  Activities[Var] += ActivityInc;
+  if (Activities[Var] > 1e100) {
+    for (double &A : Activities)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() { ActivityInc *= (1.0 / 0.95); }
+
+void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+                        uint32_t &BacktrackLevel) {
+  Learnt.clear();
+  Learnt.push_back(0); // placeholder for the asserting literal
+  uint32_t CurrentLevel = static_cast<uint32_t>(TrailLimits.size());
+  uint32_t Counter = 0;
+  Lit AssertedLit = 0;
+  size_t TrailIndex = Trail.size();
+  ClauseRef Reason = Conflict;
+
+  std::fill(SeenFlags.begin(), SeenFlags.end(), 0);
+  bool First = true;
+  for (;;) {
+    assert(Reason != InvalidClause && "analysis reached a decision spuriously");
+    const Clause &C = Clauses[Reason];
+    for (size_t I = First ? 0 : 1; I < C.Lits.size(); ++I) {
+      Lit Q = C.Lits[I];
+      uint32_t Var = litVar(Q);
+      if (SeenFlags[Var] || Levels[Var] == 0)
+        continue;
+      SeenFlags[Var] = 1;
+      bumpVar(Var);
+      if (Levels[Var] == CurrentLevel)
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Find the next literal of the current level on the trail.
+    do {
+      --TrailIndex;
+      AssertedLit = Trail[TrailIndex];
+    } while (!SeenFlags[litVar(AssertedLit)]);
+    SeenFlags[litVar(AssertedLit)] = 0;
+    --Counter;
+    if (Counter == 0)
+      break;
+    Reason = Reasons[litVar(AssertedLit)];
+    First = false;
+  }
+  Learnt[0] = negate(AssertedLit);
+
+  // Backtrack level: second highest level in the learnt clause.
+  BacktrackLevel = 0;
+  size_t MaxIndex = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    uint32_t Level = Levels[litVar(Learnt[I])];
+    if (Level > BacktrackLevel) {
+      BacktrackLevel = Level;
+      MaxIndex = I;
+    }
+  }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIndex]);
+}
+
+void SatSolver::backtrack(uint32_t Level) {
+  if (TrailLimits.size() <= Level)
+    return;
+  size_t Target = TrailLimits[Level];
+  for (size_t I = Trail.size(); I > Target; --I) {
+    uint32_t Var = litVar(Trail[I - 1]);
+    SavedPhase[Var] = Assigns[Var];
+    Assigns[Var] = ValUnassigned;
+    Reasons[Var] = InvalidClause;
+  }
+  Trail.resize(Target);
+  TrailLimits.resize(Level);
+  PropagationHead = Trail.size();
+}
+
+bool SatSolver::pickBranch(Lit &Decision) {
+  uint32_t Best = UINT32_MAX;
+  double BestActivity = -1;
+  for (uint32_t Var = 0; Var < numVars(); ++Var) {
+    if (Assigns[Var] != ValUnassigned)
+      continue;
+    if (Activities[Var] > BestActivity) {
+      BestActivity = Activities[Var];
+      Best = Var;
+    }
+  }
+  if (Best == UINT32_MAX)
+    return false;
+  Decision = mkLit(Best, SavedPhase[Best] == ValFalse);
+  return true;
+}
+
+uint32_t SatSolver::lubyRestartLimit(uint64_t RestartCount) const {
+  // Luby(i) * 64 conflicts. Standard recursive characterization: if
+  // i = 2^k - 1 then luby(i) = 2^(k-1), else luby(i) = luby(i - 2^(k-1) + 1)
+  // for the largest k with 2^(k-1) - 1 < i.
+  uint64_t I = RestartCount + 1;
+  for (;;) {
+    // Find k with 2^(k-1) <= I < 2^k.
+    uint64_t K = 0;
+    while ((1ULL << (K + 1)) <= I + 1)
+      ++K;
+    if ((1ULL << K) == I + 1)
+      return static_cast<uint32_t>(std::min<uint64_t>(
+          64ULL << K, 1ULL << 24));
+    I = I - (1ULL << K) + 1;
+  }
+}
+
+SatResult SatSolver::solve() {
+  if (TriviallyUnsat)
+    return SatResult::Unsat;
+  backtrack(0);
+  if (propagate() != InvalidClause) {
+    TriviallyUnsat = true;
+    return SatResult::Unsat;
+  }
+
+  uint64_t RestartCount = 0;
+  uint64_t ConflictsSinceRestart = 0;
+  uint64_t RestartLimit = lubyRestartLimit(RestartCount);
+
+  for (;;) {
+    ClauseRef Conflict = propagate();
+    if (Conflict != InvalidClause) {
+      ++Conflicts;
+      ++ConflictsSinceRestart;
+      if (TrailLimits.empty()) {
+        TriviallyUnsat = true;
+        return SatResult::Unsat;
+      }
+      std::vector<Lit> Learnt;
+      uint32_t BacktrackLevel = 0;
+      analyze(Conflict, Learnt, BacktrackLevel);
+      backtrack(BacktrackLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], InvalidClause);
+      } else {
+        Clause C;
+        C.Lits = std::move(Learnt);
+        C.Learned = true;
+        Clauses.push_back(std::move(C));
+        ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
+        attachClause(Ref);
+        enqueue(Clauses[Ref].Lits[0], Ref);
+      }
+      decayActivities();
+      continue;
+    }
+
+    if (ConflictsSinceRestart >= RestartLimit) {
+      ++RestartCount;
+      ConflictsSinceRestart = 0;
+      RestartLimit = lubyRestartLimit(RestartCount);
+      backtrack(0);
+      continue;
+    }
+
+    Lit Decision = 0;
+    if (!pickBranch(Decision)) {
+      // Full model found.
+      Model.assign(numVars(), false);
+      for (uint32_t Var = 0; Var < numVars(); ++Var)
+        Model[Var] = Assigns[Var] == ValTrue;
+      return SatResult::Sat;
+    }
+    TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+    enqueue(Decision, InvalidClause);
+  }
+}

@@ -1,0 +1,109 @@
+//===- smt/SatSolver.h - CDCL propositional solver ------------------------===//
+///
+/// \file
+/// A self-contained CDCL SAT solver: two-watched-literal propagation,
+/// first-UIP conflict analysis with clause learning, VSIDS-style activities,
+/// phase saving, and Luby restarts. It is the boolean engine underneath the
+/// lazy DPLL(T) loop in smt::Solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SMT_SATSOLVER_H
+#define SEQVER_SMT_SATSOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seqver {
+namespace smt {
+
+/// A literal encodes variable V with polarity: positive literal 2*V,
+/// negative literal 2*V+1.
+using Lit = uint32_t;
+
+inline Lit mkLit(uint32_t Var, bool Negated) { return 2 * Var + Negated; }
+inline Lit negate(Lit L) { return L ^ 1; }
+inline uint32_t litVar(Lit L) { return L >> 1; }
+inline bool litNegated(Lit L) { return (L & 1) != 0; }
+
+enum class SatResult { Sat, Unsat };
+
+/// Non-incremental CDCL solver over clauses added via addClause(). The
+/// DPLL(T) loop calls solve() repeatedly, adding theory blocking clauses
+/// between calls; learned clauses persist across calls.
+class SatSolver {
+public:
+  /// Returns the index of a fresh variable.
+  uint32_t newVar();
+
+  uint32_t numVars() const { return static_cast<uint32_t>(Assigns.size()); }
+
+  /// Adds a clause; returns false if the solver became trivially unsat
+  /// (empty clause after simplification at level 0).
+  bool addClause(std::vector<Lit> Clause);
+
+  /// Solves the current clause set. After Sat, modelValue() is valid.
+  SatResult solve();
+
+  /// Value of variable Var in the last model.
+  bool modelValue(uint32_t Var) const { return Model[Var]; }
+
+  /// Total conflicts seen (statistic).
+  uint64_t numConflicts() const { return Conflicts; }
+
+private:
+  // Truth values: 0 = true, 1 = false, 2 = unassigned (lbool encoding).
+  static constexpr uint8_t ValTrue = 0;
+  static constexpr uint8_t ValFalse = 1;
+  static constexpr uint8_t ValUnassigned = 2;
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+    double Activity = 0;
+  };
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef InvalidClause = UINT32_MAX;
+
+  uint8_t value(Lit L) const {
+    uint8_t V = Assigns[litVar(L)];
+    if (V == ValUnassigned)
+      return ValUnassigned;
+    return V ^ static_cast<uint8_t>(litNegated(L));
+  }
+
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+               uint32_t &BacktrackLevel);
+  void backtrack(uint32_t Level);
+  bool pickBranch(Lit &Decision);
+  void bumpVar(uint32_t Var);
+  void decayActivities();
+  void attachClause(ClauseRef Ref);
+  uint32_t lubyRestartLimit(uint64_t RestartCount) const;
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<ClauseRef>> Watches; // indexed by literal
+  std::vector<uint8_t> Assigns;                // indexed by var
+  std::vector<uint8_t> SavedPhase;             // indexed by var
+  std::vector<uint32_t> Levels;                // indexed by var
+  std::vector<ClauseRef> Reasons;              // indexed by var
+  std::vector<double> Activities;              // indexed by var
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLimits; // decision level boundaries
+  size_t PropagationHead = 0;
+  double ActivityInc = 1.0;
+  uint64_t Conflicts = 0;
+  bool TriviallyUnsat = false;
+  std::vector<bool> Model;
+
+  // Scratch buffers for analyze().
+  std::vector<uint8_t> SeenFlags;
+};
+
+} // namespace smt
+} // namespace seqver
+
+#endif // SEQVER_SMT_SATSOLVER_H

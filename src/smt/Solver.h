@@ -1,0 +1,97 @@
+//===- smt/Solver.h - Lazy DPLL(T) solver facade --------------------------===//
+///
+/// \file
+/// The public satisfiability interface of MiniSMT: Tseitin-encodes asserted
+/// formulas into a CDCL SAT solver and runs a lazy DPLL(T) loop against the
+/// linear integer arithmetic procedure. Disequalities (negated equalities)
+/// are handled by on-demand split lemmas  (s != 0) -> (s <= -1 \/ s >= 1).
+///
+/// One Solver instance decides one query; the verification layer creates a
+/// fresh instance per query and caches results at the formula level (see
+/// smt::QueryEngine).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SMT_SOLVER_H
+#define SEQVER_SMT_SOLVER_H
+
+#include "smt/Evaluator.h"
+#include "smt/SatSolver.h"
+#include "smt/Term.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace seqver {
+namespace smt {
+
+enum class SolverResult { Sat, Unsat, Unknown };
+
+/// Decides the conjunction of the asserted formulas.
+class Solver {
+public:
+  explicit Solver(TermManager &TM) : TM(TM) {}
+
+  void assertFormula(Term Formula);
+
+  SolverResult check();
+
+  /// Total model (defaults applied) after a Sat answer.
+  const Assignment &model() const { return Model; }
+
+  /// Number of theory-check iterations of the last check() (statistic).
+  uint64_t numTheoryRounds() const { return TheoryRounds; }
+
+private:
+  Lit encode(Term Formula);
+  uint32_t atomVar(Term Atom);
+
+  TermManager &TM;
+  SatSolver Sat;
+  std::vector<Term> Assertions;
+  std::map<Term, Lit> EncodingCache;
+  /// Theory atoms (AtomLe/AtomEq) and boolean variables by SAT var.
+  std::map<Term, uint32_t> AtomToVar;
+  std::vector<Term> VarToAtom; // indexed by SAT var; nullptr for gate vars
+  std::set<Term> SplitDone;    // Eq atoms already split-lemma'd
+  bool TriviallyUnsat = false;
+  Assignment Model;
+  uint64_t TheoryRounds = 0;
+};
+
+/// Convenience helpers with caching, shared by the verifier. All helpers are
+/// conservative in the Unknown case (documented per function).
+class QueryEngine {
+public:
+  explicit QueryEngine(TermManager &TM) : TM(TM) {}
+
+  TermManager &termManager() { return TM; }
+
+  /// Satisfiability of a single formula (cached).
+  SolverResult checkSat(Term Formula);
+
+  /// True iff Left -> Right is valid. Unknown counts as "not proven valid".
+  bool implies(Term Left, Term Right);
+
+  /// True iff Formula is unsatisfiable. Unknown counts as "not proven".
+  bool isUnsat(Term Formula) { return checkSat(Formula) == SolverResult::Unsat; }
+
+  /// Satisfiability with model output (not cached).
+  SolverResult checkSatModel(Term Formula, Assignment &ModelOut);
+
+  uint64_t numQueries() const { return Queries; }
+  uint64_t numCacheHits() const { return CacheHits; }
+
+private:
+  TermManager &TM;
+  std::map<Term, SolverResult> SatCache;
+  std::map<std::pair<Term, Term>, bool> ImplCache;
+  uint64_t Queries = 0;
+  uint64_t CacheHits = 0;
+};
+
+} // namespace smt
+} // namespace seqver
+
+#endif // SEQVER_SMT_SOLVER_H

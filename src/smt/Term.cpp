@@ -1,0 +1,507 @@
+//===- smt/Term.cpp - Hash-consed term construction -----------------------===//
+
+#include "smt/Term.h"
+
+#include "support/Rational.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace seqver;
+using namespace seqver::smt;
+
+TermManager::TermManager() {
+  TermNode TrueNode;
+  TrueNode.Kind = TermKind::BoolConst;
+  TrueNode.NodeSort = Sort::Bool;
+  TrueNode.Value = 1;
+  TrueTerm = intern(std::move(TrueNode));
+  TermNode FalseNode;
+  FalseNode.Kind = TermKind::BoolConst;
+  FalseNode.NodeSort = Sort::Bool;
+  FalseNode.Value = 0;
+  FalseTerm = intern(std::move(FalseNode));
+}
+
+TermManager::~TermManager() = default;
+
+namespace {
+
+uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return Seed ^ (Value + 0x9E3779B97F4A7C15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+uint64_t hashNode(const TermNode &Node) {
+  uint64_t H = static_cast<uint64_t>(Node.kind());
+  H = hashCombine(H, static_cast<uint64_t>(Node.sort()));
+  if (Node.kind() == TermKind::BoolConst)
+    H = hashCombine(H, Node.boolValue() ? 1 : 0);
+  if (Node.kind() == TermKind::BoolVar || Node.kind() == TermKind::IntVar)
+    for (char C : Node.name())
+      H = hashCombine(H, static_cast<uint64_t>(C));
+  if (Node.kind() == TermKind::AtomLe || Node.kind() == TermKind::AtomEq) {
+    H = hashCombine(H, static_cast<uint64_t>(Node.sum().Constant));
+    for (const auto &[Var, Coeff] : Node.sum().Terms) {
+      H = hashCombine(H, Var->id());
+      H = hashCombine(H, static_cast<uint64_t>(Coeff));
+    }
+  }
+  for (Term Child : Node.children())
+    H = hashCombine(H, Child->id());
+  return H;
+}
+
+bool nodesEqual(const TermNode &A, const TermNode &B) {
+  if (A.kind() != B.kind() || A.sort() != B.sort())
+    return false;
+  switch (A.kind()) {
+  case TermKind::BoolConst:
+    return A.boolValue() == B.boolValue();
+  case TermKind::BoolVar:
+  case TermKind::IntVar:
+    return A.name() == B.name();
+  case TermKind::AtomLe:
+  case TermKind::AtomEq:
+    return A.sum() == B.sum();
+  case TermKind::Not:
+  case TermKind::And:
+  case TermKind::Or:
+  case TermKind::Iff:
+    return A.children() == B.children();
+  }
+  return false;
+}
+
+} // namespace
+
+Term TermManager::intern(TermNode &&Node) {
+  uint64_t Hash = hashNode(Node);
+  auto &Bucket = Buckets[Hash];
+  for (Term Existing : Bucket)
+    if (nodesEqual(*Existing, Node))
+      return Existing;
+  auto Owned = std::make_unique<TermNode>(std::move(Node));
+  Owned->Id = static_cast<uint32_t>(Nodes.size());
+  Term Result = Owned.get();
+  Nodes.push_back(std::move(Owned));
+  Bucket.push_back(Result);
+  return Result;
+}
+
+Term TermManager::mkVar(const std::string &Name, Sort VarSort) {
+  auto It = VarByName.find(Name);
+  if (It != VarByName.end()) {
+    assert(It->second->sort() == VarSort && "variable redeclared at new sort");
+    return It->second;
+  }
+  TermNode Node;
+  Node.Kind = VarSort == Sort::Bool ? TermKind::BoolVar : TermKind::IntVar;
+  Node.NodeSort = VarSort;
+  Node.Name = Name;
+  Term Result = intern(std::move(Node));
+  VarByName.emplace(Name, Result);
+  return Result;
+}
+
+Term TermManager::lookupVar(const std::string &Name) const {
+  auto It = VarByName.find(Name);
+  return It == VarByName.end() ? nullptr : It->second;
+}
+
+LinSum TermManager::sumOfConst(int64_t Value) const {
+  LinSum Sum;
+  Sum.Constant = Value;
+  return Sum;
+}
+
+LinSum TermManager::sumOfVar(Term Var) const {
+  assert(Var->kind() == TermKind::IntVar && "linear sum over non-int var");
+  LinSum Sum;
+  Sum.Terms.emplace_back(Var, 1);
+  return Sum;
+}
+
+LinSum TermManager::sumAdd(const LinSum &A, const LinSum &B) {
+  LinSum Out;
+  Out.Constant = A.Constant + B.Constant;
+  size_t I = 0, J = 0;
+  while (I < A.Terms.size() || J < B.Terms.size()) {
+    if (J == B.Terms.size() ||
+        (I < A.Terms.size() && A.Terms[I].first->id() < B.Terms[J].first->id())) {
+      Out.Terms.push_back(A.Terms[I++]);
+      continue;
+    }
+    if (I == A.Terms.size() || B.Terms[J].first->id() < A.Terms[I].first->id()) {
+      Out.Terms.push_back(B.Terms[J++]);
+      continue;
+    }
+    int64_t Coeff = A.Terms[I].second + B.Terms[J].second;
+    if (Coeff != 0)
+      Out.Terms.emplace_back(A.Terms[I].first, Coeff);
+    ++I;
+    ++J;
+  }
+  return Out;
+}
+
+LinSum TermManager::sumScale(const LinSum &A, int64_t Factor) {
+  LinSum Out;
+  if (Factor == 0)
+    return Out;
+  Out.Constant = A.Constant * Factor;
+  Out.Terms.reserve(A.Terms.size());
+  for (const auto &[Var, Coeff] : A.Terms)
+    Out.Terms.emplace_back(Var, Coeff * Factor);
+  return Out;
+}
+
+LinSum TermManager::sumSub(const LinSum &A, const LinSum &B) {
+  return sumAdd(A, sumScale(B, -1));
+}
+
+namespace {
+
+/// Divides all coefficients by their gcd. For Le atoms the constant is
+/// floor-divided (sound integer tightening); for Eq atoms a non-divisible
+/// constant signals unsatisfiability.
+enum class GcdResult { Ok, EqUnsat };
+
+GcdResult gcdReduce(LinSum &Sum, bool IsEq) {
+  if (Sum.Terms.empty())
+    return GcdResult::Ok;
+  int64_t G = 0;
+  for (const auto &[Var, Coeff] : Sum.Terms)
+    G = gcd64(G, Coeff);
+  assert(G > 0 && "zero coefficients survived normalization");
+  if (G == 1)
+    return GcdResult::Ok;
+  if (IsEq && Sum.Constant % G != 0)
+    return GcdResult::EqUnsat;
+  for (auto &[Var, Coeff] : Sum.Terms)
+    Coeff /= G;
+  if (IsEq) {
+    Sum.Constant /= G;
+    return GcdResult::Ok;
+  }
+  // floor division for <= 0 atoms: g*t + c <= 0  <=>  t <= floor(-c/g)
+  // i.e. t - floor(-c/g) <= 0.
+  int64_t C = Sum.Constant;
+  int64_t Floored = -(C >= 0 ? (C + G - 1) / G : -((-C) / G));
+  Sum.Constant = -Floored;
+  return GcdResult::Ok;
+}
+
+} // namespace
+
+Term TermManager::mkLeZero(const LinSum &SumIn) {
+  LinSum Sum = SumIn;
+  if (Sum.isConstant())
+    return mkBool(Sum.Constant <= 0);
+  gcdReduce(Sum, /*IsEq=*/false);
+  TermNode Node;
+  Node.Kind = TermKind::AtomLe;
+  Node.NodeSort = Sort::Bool;
+  Node.Sum = std::move(Sum);
+  return intern(std::move(Node));
+}
+
+Term TermManager::mkEqZero(const LinSum &SumIn) {
+  LinSum Sum = SumIn;
+  if (Sum.isConstant())
+    return mkBool(Sum.Constant == 0);
+  if (gcdReduce(Sum, /*IsEq=*/true) == GcdResult::EqUnsat)
+    return mkFalse();
+  // Canonical sign: leading coefficient positive.
+  if (Sum.Terms.front().second < 0) {
+    Sum = sumScale(Sum, -1);
+  }
+  TermNode Node;
+  Node.Kind = TermKind::AtomEq;
+  Node.NodeSort = Sort::Bool;
+  Node.Sum = std::move(Sum);
+  return intern(std::move(Node));
+}
+
+Term TermManager::mkLt(const LinSum &A, const LinSum &B) {
+  // Integer semantics: A < B  <=>  A - B + 1 <= 0.
+  LinSum Sum = sumSub(A, B);
+  Sum.Constant += 1;
+  return mkLeZero(Sum);
+}
+
+Term TermManager::mkNot(Term A) {
+  assert(A->sort() == Sort::Bool && "negation of non-boolean");
+  switch (A->kind()) {
+  case TermKind::BoolConst:
+    return mkBool(!A->boolValue());
+  case TermKind::Not:
+    return A->child(0);
+  case TermKind::AtomLe: {
+    // not (t <= 0)  <=>  t >= 1  <=>  -t + 1 <= 0 over the integers.
+    LinSum Sum = sumScale(A->sum(), -1);
+    Sum.Constant += 1;
+    return mkLeZero(Sum);
+  }
+  default:
+    break;
+  }
+  TermNode Node;
+  Node.Kind = TermKind::Not;
+  Node.NodeSort = Sort::Bool;
+  Node.Children = {A};
+  return intern(std::move(Node));
+}
+
+namespace {
+
+/// Shared flatten/sort/dedup/complement logic for And (IsAnd) and Or.
+/// Returns nullptr when no short-circuit applies and leaves the canonical
+/// child list in Args.
+Term canonicalizeNary(TermManager &TM, std::vector<Term> &Args, bool IsAnd) {
+  Term Neutral = IsAnd ? TM.mkTrue() : TM.mkFalse();
+  Term Absorbing = IsAnd ? TM.mkFalse() : TM.mkTrue();
+  TermKind SelfKind = IsAnd ? TermKind::And : TermKind::Or;
+
+  std::vector<Term> Flat;
+  for (Term Arg : Args) {
+    assert(Arg->sort() == Sort::Bool && "non-boolean junction argument");
+    if (Arg == Neutral)
+      continue;
+    if (Arg == Absorbing)
+      return Absorbing;
+    if (Arg->kind() == SelfKind) {
+      Flat.insert(Flat.end(), Arg->children().begin(), Arg->children().end());
+      continue;
+    }
+    Flat.push_back(Arg);
+  }
+  std::sort(Flat.begin(), Flat.end(),
+            [](Term A, Term B) { return A->id() < B->id(); });
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  // Complement detection: X and not X adjacent only by scanning.
+  for (Term Arg : Flat) {
+    if (Arg->kind() != TermKind::Not)
+      continue;
+    if (std::binary_search(Flat.begin(), Flat.end(), Arg->child(0),
+                           [](Term A, Term B) { return A->id() < B->id(); }))
+      return Absorbing;
+  }
+  Args = std::move(Flat);
+  return nullptr;
+}
+
+} // namespace
+
+Term TermManager::mkAnd(std::vector<Term> Args) {
+  if (Term Folded = canonicalizeNary(*this, Args, /*IsAnd=*/true))
+    return Folded;
+  if (Args.empty())
+    return mkTrue();
+  if (Args.size() == 1)
+    return Args.front();
+  TermNode Node;
+  Node.Kind = TermKind::And;
+  Node.NodeSort = Sort::Bool;
+  Node.Children = std::move(Args);
+  return intern(std::move(Node));
+}
+
+Term TermManager::mkOr(std::vector<Term> Args) {
+  if (Term Folded = canonicalizeNary(*this, Args, /*IsAnd=*/false))
+    return Folded;
+  if (Args.empty())
+    return mkFalse();
+  if (Args.size() == 1)
+    return Args.front();
+  TermNode Node;
+  Node.Kind = TermKind::Or;
+  Node.NodeSort = Sort::Bool;
+  Node.Children = std::move(Args);
+  return intern(std::move(Node));
+}
+
+Term TermManager::mkIff(Term A, Term B) {
+  assert(A->sort() == Sort::Bool && B->sort() == Sort::Bool);
+  if (A == B)
+    return mkTrue();
+  if (A->kind() == TermKind::BoolConst)
+    return A->boolValue() ? B : mkNot(B);
+  if (B->kind() == TermKind::BoolConst)
+    return B->boolValue() ? A : mkNot(A);
+  if (mkNot(A) == B)
+    return mkFalse();
+  if (A->id() > B->id())
+    std::swap(A, B);
+  TermNode Node;
+  Node.Kind = TermKind::Iff;
+  Node.NodeSort = Sort::Bool;
+  Node.Children = {A, B};
+  return intern(std::move(Node));
+}
+
+namespace {
+
+class SubstVisitor {
+public:
+  SubstVisitor(TermManager &TM, const Substitution &Subst)
+      : TM(TM), Subst(Subst) {}
+
+  Term visit(Term Formula) {
+    auto It = Memo.find(Formula);
+    if (It != Memo.end())
+      return It->second;
+    Term Result = compute(Formula);
+    Memo.emplace(Formula, Result);
+    return Result;
+  }
+
+private:
+  Term compute(Term Formula) {
+    switch (Formula->kind()) {
+    case TermKind::BoolConst:
+    case TermKind::IntVar:
+      return Formula;
+    case TermKind::BoolVar: {
+      auto It = Subst.BoolMap.find(Formula);
+      return It == Subst.BoolMap.end() ? Formula : It->second;
+    }
+    case TermKind::AtomLe:
+    case TermKind::AtomEq: {
+      LinSum Out;
+      Out.Constant = Formula->sum().Constant;
+      bool Changed = false;
+      for (const auto &[Var, Coeff] : Formula->sum().Terms) {
+        auto It = Subst.IntMap.find(Var);
+        if (It == Subst.IntMap.end()) {
+          Out = TermManager::sumAdd(Out, TermManager::sumScale(
+                                             TM.sumOfVar(Var), Coeff));
+        } else {
+          Out = TermManager::sumAdd(Out,
+                                    TermManager::sumScale(It->second, Coeff));
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        return Formula;
+      return Formula->kind() == TermKind::AtomLe ? TM.mkLeZero(Out)
+                                                 : TM.mkEqZero(Out);
+    }
+    case TermKind::Not:
+      return TM.mkNot(visit(Formula->child(0)));
+    case TermKind::And:
+    case TermKind::Or: {
+      std::vector<Term> Args;
+      Args.reserve(Formula->children().size());
+      for (Term Child : Formula->children())
+        Args.push_back(visit(Child));
+      return Formula->kind() == TermKind::And ? TM.mkAnd(std::move(Args))
+                                              : TM.mkOr(std::move(Args));
+    }
+    case TermKind::Iff:
+      return TM.mkIff(visit(Formula->child(0)), visit(Formula->child(1)));
+    }
+    assert(false && "unhandled term kind");
+    return Formula;
+  }
+
+  TermManager &TM;
+  const Substitution &Subst;
+  std::map<Term, Term> Memo;
+};
+
+} // namespace
+
+Term TermManager::substitute(Term Formula, const Substitution &Subst) {
+  if (Subst.empty())
+    return Formula;
+  SubstVisitor Visitor(*this, Subst);
+  return Visitor.visit(Formula);
+}
+
+void TermManager::collectVars(Term Formula, std::vector<Term> &Vars) const {
+  std::vector<Term> Stack = {Formula};
+  std::vector<bool> Seen(Nodes.size(), false);
+  while (!Stack.empty()) {
+    Term Current = Stack.back();
+    Stack.pop_back();
+    if (Seen[Current->id()])
+      continue;
+    Seen[Current->id()] = true;
+    switch (Current->kind()) {
+    case TermKind::BoolVar:
+    case TermKind::IntVar:
+      Vars.push_back(Current);
+      break;
+    case TermKind::AtomLe:
+    case TermKind::AtomEq:
+      for (const auto &[Var, Coeff] : Current->sum().Terms) {
+        (void)Coeff;
+        if (!Seen[Var->id()]) {
+          Seen[Var->id()] = true;
+          Vars.push_back(Var);
+        }
+      }
+      break;
+    default:
+      for (Term Child : Current->children())
+        Stack.push_back(Child);
+      break;
+    }
+  }
+}
+
+std::string TermManager::strSum(const LinSum &Sum) const {
+  std::string Out;
+  bool First = true;
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    if (!First)
+      Out += Coeff >= 0 ? " + " : " - ";
+    else if (Coeff < 0)
+      Out += "-";
+    int64_t Abs = Coeff < 0 ? -Coeff : Coeff;
+    if (Abs != 1)
+      Out += std::to_string(Abs) + "*";
+    Out += Var->name();
+    First = false;
+  }
+  if (Sum.Constant != 0 || First) {
+    if (!First)
+      Out += Sum.Constant >= 0 ? " + " : " - ";
+    else if (Sum.Constant < 0)
+      Out += "-";
+    int64_t Abs = Sum.Constant < 0 ? -Sum.Constant : Sum.Constant;
+    Out += std::to_string(Abs);
+  }
+  return Out;
+}
+
+std::string TermManager::str(Term Formula) const {
+  switch (Formula->kind()) {
+  case TermKind::BoolConst:
+    return Formula->boolValue() ? "true" : "false";
+  case TermKind::BoolVar:
+  case TermKind::IntVar:
+    return Formula->name();
+  case TermKind::AtomLe:
+    return "(" + strSum(Formula->sum()) + " <= 0)";
+  case TermKind::AtomEq:
+    return "(" + strSum(Formula->sum()) + " == 0)";
+  case TermKind::Not:
+    return "!" + str(Formula->child(0));
+  case TermKind::And:
+  case TermKind::Or: {
+    std::string Sep = Formula->kind() == TermKind::And ? " && " : " || ";
+    std::string Out = "(";
+    for (size_t I = 0; I < Formula->children().size(); ++I) {
+      if (I > 0)
+        Out += Sep;
+      Out += str(Formula->child(I));
+    }
+    return Out + ")";
+  }
+  case TermKind::Iff:
+    return "(" + str(Formula->child(0)) + " <=> " + str(Formula->child(1)) +
+           ")";
+  }
+  return "<invalid>";
+}

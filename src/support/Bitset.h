@@ -1,0 +1,102 @@
+//===- support/Bitset.h - Dynamic fixed-capacity bitset -------------------===//
+///
+/// \file
+/// A compact dynamically-sized bitset with value semantics and a total order,
+/// used for sleep sets and persistent sets over the statement alphabet
+/// (alphabets routinely exceed 64 letters for many-threaded programs, so
+/// uint64_t masks are not enough).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SUPPORT_BITSET_H
+#define SEQVER_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seqver {
+
+/// Fixed capacity chosen at construction; all operands of binary operations
+/// must share the capacity.
+class Bitset {
+public:
+  Bitset() = default;
+  explicit Bitset(size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  size_t capacity() const { return NumBits; }
+
+  bool test(size_t Bit) const {
+    assert(Bit < NumBits && "bit out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+  void set(size_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] |= uint64_t(1) << (Bit % 64);
+  }
+  void reset(size_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] &= ~(uint64_t(1) << (Bit % 64));
+  }
+
+  bool empty() const {
+    for (uint64_t Word : Words)
+      if (Word != 0)
+        return false;
+    return true;
+  }
+
+  size_t count() const {
+    size_t Total = 0;
+    for (uint64_t Word : Words)
+      Total += static_cast<size_t>(__builtin_popcountll(Word));
+    return Total;
+  }
+
+  Bitset &operator&=(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "capacity mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= Other.Words[I];
+    return *this;
+  }
+  Bitset &operator|=(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "capacity mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] |= Other.Words[I];
+    return *this;
+  }
+  /// Removes all bits set in Other.
+  Bitset &operator-=(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "capacity mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+    return *this;
+  }
+
+  bool operator==(const Bitset &Other) const { return Words == Other.Words; }
+  bool operator!=(const Bitset &Other) const { return !(*this == Other); }
+  /// Lexicographic word order; any total order works for state interning.
+  bool operator<(const Bitset &Other) const { return Words < Other.Words; }
+
+  /// Iterates set bits in increasing order.
+  template <typename Fn> void forEach(Fn Callback) const {
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t Word = Words[W];
+      while (Word != 0) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+        Callback(W * 64 + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace seqver
+
+#endif // SEQVER_SUPPORT_BITSET_H

@@ -1,0 +1,81 @@
+//===- support/Random.h - Deterministic pseudo-random numbers -------------===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift128+). The paper's random preference
+/// orders are "pseudo-random with a fixed seed"; determinism across platforms
+/// matters for reproducible reductions, so std::mt19937 distributions (which
+/// are implementation-defined for some adaptors) are avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SUPPORT_RANDOM_H
+#define SEQVER_SUPPORT_RANDOM_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seqver {
+
+/// Deterministic xorshift128+ generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 seeding, avoiding the all-zero state.
+    uint64_t X = Seed + 0x9E3779B97F4A7C15ULL;
+    for (uint64_t *S : {&State0, &State1}) {
+      uint64_t Z = (X += 0x9E3779B97F4A7C15ULL);
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+      *S = Z ^ (Z >> 31);
+    }
+    if (State0 == 0 && State1 == 0)
+      State0 = 1;
+  }
+
+  uint64_t next() {
+    uint64_t S1 = State0;
+    uint64_t S0 = State1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 17) ^ (S0 >> 26);
+    return State1 + S0;
+  }
+
+  /// Uniform value in [0, Bound). Requires Bound > 0.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Rejection sampling for exact uniformity.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform value in [Low, High] inclusive.
+  int64_t range(int64_t Low, int64_t High) {
+    assert(Low <= High && "inverted range");
+    return Low + static_cast<int64_t>(
+                     below(static_cast<uint64_t>(High - Low) + 1));
+  }
+
+  bool flip() { return (next() & 1) != 0; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (std::size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[below(I)]);
+  }
+
+private:
+  uint64_t State0 = 0;
+  uint64_t State1 = 0;
+};
+
+} // namespace seqver
+
+#endif // SEQVER_SUPPORT_RANDOM_H

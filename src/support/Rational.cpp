@@ -1,0 +1,129 @@
+//===- support/Rational.cpp -----------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <cstdlib>
+
+using namespace seqver;
+
+int64_t seqver::gcd64(int64_t A, int64_t B) {
+  uint64_t X = A < 0 ? -static_cast<uint64_t>(A) : A;
+  uint64_t Y = B < 0 ? -static_cast<uint64_t>(B) : B;
+  while (Y != 0) {
+    uint64_t T = X % Y;
+    X = Y;
+    Y = T;
+  }
+  return static_cast<int64_t>(X);
+}
+
+namespace {
+
+int64_t checkedNarrow(__int128 Value) {
+  assert(Value <= INT64_MAX && Value >= INT64_MIN &&
+         "rational arithmetic overflow");
+  if (Value > INT64_MAX || Value < INT64_MIN)
+    std::abort();
+  return static_cast<int64_t>(Value);
+}
+
+} // namespace
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = gcd64(N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Num = N;
+  Den = D;
+}
+
+int64_t Rational::floor() const {
+  if (Num >= 0 || Num % Den == 0)
+    return Num / Den;
+  return Num / Den - 1;
+}
+
+int64_t Rational::ceil() const {
+  if (Num <= 0 || Num % Den == 0)
+    return Num / Den;
+  return Num / Den + 1;
+}
+
+Rational Rational::operator-() const {
+  Rational R;
+  R.Num = -Num;
+  R.Den = Den;
+  return R;
+}
+
+Rational Rational::operator+(const Rational &Other) const {
+  __int128 N = static_cast<__int128>(Num) * Other.Den +
+               static_cast<__int128>(Other.Num) * Den;
+  __int128 D = static_cast<__int128>(Den) * Other.Den;
+  // Reduce in 128 bits before narrowing to keep intermediates small.
+  __int128 A = N < 0 ? -N : N;
+  __int128 B = D;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  if (A > 1) {
+    N /= A;
+    D /= A;
+  }
+  return Rational(checkedNarrow(N), checkedNarrow(D));
+}
+
+Rational Rational::operator-(const Rational &Other) const {
+  return *this + (-Other);
+}
+
+Rational Rational::operator*(const Rational &Other) const {
+  // Cross-reduce first to minimize the intermediate magnitudes.
+  int64_t G1 = gcd64(Num, Other.Den);
+  int64_t G2 = gcd64(Other.Num, Den);
+  int64_t N1 = G1 > 1 ? Num / G1 : Num;
+  int64_t D2 = G1 > 1 ? Other.Den / G1 : Other.Den;
+  int64_t N2 = G2 > 1 ? Other.Num / G2 : Other.Num;
+  int64_t D1 = G2 > 1 ? Den / G2 : Den;
+  __int128 N = static_cast<__int128>(N1) * N2;
+  __int128 D = static_cast<__int128>(D1) * D2;
+  return Rational(checkedNarrow(N), checkedNarrow(D));
+}
+
+Rational Rational::operator/(const Rational &Other) const {
+  assert(!Other.isZero() && "division by zero rational");
+  Rational Inverse;
+  if (Other.Num < 0) {
+    Inverse.Num = -Other.Den;
+    Inverse.Den = -Other.Num;
+  } else {
+    Inverse.Num = Other.Den;
+    Inverse.Den = Other.Num;
+  }
+  return *this * Inverse;
+}
+
+bool Rational::operator<(const Rational &Other) const {
+  return static_cast<__int128>(Num) * Other.Den <
+         static_cast<__int128>(Other.Num) * Den;
+}
+
+bool Rational::operator<=(const Rational &Other) const {
+  return static_cast<__int128>(Num) * Other.Den <=
+         static_cast<__int128>(Other.Num) * Den;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

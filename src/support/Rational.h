@@ -1,0 +1,80 @@
+//===- support/Rational.h - Exact rational arithmetic ---------------------===//
+//
+// Part of the seqver project, a reproduction of "Sound Sequentialization for
+// Concurrent Program Verification" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over 64-bit integers with 128-bit intermediates.
+/// Used as the coefficient domain of the simplex-based LRA theory solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SUPPORT_RATIONAL_H
+#define SEQVER_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace seqver {
+
+/// An exact rational number num/den with den > 0, kept in lowest terms.
+///
+/// Intermediate products are computed in 128-bit arithmetic; overflow of the
+/// reduced result aborts (the verification workloads stay far below the
+/// 64-bit range, and silent wraparound would be unsound).
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isPositive() const { return Num > 0; }
+  /// Returns true if the value is an integer (denominator one).
+  bool isIntegral() const { return Den == 1; }
+
+  /// Largest integer less than or equal to this value.
+  int64_t floor() const;
+  /// Smallest integer greater than or equal to this value.
+  int64_t ceil() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational &Other) const;
+  Rational operator-(const Rational &Other) const;
+  Rational operator*(const Rational &Other) const;
+  Rational operator/(const Rational &Other) const;
+
+  Rational &operator+=(const Rational &Other) { return *this = *this + Other; }
+  Rational &operator-=(const Rational &Other) { return *this = *this - Other; }
+  Rational &operator*=(const Rational &Other) { return *this = *this * Other; }
+  Rational &operator/=(const Rational &Other) { return *this = *this / Other; }
+
+  bool operator==(const Rational &Other) const {
+    return Num == Other.Num && Den == Other.Den;
+  }
+  bool operator!=(const Rational &Other) const { return !(*this == Other); }
+  bool operator<(const Rational &Other) const;
+  bool operator<=(const Rational &Other) const;
+  bool operator>(const Rational &Other) const { return Other < *this; }
+  bool operator>=(const Rational &Other) const { return Other <= *this; }
+
+  std::string str() const;
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+/// Greatest common divisor of the absolute values; gcd(0, 0) == 0.
+int64_t gcd64(int64_t A, int64_t B);
+
+} // namespace seqver
+
+#endif // SEQVER_SUPPORT_RATIONAL_H

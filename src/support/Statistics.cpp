@@ -1,0 +1,15 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace seqver;
+
+std::string Statistics::str() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Name + "=" + std::to_string(Value);
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- support/Statistics.h - Named counters for the verifier -------------===//
+///
+/// \file
+/// A lightweight bag of named counters and gauges. The empirical evaluation
+/// (Sec. 8) reports refinement rounds, proof sizes, states constructed, and
+/// memory; collecting them through one object keeps the bench harnesses
+/// uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SUPPORT_STATISTICS_H
+#define SEQVER_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace seqver {
+
+/// Ordered map of counter name to value; ordered so that dumps are stable.
+class Statistics {
+public:
+  void add(const std::string &Name, int64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+  void setMax(const std::string &Name, int64_t Value) {
+    int64_t &Slot = Counters[Name];
+    if (Value > Slot)
+      Slot = Value;
+  }
+  int64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  const std::map<std::string, int64_t> &all() const { return Counters; }
+
+  void mergeFrom(const Statistics &Other) {
+    for (const auto &[Name, Value] : Other.Counters)
+      Counters[Name] += Value;
+  }
+
+  std::string str() const;
+
+private:
+  std::map<std::string, int64_t> Counters;
+};
+
+} // namespace seqver
+
+#endif // SEQVER_SUPPORT_STATISTICS_H

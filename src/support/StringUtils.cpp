@@ -1,0 +1,51 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace seqver;
+
+std::string seqver::join(const std::vector<std::string> &Parts,
+                         const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I > 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::vector<std::string> seqver::split(const std::string &Text, char Sep) {
+  std::vector<std::string> Out;
+  std::string Current;
+  for (char C : Text) {
+    if (C == Sep) {
+      Out.push_back(Current);
+      Current.clear();
+    } else {
+      Current += C;
+    }
+  }
+  Out.push_back(Current);
+  return Out;
+}
+
+std::string seqver::padLeft(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string seqver::padRight(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}
+
+std::string seqver::formatDouble(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}

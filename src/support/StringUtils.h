@@ -1,0 +1,35 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+///
+/// \file
+/// String join/split/padding helpers shared by the pretty printers and the
+/// bench table writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SUPPORT_STRINGUTILS_H
+#define SEQVER_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace seqver {
+
+/// Joins Parts with Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Splits Text at every occurrence of Sep (no empty-token suppression).
+std::vector<std::string> split(const std::string &Text, char Sep);
+
+/// Pads Text with spaces on the left up to Width (no-op if already wider).
+std::string padLeft(const std::string &Text, size_t Width);
+
+/// Pads Text with spaces on the right up to Width (no-op if already wider).
+std::string padRight(const std::string &Text, size_t Width);
+
+/// Formats a double with the given number of decimals.
+std::string formatDouble(double Value, int Decimals);
+
+} // namespace seqver
+
+#endif // SEQVER_SUPPORT_STRINGUTILS_H

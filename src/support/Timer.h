@@ -1,0 +1,53 @@
+//===- support/Timer.h - Wall-clock timing helpers ------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer and deadline used by the verification harness to
+/// enforce per-instance timeouts (the paper uses benchexec with a 900s limit;
+/// we enforce scaled-down limits in-process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_SUPPORT_TIMER_H
+#define SEQVER_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace seqver {
+
+/// Measures elapsed wall-clock time from construction or the last restart().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A soft deadline; expired() is polled at refinement-round granularity.
+class Deadline {
+public:
+  /// A non-positive budget means "no deadline".
+  explicit Deadline(double BudgetSeconds) : Budget(BudgetSeconds) {}
+
+  bool expired() const { return Budget > 0 && Elapsed.seconds() > Budget; }
+  double remainingSeconds() const {
+    return Budget <= 0 ? 1e18 : Budget - Elapsed.seconds();
+  }
+
+private:
+  double Budget;
+  Timer Elapsed;
+};
+
+} // namespace seqver
+
+#endif // SEQVER_SUPPORT_TIMER_H

@@ -1,0 +1,48 @@
+//===- workloads/Workloads.h - Benchmark program generators ---------------===//
+///
+/// \file
+/// Parametric generators for the evaluation workloads (Sec. 8). The paper
+/// evaluates on SV-COMP'21 ConcurrencySafety and the Weaver suite; those
+/// corpora are not redistributable here, so DESIGN.md documents the
+/// substitution: two synthetic suites exercising the same phenomena --
+/// racy flag/counter protocols with correct and seeded-bug variants
+/// (SV-COMP-like), and counting-proof workloads whose unreduced proofs grow
+/// with the thread count (Weaver-like), including the bluetooth driver of
+/// Sec. 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_WORKLOADS_WORKLOADS_H
+#define SEQVER_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace seqver {
+namespace workloads {
+
+/// One benchmark instance: a program in the mini-language plus ground truth.
+struct WorkloadInstance {
+  std::string Name;
+  std::string Source;
+  bool ExpectedCorrect = true;
+  /// Family tag ("bluetooth", "counter_race", ...).
+  std::string Family;
+};
+
+/// The bluetooth driver of Sec. 2 with NumUsers user threads and one stop
+/// thread; exactly one user thread asserts (the program is symmetric).
+/// WithBug makes the Enter section non-atomic, reintroducing the classic
+/// KISS race.
+std::string bluetoothSource(int NumUsers, bool WithBug = false);
+
+/// SV-COMP-like suite: mixed correct/incorrect protocol workloads.
+std::vector<WorkloadInstance> svcompLikeSuite();
+
+/// Weaver-like suite: correct programs whose unreduced proofs count threads.
+std::vector<WorkloadInstance> weaverLikeSuite();
+
+} // namespace workloads
+} // namespace seqver
+
+#endif // SEQVER_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,298 @@
+//===- tests/automata_test.cpp - DFA library tests ------------------------===//
+
+#include "automata/Dfa.h"
+#include "automata/DfaOps.h"
+#include "automata/Explore.h"
+
+#include "support/Bitset.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace seqver;
+using namespace seqver::automata;
+
+namespace {
+
+/// (ab)* over alphabet {a=0, b=1}.
+Dfa makeAbStar() {
+  Dfa A(2);
+  State Q0 = A.addState(true);
+  State Q1 = A.addState(false);
+  A.setInitial(Q0);
+  A.addTransition(Q0, 0, Q1);
+  A.addTransition(Q1, 1, Q0);
+  return A;
+}
+
+/// Words over {a,b} with even number of a's.
+Dfa makeEvenA() {
+  Dfa A(2);
+  State Even = A.addState(true);
+  State Odd = A.addState(false);
+  A.setInitial(Even);
+  A.addTransition(Even, 0, Odd);
+  A.addTransition(Odd, 0, Even);
+  A.addTransition(Even, 1, Even);
+  A.addTransition(Odd, 1, Odd);
+  return A;
+}
+
+TEST(DfaTest, BasicAcceptance) {
+  Dfa A = makeAbStar();
+  EXPECT_TRUE(A.accepts({}));
+  EXPECT_TRUE(A.accepts({0, 1}));
+  EXPECT_TRUE(A.accepts({0, 1, 0, 1}));
+  EXPECT_FALSE(A.accepts({0}));
+  EXPECT_FALSE(A.accepts({1}));
+  EXPECT_FALSE(A.accepts({0, 0}));
+}
+
+TEST(DfaTest, StepAndEnabled) {
+  Dfa A = makeAbStar();
+  EXPECT_TRUE(A.step(0, 0).has_value());
+  EXPECT_FALSE(A.step(0, 1).has_value());
+  EXPECT_EQ(A.enabledLetters(0), std::vector<Letter>{0});
+  EXPECT_EQ(A.enabledLetters(1), std::vector<Letter>{1});
+}
+
+TEST(DfaTest, RunLongestPrefix) {
+  Dfa A = makeAbStar();
+  // "a b b ..." dies after "ab"; delta*+ returns the state after "ab".
+  EXPECT_EQ(A.runLongestPrefix({0, 1, 1, 0}), A.initial());
+  EXPECT_EQ(A.runLongestPrefix({0, 0}), 1u);
+}
+
+TEST(DfaTest, ShortestAcceptedWord) {
+  Dfa A(2);
+  State Q0 = A.addState(false);
+  State Q1 = A.addState(false);
+  State Q2 = A.addState(true);
+  A.setInitial(Q0);
+  A.addTransition(Q0, 0, Q1);
+  A.addTransition(Q1, 1, Q2);
+  A.addTransition(Q0, 1, Q2); // shorter path
+  auto Word = A.shortestAcceptedWord();
+  ASSERT_TRUE(Word.has_value());
+  EXPECT_EQ(*Word, std::vector<Letter>{1});
+}
+
+TEST(DfaTest, EmptyLanguage) {
+  Dfa A(1);
+  State Q0 = A.addState(false);
+  A.setInitial(Q0);
+  A.addTransition(Q0, 0, Q0);
+  EXPECT_TRUE(A.isEmpty());
+  EXPECT_FALSE(A.shortestAcceptedWord().has_value());
+}
+
+TEST(DfaTest, ReachableStates) {
+  Dfa A(1);
+  State Q0 = A.addState(false);
+  A.addState(true); // unreachable
+  A.setInitial(Q0);
+  EXPECT_EQ(A.numStates(), 2u);
+  EXPECT_EQ(A.numReachableStates(), 1u);
+}
+
+TEST(DfaTest, TrimRemovesUselessStates) {
+  Dfa A(2);
+  State Q0 = A.addState(false);
+  State Q1 = A.addState(true);
+  State Dead = A.addState(false); // reachable but cannot accept
+  A.setInitial(Q0);
+  A.addTransition(Q0, 0, Q1);
+  A.addTransition(Q0, 1, Dead);
+  A.addTransition(Dead, 1, Dead);
+  Dfa T = A.trim();
+  EXPECT_EQ(T.numStates(), 2u);
+  EXPECT_TRUE(T.accepts({0}));
+  EXPECT_FALSE(T.step(T.initial(), 1).has_value());
+}
+
+TEST(DfaTest, TrimEmptyLanguageKeepsValidInitial) {
+  Dfa A(1);
+  State Q0 = A.addState(false);
+  A.setInitial(Q0);
+  Dfa T = A.trim();
+  EXPECT_TRUE(T.isEmpty());
+  EXPECT_LT(T.initial(), T.numStates());
+}
+
+TEST(DfaOpsTest, ProductIntersects) {
+  Dfa P = product(makeAbStar(), makeEvenA());
+  // (ab)^n has n a's; accepted iff n even.
+  EXPECT_TRUE(P.accepts({}));
+  EXPECT_FALSE(P.accepts({0, 1}));
+  EXPECT_TRUE(P.accepts({0, 1, 0, 1}));
+}
+
+TEST(DfaOpsTest, ComplementFlips) {
+  Dfa C = complement(makeAbStar());
+  EXPECT_FALSE(C.accepts({}));
+  EXPECT_TRUE(C.accepts({0}));
+  EXPECT_TRUE(C.accepts({1, 1}));
+  EXPECT_FALSE(C.accepts({0, 1}));
+}
+
+TEST(DfaOpsTest, SubsetAndWitness) {
+  Dfa AbStar = makeAbStar();
+  Dfa EvenA = makeEvenA();
+  EXPECT_FALSE(isSubsetOf(AbStar, EvenA));
+  std::vector<Letter> Witness;
+  ASSERT_FALSE(isSubsetOf(AbStar, EvenA, &Witness));
+  EXPECT_TRUE(AbStar.accepts(Witness));
+  EXPECT_FALSE(EvenA.accepts(Witness));
+  // Intersection is included in both factors.
+  Dfa Inter = product(AbStar, EvenA);
+  EXPECT_TRUE(isSubsetOf(Inter, AbStar));
+  EXPECT_TRUE(isSubsetOf(Inter, EvenA));
+}
+
+TEST(DfaOpsTest, Equivalence) {
+  EXPECT_TRUE(isEquivalent(makeAbStar(), makeAbStar()));
+  EXPECT_FALSE(isEquivalent(makeAbStar(), makeEvenA()));
+}
+
+TEST(DfaOpsTest, EnumerateLanguage) {
+  auto Words = enumerateLanguage(makeAbStar(), 4);
+  std::set<std::vector<Letter>> Expected = {{}, {0, 1}, {0, 1, 0, 1}};
+  EXPECT_EQ(Words, Expected);
+}
+
+/// Property sweep: for random DFAs, enumerateLanguage agrees with accepts().
+class DfaRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DfaRandom, EnumerationMatchesAcceptance) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 101 + 3);
+  uint32_t NumLetters = 2 + static_cast<uint32_t>(R.below(2));
+  uint32_t NumStates = 2 + static_cast<uint32_t>(R.below(4));
+  Dfa A(NumLetters);
+  for (uint32_t S = 0; S < NumStates; ++S)
+    A.addState(R.flip());
+  A.setInitial(static_cast<State>(R.below(NumStates)));
+  for (uint32_t S = 0; S < NumStates; ++S)
+    for (Letter L = 0; L < NumLetters; ++L)
+      if (R.below(100) < 70)
+        A.addTransition(S, L, static_cast<State>(R.below(NumStates)));
+
+  const size_t MaxLen = 4;
+  auto Words = enumerateLanguage(A, MaxLen);
+  // Every enumerated word is accepted.
+  for (const auto &Word : Words)
+    EXPECT_TRUE(A.accepts(Word));
+  // Exhaustive check over all words up to MaxLen.
+  std::vector<Letter> Word;
+  std::function<void()> Recurse = [&]() {
+    EXPECT_EQ(A.accepts(Word), Words.count(Word) > 0);
+    if (Word.size() == MaxLen)
+      return;
+    for (Letter L = 0; L < NumLetters; ++L) {
+      Word.push_back(L);
+      Recurse();
+      Word.pop_back();
+    }
+  };
+  Recurse();
+
+  // Complement round-trip on the same words.
+  Dfa C = complement(A);
+  for (const auto &WordsEntry : Words)
+    EXPECT_FALSE(C.accepts(WordsEntry));
+  // Product with self is equivalent to self.
+  EXPECT_TRUE(isEquivalent(product(A, A), A));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaRandom, ::testing::Range(0, 60));
+
+//===----------------------------------------------------------------------===//
+// Explore / materialize
+//===----------------------------------------------------------------------===//
+
+/// Implicit automaton: counts modulo N with a single letter.
+struct ModCounter {
+  using StateType = int;
+  int N;
+  StateType initialState() { return 0; }
+  bool isAccepting(const StateType &S) { return S == 0; }
+  std::vector<std::pair<Letter, StateType>> successors(const StateType &S) {
+    return {{0, (S + 1) % N}};
+  }
+};
+
+TEST(ExploreTest, MaterializesModCounter) {
+  ModCounter Impl{5};
+  auto Result = materialize(Impl, 1);
+  EXPECT_EQ(Result.Automaton.numStates(), 5u);
+  EXPECT_TRUE(Result.Automaton.accepts({0, 0, 0, 0, 0}));
+  EXPECT_FALSE(Result.Automaton.accepts({0, 0, 0}));
+  EXPECT_EQ(Result.States.size(), 5u);
+}
+
+TEST(ExploreTest, OverflowGuard) {
+  ModCounter Impl{100};
+  bool Overflow = false;
+  auto Result = materialize(Impl, 1, 10, &Overflow);
+  EXPECT_TRUE(Overflow);
+  EXPECT_LE(Result.Automaton.numStates(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bitset
+//===----------------------------------------------------------------------===//
+
+TEST(BitsetTest, SetTestReset) {
+  Bitset B(130);
+  EXPECT_TRUE(B.empty());
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_FALSE(B.test(1));
+  EXPECT_EQ(B.count(), 3u);
+  B.reset(64);
+  EXPECT_FALSE(B.test(64));
+  EXPECT_EQ(B.count(), 2u);
+}
+
+TEST(BitsetTest, SetOperations) {
+  Bitset A(70), B(70);
+  A.set(1);
+  A.set(65);
+  B.set(65);
+  B.set(2);
+  Bitset Inter = A;
+  Inter &= B;
+  EXPECT_EQ(Inter.count(), 1u);
+  EXPECT_TRUE(Inter.test(65));
+  Bitset Uni = A;
+  Uni |= B;
+  EXPECT_EQ(Uni.count(), 3u);
+  Bitset Diff = A;
+  Diff -= B;
+  EXPECT_EQ(Diff.count(), 1u);
+  EXPECT_TRUE(Diff.test(1));
+}
+
+TEST(BitsetTest, OrderAndEquality) {
+  Bitset A(10), B(10);
+  EXPECT_EQ(A, B);
+  A.set(3);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(B < A || A < B);
+}
+
+TEST(BitsetTest, ForEachVisitsInOrder) {
+  Bitset B(200);
+  B.set(5);
+  B.set(63);
+  B.set(64);
+  B.set(199);
+  std::vector<size_t> Seen;
+  B.forEach([&](size_t Bit) { Seen.push_back(Bit); });
+  EXPECT_EQ(Seen, (std::vector<size_t>{5, 63, 64, 199}));
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/differential_test.cpp - Random differential soundness --------===//
+///
+/// Differential testing of the full verifier: random acyclic concurrent
+/// programs with randomly-placed (sometimes failing) assertions are
+/// analysed by the baseline, by every preference order, and by the
+/// explicit-state model checker; all verdicts must agree, and bug
+/// witnesses must replay concretely.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Portfolio.h"
+#include "program/Interpreter.h"
+#include "reduction_helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace seqver;
+using namespace seqver::core;
+using seqver::automata::Letter;
+
+namespace {
+
+/// Builds a random acyclic program where thread 0 ends in an assertion
+/// rv0 <= Bound with a random small bound, so both verdicts occur.
+std::unique_ptr<prog::ConcurrentProgram>
+makeRandomAssertProgram(smt::TermManager &TM, Rng &R) {
+  auto P = seqver::testing::makeRandomProgram(
+      TM, R, /*NumThreads=*/2 + static_cast<int>(R.below(2)),
+      /*MaxActionsPerThread=*/3, /*VarPoolSize=*/2, /*Acyclic=*/true,
+      /*WithAssert=*/false);
+
+  // Append an assert thread with a random bound on rv0.
+  smt::Term Var = TM.lookupVar("rv0");
+  int64_t Bound = R.range(0, 3);
+  prog::ThreadCfg Cfg;
+  Cfg.Name = "checker";
+  prog::Location L0 = Cfg.addLocation();
+  Cfg.InitialLoc = L0;
+  prog::Location Ok = Cfg.addLocation();
+  prog::Location Err = Cfg.addLocation(/*IsError=*/true);
+  smt::LinSum Sum = TM.sumOfVar(Var);
+  Sum.Constant -= Bound;
+  smt::Term Cond = TM.mkLeZero(Sum);
+  int ThreadId = P->numThreads();
+  {
+    prog::Action A;
+    A.ThreadId = ThreadId;
+    A.Name = "checker.assert_ok";
+    prog::Prim Pr;
+    Pr.K = prog::Prim::Kind::Assume;
+    Pr.Guard = Cond;
+    A.Prims.push_back(Pr);
+    Cfg.addEdge(L0, P->addAction(std::move(A)), Ok);
+  }
+  {
+    prog::Action A;
+    A.ThreadId = ThreadId;
+    A.Name = "checker.assert_fail";
+    prog::Prim Pr;
+    Pr.K = prog::Prim::Kind::Assume;
+    Pr.Guard = TM.mkNot(Cond);
+    A.Prims.push_back(Pr);
+    Cfg.addEdge(L0, P->addAction(std::move(A)), Err);
+  }
+  P->addThread(std::move(Cfg));
+  return P;
+}
+
+class DifferentialVerdicts : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialVerdicts, AllToolsAgreeWithOracle) {
+  smt::TermManager TM;
+  Rng R(static_cast<uint64_t>(GetParam()) * 6151 + 41);
+  auto P = makeRandomAssertProgram(TM, R);
+
+  // Ground truth: the programs are acyclic and havoc-free, so the explicit
+  // search is exhaustive.
+  prog::ReachResult Oracle = prog::explicitReach(*P, 2000000);
+  ASSERT_FALSE(Oracle.Overflow);
+
+  VerifierConfig Config;
+  Config.TimeoutSeconds = 60;
+  for (const char *Order :
+       {"baseline", "seq", "lockstep", "rand(1)", "rand(2)", "rand(3)"}) {
+    VerificationResult VR = runSingleOrder(*P, Config, Order);
+    EXPECT_EQ(VR.V, Oracle.ErrorReachable ? Verdict::Incorrect
+                                          : Verdict::Correct)
+        << "order " << Order;
+    if (VR.V == Verdict::Incorrect) {
+      EXPECT_TRUE(prog::replayTrace(*P, VR.Witness).has_value())
+          << "order " << Order << ": witness must replay";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialVerdicts,
+                         ::testing::Range(0, 60));
+
+/// Same sweep for the ablated configurations of Table 2.
+class DifferentialVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialVariants, VariantsAgreeWithOracle) {
+  smt::TermManager TM;
+  Rng R(static_cast<uint64_t>(GetParam()) * 9203 + 97);
+  auto P = makeRandomAssertProgram(TM, R);
+  prog::ReachResult Oracle = prog::explicitReach(*P, 2000000);
+  ASSERT_FALSE(Oracle.Overflow);
+
+  auto Orders = red::makePortfolioOrders(*P);
+  for (int Mask = 0; Mask < 8; ++Mask) {
+    VerifierConfig Config;
+    Config.TimeoutSeconds = 60;
+    Config.UseSleepSets = Mask & 1;
+    Config.UsePersistentSets = Mask & 2;
+    Config.ProofSensitive = (Mask & 4) && Config.UseSleepSets;
+    Config.Order = Orders[Mask % Orders.size()].get();
+    Verifier V(*P, Config);
+    VerificationResult VR = V.run();
+    EXPECT_EQ(VR.V, Oracle.ErrorReachable ? Verdict::Incorrect
+                                          : Verdict::Correct)
+        << "mask " << Mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialVariants,
+                         ::testing::Range(0, 40));
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/fuzz_test.cpp - Frontend robustness and random walks ---------===//
+///
+/// Fuzz-style robustness tests: the lexer/parser must reject (never crash
+/// on) arbitrary byte soup and random token salads, and the random-walk
+/// tester must agree with ground truth on the workload suites (find seeded
+/// bugs where they are shallow, find nothing in correct programs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "program/CfgBuilder.h"
+#include "program/Interpreter.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace seqver;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Parser robustness
+//===----------------------------------------------------------------------===//
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 31337 + 1);
+  std::string Source;
+  size_t Length = R.below(200);
+  for (size_t I = 0; I < Length; ++I)
+    Source += static_cast<char>(32 + R.below(95)); // printable ASCII
+  smt::TermManager TM;
+  lang::ParseResult Result = lang::parseProgram(Source, TM);
+  // Overwhelmingly these are parse errors; the invariant is "no crash, and
+  // errors carry a location".
+  if (!Result.ok()) {
+    EXPECT_NE(Result.Error.find(':'), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 100));
+
+class TokenSaladFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenSaladFuzz, RandomTokenSequencesNeverCrash) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 271 + 9);
+  const char *Tokens[] = {"var",    "int",    "bool",  "thread", "assume",
+                          "assert", "havoc",  "skip",  "atomic", "while",
+                          "if",     "else",   "true",  "false",  "x",
+                          "y",      "t",      "{",     "}",      "(",
+                          ")",      ";",      ":=",    "==",     "!=",
+                          "<=",     "<",      ">=",    ">",      "+",
+                          "-",      "*",      "!",     "&&",     "||",
+                          "0",      "1",      "42",    "requires",
+                          "ensures"};
+  std::string Source;
+  size_t Length = 5 + R.below(60);
+  for (size_t I = 0; I < Length; ++I) {
+    Source += Tokens[R.below(std::size(Tokens))];
+    Source += ' ';
+  }
+  smt::TermManager TM;
+  lang::ParseResult Result = lang::parseProgram(Source, TM);
+  if (Result.ok()) {
+    // The rare well-formed salads must lower without crashing too.
+    prog::BuildResult B = prog::buildProgram(*Result.Prog, TM);
+    (void)B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSaladFuzz, ::testing::Range(0, 150));
+
+//===----------------------------------------------------------------------===//
+// Random-walk tester
+//===----------------------------------------------------------------------===//
+
+TEST(RandomWalkTest, FindsShallowRace) {
+  smt::TermManager TM;
+  prog::BuildResult B = prog::buildFromSource(
+      workloads::bluetoothSource(1, /*WithBug=*/true), TM);
+  ASSERT_TRUE(B.ok());
+  auto Bug = prog::randomWalkForBug(*B.Program, /*Seed=*/7, 3000, 100);
+  ASSERT_TRUE(Bug.has_value());
+  // The reported trace must replay to an error state.
+  EXPECT_TRUE(prog::replayTrace(*B.Program, *Bug).has_value());
+  prog::ProductState Locations = B.Program->initialProductState();
+  for (automata::Letter L : *Bug) {
+    for (auto &[SL, Next] : B.Program->successors(Locations))
+      if (SL == L) {
+        Locations = Next;
+        break;
+      }
+  }
+  EXPECT_TRUE(B.Program->isErrorState(Locations));
+}
+
+TEST(RandomWalkTest, SilentOnCorrectPrograms) {
+  smt::TermManager TM;
+  prog::BuildResult B =
+      prog::buildFromSource(workloads::bluetoothSource(2), TM);
+  ASSERT_TRUE(B.ok());
+  EXPECT_FALSE(
+      prog::randomWalkForBug(*B.Program, /*Seed=*/7, 500, 60).has_value());
+}
+
+TEST(RandomWalkTest, AgreesWithSuiteGroundTruthOnSamples) {
+  // Every bug it reports must be real; it need not find every bug.
+  int Found = 0;
+  for (const auto &W : workloads::svcompLikeSuite()) {
+    smt::TermManager TM;
+    prog::BuildResult B = prog::buildFromSource(W.Source, TM);
+    ASSERT_TRUE(B.ok()) << W.Name;
+    auto Bug = prog::randomWalkForBug(*B.Program, /*Seed=*/3, 300, 80);
+    if (Bug) {
+      EXPECT_FALSE(W.ExpectedCorrect) << W.Name;
+      ++Found;
+    }
+  }
+  EXPECT_GT(Found, 5) << "the tester should stumble on several seeded bugs";
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+//===- tests/interpolation_test.cpp - Farkas interpolation tests ----------===//
+///
+/// Tests for the Farkas-certificate machinery and the sequence
+/// interpolation engine: certificates are validated on known systems and
+/// random infeasible ones; sequence interpolants are checked against their
+/// defining properties (init implies J_0, Hoare triples along the trace,
+/// J_n implies the obligation) with the SMT solver; and the verifier runs
+/// end-to-end with interpolation as its predicate source.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Interpolation.h"
+#include "core/Portfolio.h"
+#include "core/Proof.h"
+#include "program/CfgBuilder.h"
+#include "smt/Farkas.h"
+#include "smt/Solver.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace seqver;
+using namespace seqver::smt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Farkas certificates
+//===----------------------------------------------------------------------===//
+
+class FarkasTest : public ::testing::Test {
+protected:
+  TermManager TM;
+  Term X = TM.mkVar("fx", Sort::Int);
+  Term Y = TM.mkVar("fy", Sort::Int);
+
+  LiaAtom le(LinSum Sum) { return {std::move(Sum), false}; }
+  LiaAtom eq(LinSum Sum) { return {std::move(Sum), true}; }
+  LinSum vx() { return TM.sumOfVar(X); }
+  LinSum vy() { return TM.sumOfVar(Y); }
+};
+
+TEST_F(FarkasTest, DirectContradiction) {
+  // x <= 0 and x >= 1 (i.e. -x + 1 <= 0).
+  LinSum Ge = TermManager::sumScale(vx(), -1);
+  Ge.Constant += 1;
+  std::vector<LiaAtom> Atoms = {le(vx()), le(Ge)};
+  auto Lambda = farkasCertificate(Atoms);
+  ASSERT_TRUE(Lambda.has_value());
+  EXPECT_TRUE(isValidFarkasCertificate(Atoms, *Lambda));
+}
+
+TEST_F(FarkasTest, TransitiveChain) {
+  // x <= y, y <= x - 1  ==> infeasible.
+  LinSum A = TermManager::sumSub(vx(), vy());       // x - y <= 0
+  LinSum B = TermManager::sumSub(vy(), vx());
+  B.Constant += 1;                                  // y - x + 1 <= 0
+  std::vector<LiaAtom> Atoms = {le(A), le(B)};
+  auto Lambda = farkasCertificate(Atoms);
+  ASSERT_TRUE(Lambda.has_value());
+  EXPECT_TRUE(isValidFarkasCertificate(Atoms, *Lambda));
+}
+
+TEST_F(FarkasTest, EqualitiesGetSignedMultipliers) {
+  // x == 3 and x <= 2: need the equality with a negative-direction use.
+  LinSum EqSum = vx();
+  EqSum.Constant -= 3; // x - 3 == 0
+  LinSum LeSum = vx();
+  LeSum.Constant -= 2; // x - 2 <= 0
+  std::vector<LiaAtom> Atoms = {eq(EqSum), le(LeSum)};
+  auto Lambda = farkasCertificate(Atoms);
+  ASSERT_TRUE(Lambda.has_value());
+  EXPECT_TRUE(isValidFarkasCertificate(Atoms, *Lambda));
+}
+
+TEST_F(FarkasTest, FeasibleSystemHasNoCertificate) {
+  std::vector<LiaAtom> Atoms = {le(vx()), le(vy())};
+  EXPECT_FALSE(farkasCertificate(Atoms).has_value());
+}
+
+TEST_F(FarkasTest, IntegerOnlyInfeasibilityHasNoCertificate) {
+  // 2x == 1: LIA-infeasible but LRA-feasible, so no Farkas certificate.
+  LinSum Sum = TermManager::sumScale(vx(), 2);
+  Sum.Constant -= 1;
+  std::vector<LiaAtom> Atoms = {eq(Sum)};
+  EXPECT_FALSE(farkasCertificate(Atoms).has_value());
+}
+
+/// Property sweep: on random systems, a certificate exists iff the rational
+/// relaxation is infeasible, and every returned certificate validates.
+class FarkasRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(FarkasRandom, CertificateIffLraUnsat) {
+  TermManager TM;
+  Rng R(static_cast<uint64_t>(GetParam()) * 127 + 7);
+  std::vector<Term> Vars = {TM.mkVar("fa", Sort::Int),
+                            TM.mkVar("fb", Sort::Int)};
+  std::vector<LiaAtom> Atoms;
+  size_t NumAtoms = 2 + R.below(5);
+  for (size_t I = 0; I < NumAtoms; ++I) {
+    LinSum Sum = TM.sumOfConst(R.range(-3, 3));
+    for (Term Var : Vars)
+      Sum = TermManager::sumAdd(
+          Sum, TermManager::sumScale(TM.sumOfVar(Var), R.range(-2, 2)));
+    Atoms.push_back({std::move(Sum), R.below(4) == 0});
+  }
+
+  auto Lambda = farkasCertificate(Atoms);
+  if (Lambda) {
+    EXPECT_TRUE(isValidFarkasCertificate(Atoms, *Lambda));
+  }
+
+  // Cross-check against the solver on a scaled problem: over rationals is
+  // awkward to query directly, so check the implication only one way: a
+  // certificate implies integer infeasibility.
+  if (Lambda) {
+    LiaSolver Lia;
+    EXPECT_EQ(Lia.check(Atoms, {}, nullptr, nullptr), LiaResult::Unsat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FarkasRandom, ::testing::Range(0, 80));
+
+//===----------------------------------------------------------------------===//
+// Sequence interpolants
+//===----------------------------------------------------------------------===//
+
+class InterpolationTest : public ::testing::Test {
+protected:
+  smt::TermManager TM;
+  smt::QueryEngine QE{TM};
+
+  std::unique_ptr<prog::ConcurrentProgram> build(const std::string &Source) {
+    prog::BuildResult R = prog::buildFromSource(Source, TM);
+    EXPECT_TRUE(R.ok()) << R.Error;
+    return std::move(R.Program);
+  }
+
+  /// Checks the defining properties of a sequence interpolant chain via the
+  /// proof automaton's Hoare-triple machinery.
+  void checkChain(const prog::ConcurrentProgram &P,
+                  const std::vector<automata::Letter> &Trace,
+                  const std::vector<Term> &Chain, Term Obligation) {
+    ASSERT_EQ(Chain.size(), Trace.size() + 1);
+    // init -> J_0.
+    EXPECT_TRUE(QE.implies(P.initialConstraint(), Chain[0]));
+    // {J_k} a_{k+1} {J_{k+1}}.
+    prog::FreshVarSource Fresh(TM);
+    for (size_t K = 0; K < Trace.size(); ++K) {
+      Term Wp =
+          prog::wpAction(TM, P.action(Trace[K]), Chain[K + 1], Fresh);
+      EXPECT_TRUE(QE.implies(Chain[K], Wp)) << "triple " << K;
+    }
+    // J_n -> obligation.
+    EXPECT_TRUE(QE.implies(Chain.back(),
+                           Obligation ? Obligation : TM.mkFalse()));
+  }
+};
+
+TEST_F(InterpolationTest, StraightLineCounterTrace) {
+  auto P = build("var int x := 0;"
+                 "thread t { x := x + 1; x := x + 1; assert x <= 2; }");
+  // Letters: 0,1 increments; 2 assert_ok; 3 assert_fail.
+  std::vector<automata::Letter> Trace = {0, 1, 3};
+  core::TraceInterpolation TI =
+      core::sequenceInterpolants(TM, *P, Trace);
+  ASSERT_TRUE(TI.Success);
+  checkChain(*P, Trace, TI.Chain, nullptr);
+  // J_n must be false (the full combination is contradictory).
+  EXPECT_EQ(TI.Chain.back(), TM.mkFalse());
+}
+
+TEST_F(InterpolationTest, CrossThreadTrace) {
+  auto P = build("var int x := 0; var int y := 0;"
+                 "thread a { x := x + 1; }"
+                 "thread b { y := y + 2; }"
+                 "thread c { assert x + y <= 3; }");
+  // Trace: a, b, assert_fail (letters 0, 1, 3).
+  std::vector<automata::Letter> Trace = {0, 1, 3};
+  core::TraceInterpolation TI =
+      core::sequenceInterpolants(TM, *P, Trace);
+  ASSERT_TRUE(TI.Success);
+  checkChain(*P, Trace, TI.Chain, nullptr);
+}
+
+TEST_F(InterpolationTest, BooleanShadowsSupported) {
+  auto P = build("var bool flag := false; var int x := 0;"
+                 "thread a { flag := true; }"
+                 "thread b { assume flag; x := 5; assert x <= 5; }");
+  // Trace: flag:=true(0), assume flag(1), x:=5(2), assert_fail(4): the
+  // assertion holds after x:=5, so this error trace is infeasible.
+  std::vector<automata::Letter> Trace = {0, 1, 2, 4};
+  core::TraceInterpolation TI =
+      core::sequenceInterpolants(TM, *P, Trace);
+  ASSERT_TRUE(TI.Success);
+  checkChain(*P, Trace, TI.Chain, nullptr);
+}
+
+TEST_F(InterpolationTest, ExitTraceWithObligation) {
+  auto P = build("var int x := 0; ensures x == 2;"
+                 "thread a { x := x + 1; }"
+                 "thread b { x := x + 1; }");
+  std::vector<automata::Letter> Trace = {0, 1};
+  core::TraceInterpolation TI = core::sequenceInterpolants(
+      TM, *P, Trace, P->postCondition());
+  // ensures x == 2: the negation is a disequality (out of fragment), so
+  // the engine must decline gracefully.
+  EXPECT_FALSE(TI.Success);
+
+  // An inequality obligation works.
+  smt::TermManager TM2;
+  prog::BuildResult B2 = prog::buildFromSource(
+      "var int x := 0; ensures x <= 2;"
+      "thread a { x := x + 1; }"
+      "thread b { x := x + 1; }",
+      TM2);
+  ASSERT_TRUE(B2.ok());
+  core::TraceInterpolation TI2 = core::sequenceInterpolants(
+      TM2, *B2.Program, Trace, B2.Program->postCondition());
+  ASSERT_TRUE(TI2.Success);
+  smt::QueryEngine QE2(TM2);
+  EXPECT_TRUE(QE2.implies(TI2.Chain.back(), B2.Program->postCondition()));
+}
+
+TEST_F(InterpolationTest, DisjunctiveGuardsDecline) {
+  auto P = build("var bool a; var bool b;"
+                 "thread t { assume a || b; assert false; }");
+  std::vector<automata::Letter> Trace = {0, 1};
+  core::TraceInterpolation TI =
+      core::sequenceInterpolants(TM, *P, Trace);
+  EXPECT_FALSE(TI.Success) << "disjunctive guards are out of fragment";
+}
+
+TEST_F(InterpolationTest, FeasibleTraceDeclines) {
+  auto P = build("var int x := 0;"
+                 "thread t { x := x + 1; assert x <= 0; }");
+  // assert_fail is letter 2; the trace IS feasible: no certificate.
+  std::vector<automata::Letter> Trace = {0, 2};
+  core::TraceInterpolation TI =
+      core::sequenceInterpolants(TM, *P, Trace);
+  EXPECT_FALSE(TI.Success);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: interpolation as the predicate source
+//===----------------------------------------------------------------------===//
+
+class InterpolationSource
+    : public ::testing::TestWithParam<core::PredicateSource> {};
+
+TEST_P(InterpolationSource, SuiteSubsetVerifiesCorrectly) {
+  auto Suite = workloads::svcompLikeSuite();
+  size_t Checked = 0;
+  for (size_t I = 0; I < Suite.size() && Checked < 8; I += 4, ++Checked) {
+    smt::TermManager TM;
+    prog::BuildResult B = prog::buildFromSource(Suite[I].Source, TM);
+    ASSERT_TRUE(B.ok()) << Suite[I].Name;
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = 30;
+    Config.Source = GetParam();
+    core::VerificationResult R =
+        core::runSingleOrder(*B.Program, Config, "seq");
+    EXPECT_EQ(R.V, Suite[I].ExpectedCorrect ? core::Verdict::Correct
+                                            : core::Verdict::Incorrect)
+        << Suite[I].Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, InterpolationSource,
+    ::testing::Values(core::PredicateSource::Interpolation,
+                      core::PredicateSource::Both));
+
+TEST(InterpolationEndToEnd, BluetoothWithInterpolants) {
+  smt::TermManager TM;
+  prog::BuildResult B =
+      prog::buildFromSource(workloads::bluetoothSource(2), TM);
+  ASSERT_TRUE(B.ok());
+  core::VerifierConfig Config;
+  Config.TimeoutSeconds = 60;
+  Config.Source = core::PredicateSource::Interpolation;
+  core::VerificationResult R =
+      core::runSingleOrder(*B.Program, Config, "seq");
+  EXPECT_EQ(R.V, core::Verdict::Correct);
+  // At least some traces should have been interpolated (the driver's
+  // guards are conjunctive).
+  EXPECT_GT(R.Stats.get("interpolated_traces") +
+                R.Stats.get("interpolation_fallbacks"),
+            0);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/prepost_test.cpp - Pre/postcondition setting (Sec. 3) --------===//
+///
+/// The paper's formal exposition specifies correctness via a
+/// pre/postcondition pair over the all-exit language; the implementation
+/// (and our default) uses asserts. These tests cover the pre/post path:
+/// `requires` / `ensures` clauses, unconstrained (uninitialized) globals,
+/// and the combination with asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Portfolio.h"
+#include "program/CfgBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace seqver;
+using namespace seqver::core;
+
+namespace {
+
+VerificationResult verify(const std::string &Source,
+                          const std::string &Order = "seq") {
+  smt::TermManager TM;
+  prog::BuildResult B = prog::buildFromSource(Source, TM);
+  EXPECT_TRUE(B.ok()) << B.Error;
+  VerifierConfig Config;
+  Config.TimeoutSeconds = 30;
+  return runSingleOrder(*B.Program, Config, Order);
+}
+
+TEST(PrePostTest, ParsesSpecClauses) {
+  smt::TermManager TM;
+  prog::BuildResult B = prog::buildFromSource(
+      "var int x; requires x >= 0; ensures x >= 1;"
+      "thread t { x := x + 1; }",
+      TM);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_TRUE(B.Program->hasPostCondition());
+  EXPECT_NE(B.Program->preCondition(), TM.mkTrue());
+}
+
+TEST(PrePostTest, MultipleClausesConjoin) {
+  smt::TermManager TM;
+  prog::BuildResult B = prog::buildFromSource(
+      "var int x; var int y;"
+      "requires x == 0; requires y == 0;"
+      "ensures x == 1; ensures y == 1;"
+      "thread a { x := x + 1; }"
+      "thread b { y := y + 1; }",
+      TM);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  // Both requires (resp. ensures) fold into one conjunction.
+  EXPECT_EQ(B.Program->preCondition()->kind(), smt::TermKind::And);
+}
+
+TEST(PrePostTest, SimpleContractHolds) {
+  VerificationResult R = verify(
+      "var int x; requires x == 0; ensures x == 2;"
+      "thread a { x := x + 1; }"
+      "thread b { x := x + 1; }");
+  EXPECT_EQ(R.V, Verdict::Correct);
+}
+
+TEST(PrePostTest, ViolatedEnsuresFound) {
+  VerificationResult R = verify(
+      "var int x; requires x == 0; ensures x == 3;"
+      "thread a { x := x + 1; }"
+      "thread b { x := x + 1; }");
+  EXPECT_EQ(R.V, Verdict::Incorrect);
+  EXPECT_EQ(R.Witness.size(), 2u) << "exit trace covers both increments";
+}
+
+TEST(PrePostTest, RequiresNarrowsInitialStates) {
+  // Without the precondition x could start at 5 and violate the ensures.
+  VerificationResult Narrow = verify(
+      "var int x; requires x <= 0; ensures x <= 2;"
+      "thread a { x := x + 1; }"
+      "thread b { x := x + 1; }");
+  EXPECT_EQ(Narrow.V, Verdict::Correct);
+  VerificationResult Wide = verify(
+      "var int x; ensures x <= 2;"
+      "thread a { x := x + 1; }"
+      "thread b { x := x + 1; }");
+  EXPECT_EQ(Wide.V, Verdict::Incorrect);
+}
+
+TEST(PrePostTest, UninitializedGlobalIsArbitrary) {
+  // x is uninitialized: the assert can fail for initial x == 7.
+  VerificationResult R = verify("var int x; thread t { assert x != 7; }");
+  EXPECT_EQ(R.V, Verdict::Incorrect);
+  // With an initializer it verifies.
+  VerificationResult R2 =
+      verify("var int x := 0; thread t { assert x != 7; }");
+  EXPECT_EQ(R2.V, Verdict::Correct);
+}
+
+TEST(PrePostTest, EnsuresOnlyCheckedAtFullExit) {
+  // The postcondition is about final states: intermediate x == 1 is fine.
+  VerificationResult R = verify(
+      "var int x := 0; ensures x == 0;"
+      "thread t { x := x + 1; x := x - 1; }");
+  EXPECT_EQ(R.V, Verdict::Correct);
+}
+
+TEST(PrePostTest, CombinesWithAsserts) {
+  // Both an assert violation and an ensures violation must be found; the
+  // assert bug is the shallow one here.
+  VerificationResult R = verify(
+      "var int x := 0; ensures x == 1;"
+      "thread t { assert x == 1; x := x + 1; }");
+  EXPECT_EQ(R.V, Verdict::Incorrect);
+
+  VerificationResult R2 = verify(
+      "var int x := 0; ensures x == 1;"
+      "thread t { x := x + 1; assert x == 1; }");
+  EXPECT_EQ(R2.V, Verdict::Correct);
+}
+
+TEST(PrePostTest, AllOrdersAgree) {
+  const char *Source =
+      "var int x; requires x == 0; ensures x == 3;"
+      "thread a { x := x + 1; }"
+      "thread b { x := x + 1; }"
+      "thread c { x := x + 1; }";
+  for (const char *Order :
+       {"baseline", "seq", "lockstep", "rand(1)", "rand(2)", "rand(3)"}) {
+    VerificationResult R = verify(Source, Order);
+    EXPECT_EQ(R.V, Verdict::Correct) << Order;
+  }
+}
+
+TEST(PrePostTest, LoopWithContract) {
+  // Nondeterministic number of paired increments keeps the difference 0.
+  VerificationResult R = verify(
+      "var int x := 0; var int y := 0; ensures x == y;"
+      "thread t { while (*) { x := x + 1; y := y + 1; } }");
+  EXPECT_EQ(R.V, Verdict::Correct);
+  VerificationResult Bug = verify(
+      "var int x := 0; var int y := 0; ensures x == y;"
+      "thread t { while (*) { x := x + 1; } }");
+  EXPECT_EQ(Bug.V, Verdict::Incorrect);
+}
+
+TEST(PrePostTest, ConcurrentContractNeedsInterleavings) {
+  // The ensures holds only because the threads synchronize via flags.
+  VerificationResult R = verify(
+      "var int x := 0; var bool go := false; ensures x == 2;"
+      "thread a { x := x + 1; go := true; }"
+      "thread b { assume go; x := x + 1; }");
+  EXPECT_EQ(R.V, Verdict::Correct);
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- tests/reduction_helpers.h - Shared test utilities ------------------===//
+///
+/// \file
+/// Brute-force Mazurkiewicz machinery and random program generation used by
+/// the reduction and verifier test suites to validate the paper's theorems
+/// against first-principles reference implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_TESTS_REDUCTION_HELPERS_H
+#define SEQVER_TESTS_REDUCTION_HELPERS_H
+
+#include "automata/Dfa.h"
+#include "program/Program.h"
+#include "reduction/PreferenceOrder.h"
+#include "support/Random.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace seqver {
+namespace testing {
+
+using Word = std::vector<automata::Letter>;
+using CommutFn = std::function<bool(automata::Letter, automata::Letter)>;
+
+/// All words equivalent to W: closure under swapping adjacent commuting
+/// letters (Mazurkiewicz equivalence, Sec. 4).
+inline std::set<Word> equivalenceClass(const Word &W,
+                                       const CommutFn &Commutes) {
+  std::set<Word> Class = {W};
+  std::deque<Word> Worklist = {W};
+  while (!Worklist.empty()) {
+    Word Current = Worklist.front();
+    Worklist.pop_front();
+    for (size_t I = 0; I + 1 < Current.size(); ++I) {
+      if (!Commutes(Current[I], Current[I + 1]))
+        continue;
+      Word Swapped = Current;
+      std::swap(Swapped[I], Swapped[I + 1]);
+      if (Class.insert(Swapped).second)
+        Worklist.push_back(Swapped);
+    }
+  }
+  return Class;
+}
+
+/// True iff A and B are Mazurkiewicz equivalent.
+inline bool areEquivalent(const Word &A, const Word &B,
+                          const CommutFn &Commutes) {
+  if (A.size() != B.size())
+    return false;
+  return equivalenceClass(A, Commutes).count(B) > 0;
+}
+
+/// The lexicographically minimal member of W's class under a non-positional
+/// order given by strictly-less.
+inline Word classMinimum(const Word &W, const CommutFn &Commutes,
+                         const red::PreferenceOrder &Order) {
+  std::set<Word> Class = equivalenceClass(W, Commutes);
+  Word Best = *Class.begin();
+  auto LexLess = [&Order](const Word &X, const Word &Y) {
+    for (size_t I = 0; I < X.size() && I < Y.size(); ++I) {
+      if (X[I] == Y[I])
+        continue;
+      return Order.less(red::PreferenceOrder::InitialContext, X[I], Y[I]);
+    }
+    return X.size() < Y.size();
+  };
+  for (const Word &Candidate : Class)
+    if (LexLess(Candidate, Best))
+      Best = Candidate;
+  return Best;
+}
+
+/// Reference reduction: the set of class-minima of all words in Language.
+inline std::set<Word> bruteForceReduction(const std::set<Word> &Language,
+                                          const CommutFn &Commutes,
+                                          const red::PreferenceOrder &Order) {
+  std::set<Word> Out;
+  for (const Word &W : Language)
+    Out.insert(classMinimum(W, Commutes, Order));
+  return Out;
+}
+
+/// A non-positional order over raw letters defined by a rank vector; used to
+/// drive the generic sleep set construction in tests.
+class RankOrder : public red::PreferenceOrder {
+public:
+  explicit RankOrder(std::vector<uint32_t> Ranks) : Ranks(std::move(Ranks)) {}
+  bool less(Context, automata::Letter A,
+            automata::Letter B) const override {
+    if (Ranks[A] != Ranks[B])
+      return Ranks[A] < Ranks[B];
+    return A < B;
+  }
+  std::string name() const override { return "rank"; }
+
+private:
+  std::vector<uint32_t> Ranks;
+};
+
+/// The linear sum Var + Delta.
+inline smt::LinSum TermManager_sumAddConst(smt::TermManager &TM,
+                                           smt::Term Var, int64_t Delta) {
+  smt::LinSum Sum = TM.sumOfVar(Var);
+  Sum.Constant += Delta;
+  return Sum;
+}
+
+/// Builds a random hand-assembled concurrent program over TM: NumThreads
+/// threads, each a chain (acyclic) or a chain with one back edge, actions
+/// increment variables drawn from a small pool (footprint overlaps induce
+/// non-commutativity). Optionally gives thread 0 an assert (error edge).
+inline std::unique_ptr<prog::ConcurrentProgram>
+makeRandomProgram(smt::TermManager &TM, Rng &R, int NumThreads,
+                  int MaxActionsPerThread, int VarPoolSize, bool Acyclic,
+                  bool WithAssert) {
+  auto P = std::make_unique<prog::ConcurrentProgram>(TM);
+  std::vector<smt::Term> Pool;
+  for (int V = 0; V < VarPoolSize; ++V) {
+    smt::Term Var = TM.mkVar("rv" + std::to_string(V), smt::Sort::Int);
+    Pool.push_back(Var);
+    P->addGlobalInt(Var, 0);
+  }
+
+  for (int T = 0; T < NumThreads; ++T) {
+    prog::ThreadCfg Cfg;
+    Cfg.Name = "t" + std::to_string(T);
+    int NumActions = 1 + static_cast<int>(R.below(
+                             static_cast<uint64_t>(MaxActionsPerThread)));
+    prog::Location Prev = Cfg.addLocation();
+    Cfg.InitialLoc = Prev;
+    std::vector<prog::Location> Chain = {Prev};
+    for (int K = 0; K < NumActions; ++K) {
+      smt::Term Var = Pool[R.below(Pool.size())];
+      prog::Action A;
+      A.ThreadId = T;
+      A.Name = Cfg.Name + ".inc_" + Var->name() + "#" + std::to_string(K);
+      prog::Prim Pr;
+      Pr.K = prog::Prim::Kind::AssignInt;
+      Pr.Var = Var;
+      Pr.IntValue = TermManager_sumAddConst(TM, Var, 1);
+      A.Prims.push_back(Pr);
+      automata::Letter L = P->addAction(std::move(A));
+      prog::Location Next = Cfg.addLocation();
+      Cfg.addEdge(Prev, L, Next);
+      Chain.push_back(Next);
+      Prev = Next;
+    }
+    if (!Acyclic && NumActions >= 2 && R.flip()) {
+      // One extra back-edge action from the last location to a random
+      // earlier location.
+      smt::Term Var = Pool[R.below(Pool.size())];
+      prog::Action A;
+      A.ThreadId = T;
+      A.Name = Cfg.Name + ".back_" + Var->name();
+      prog::Prim Pr;
+      Pr.K = prog::Prim::Kind::AssignInt;
+      Pr.Var = Var;
+      Pr.IntValue = TermManager_sumAddConst(TM, Var, 1);
+      A.Prims.push_back(Pr);
+      automata::Letter L = P->addAction(std::move(A));
+      Cfg.addEdge(Prev, L, Chain[R.below(Chain.size() - 1)]);
+    }
+    if (WithAssert && T == 0) {
+      // assert rv0 <= 100 (never fails; shape only) from the last location.
+      smt::Term Var = Pool[0];
+      prog::Location ErrLoc = Cfg.addLocation(/*IsError=*/true);
+      prog::Location OkLoc = Cfg.addLocation();
+      smt::LinSum Sum = TM.sumOfVar(Var);
+      Sum.Constant -= 100;
+      smt::Term Cond = TM.mkLeZero(Sum);
+      {
+        prog::Action A;
+        A.ThreadId = T;
+        A.Name = Cfg.Name + ".assert_ok";
+        prog::Prim Pr;
+        Pr.K = prog::Prim::Kind::Assume;
+        Pr.Guard = Cond;
+        A.Prims.push_back(Pr);
+        Cfg.addEdge(Prev, P->addAction(std::move(A)), OkLoc);
+      }
+      {
+        prog::Action A;
+        A.ThreadId = T;
+        A.Name = Cfg.Name + ".assert_fail";
+        prog::Prim Pr;
+        Pr.K = prog::Prim::Kind::Assume;
+        Pr.Guard = TM.mkNot(Cond);
+        A.Prims.push_back(Pr);
+        Cfg.addEdge(Prev, P->addAction(std::move(A)), ErrLoc);
+      }
+    }
+    P->addThread(std::move(Cfg));
+  }
+  return P;
+}
+
+} // namespace testing
+} // namespace seqver
+
+#endif // SEQVER_TESTS_REDUCTION_HELPERS_H

@@ -1,0 +1,208 @@
+//===- tools/seqver_cli.cpp - Command line verifier ------------------------===//
+///
+/// The command-line front door: verifies a concurrent program written in
+/// the mini-language (see docs in README.md) with a chosen preference order
+/// or the full portfolio.
+///
+/// Usage:
+///   seqver [options] <file.conc>
+///
+/// Options:
+///   --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>
+///                         single preference order (default: portfolio)
+///   --no-sleep            disable sleep set reduction
+///   --no-persistent       disable persistent set reduction
+///   --no-proof-sensitive  disable conditional commutativity (Def. 7.3)
+///   --timeout=<seconds>   per-analysis timeout (default 60)
+///   --witness             print the error trace for incorrect programs
+///   --proof               print the final proof assertions
+///   --minimize            greedily minimize the proof before reporting
+///   --source=<wp|interp|both>
+///                         refinement predicate source (default wp)
+///   --simulate=<n>        before verifying, try n random executions
+///   --stats               print detailed statistics
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Portfolio.h"
+#include "program/CfgBuilder.h"
+#include "program/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace seqver;
+
+namespace {
+
+struct CliOptions {
+  std::string File;
+  std::string Order; // empty = portfolio
+  bool NoSleep = false;
+  bool NoPersistent = false;
+  bool NoProofSensitive = false;
+  bool PrintWitness = false;
+  bool PrintProof = false;
+  bool Minimize = false;
+  std::string Source = "wp";
+  uint64_t Simulate = 0;
+  bool PrintStats = false;
+  double Timeout = 60;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: seqver [options] <file.conc>\n"
+      "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
+      "  --no-sleep --no-persistent --no-proof-sensitive --minimize\n"
+      "  --source=<wp|interp|both>\n"
+      "  --timeout=<seconds> --witness --proof --stats\n");
+}
+
+bool parseArgs(int argc, char **argv, CliOptions &Opts) {
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--order=", 0) == 0) {
+      Opts.Order = Arg.substr(8);
+    } else if (Arg == "--no-sleep") {
+      Opts.NoSleep = true;
+    } else if (Arg == "--no-persistent") {
+      Opts.NoPersistent = true;
+    } else if (Arg == "--no-proof-sensitive") {
+      Opts.NoProofSensitive = true;
+    } else if (Arg == "--witness") {
+      Opts.PrintWitness = true;
+    } else if (Arg == "--proof") {
+      Opts.PrintProof = true;
+    } else if (Arg == "--minimize") {
+      Opts.Minimize = true;
+    } else if (Arg.rfind("--source=", 0) == 0) {
+      Opts.Source = Arg.substr(9);
+      if (Opts.Source != "wp" && Opts.Source != "interp" &&
+          Opts.Source != "both") {
+        std::fprintf(stderr, "unknown predicate source '%s'\n",
+                     Opts.Source.c_str());
+        return false;
+      }
+    } else if (Arg == "--stats") {
+      Opts.PrintStats = true;
+    } else if (Arg.rfind("--simulate=", 0) == 0) {
+      Opts.Simulate = static_cast<uint64_t>(std::atoll(Arg.c_str() + 11));
+    } else if (Arg.rfind("--timeout=", 0) == 0) {
+      Opts.Timeout = std::atof(Arg.c_str() + 10);
+    } else if (Arg == "--help" || Arg == "-h") {
+      return false;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Opts.File.empty()) {
+      Opts.File = Arg;
+    } else {
+      std::fprintf(stderr, "multiple input files\n");
+      return false;
+    }
+  }
+  return !Opts.File.empty();
+}
+
+void report(const core::VerificationResult &R,
+            const prog::ConcurrentProgram &P, const CliOptions &Opts,
+            const std::string &OrderName) {
+  std::printf("verdict: %s", core::verdictName(R.V).c_str());
+  if (!OrderName.empty())
+    std::printf(" (order: %s)", OrderName.c_str());
+  std::printf("\nrounds: %d  proof size: %zu", R.Rounds, R.ProofSize);
+  if (R.MinimizedProofSize > 0)
+    std::printf("  minimized: %zu", R.MinimizedProofSize);
+  std::printf("  time: %.3fs\n", R.Seconds);
+  if (Opts.PrintWitness && R.V == core::Verdict::Incorrect) {
+    std::printf("witness:\n");
+    for (automata::Letter L : R.Witness)
+      std::printf("  %s\n", P.action(L).Name.c_str());
+  }
+  if (Opts.PrintProof && R.V == core::Verdict::Correct) {
+    std::printf("proof assertions:\n");
+    for (const std::string &Assertion : R.ProofAssertions)
+      std::printf("  %s\n", Assertion.c_str());
+  }
+  if (Opts.PrintStats)
+    std::printf("stats: %s\n", R.Stats.str().c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opts;
+  if (!parseArgs(argc, argv, Opts)) {
+    printUsage();
+    return 2;
+  }
+
+  std::ifstream In(Opts.File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Opts.File.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  smt::TermManager TM;
+  prog::BuildResult Build = prog::buildFromSource(Buffer.str(), TM);
+  if (!Build.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Opts.File.c_str(),
+                 Build.Error.c_str());
+    return 2;
+  }
+  const prog::ConcurrentProgram &P = *Build.Program;
+  std::printf("%s: %d threads, %u locations, %u statements\n",
+              Opts.File.c_str(), P.numThreads(), P.size(), P.numLetters());
+
+  if (Opts.Simulate > 0) {
+    auto Bug = prog::randomWalkForBug(P, /*Seed=*/1, Opts.Simulate);
+    if (Bug) {
+      std::printf("random testing (%llu walks): BUG FOUND\n",
+                  static_cast<unsigned long long>(Opts.Simulate));
+      if (Opts.PrintWitness)
+        for (automata::Letter L : *Bug)
+          std::printf("  %s\n", P.action(L).Name.c_str());
+      return 1;
+    }
+    std::printf("random testing (%llu walks): no bug found; verifying...\n",
+                static_cast<unsigned long long>(Opts.Simulate));
+  }
+
+  core::VerifierConfig Config;
+  Config.TimeoutSeconds = Opts.Timeout;
+  Config.UseSleepSets = !Opts.NoSleep;
+  Config.UsePersistentSets = !Opts.NoPersistent;
+  Config.ProofSensitive = !Opts.NoProofSensitive && !Opts.NoSleep;
+  Config.MinimizeProof = Opts.Minimize;
+  Config.Source = Opts.Source == "interp"
+                      ? core::PredicateSource::Interpolation
+                  : Opts.Source == "both" ? core::PredicateSource::Both
+                                          : core::PredicateSource::WpChain;
+
+  int Exit = 0;
+  if (!Opts.Order.empty()) {
+    if (Opts.Order == "baseline") {
+      Config.UseSleepSets = false;
+      Config.UsePersistentSets = false;
+      Config.ProofSensitive = false;
+    }
+    core::VerificationResult R = core::runSingleOrder(P, Config, Opts.Order);
+    report(R, P, Opts, Opts.Order);
+    Exit = R.V == core::Verdict::Correct      ? 0
+           : R.V == core::Verdict::Incorrect ? 1
+                                             : 3;
+  } else {
+    core::PortfolioResult R = core::runPortfolio(P, Config);
+    report(R.Best, P, Opts, R.BestOrder);
+    Exit = R.Best.V == core::Verdict::Correct      ? 0
+           : R.Best.V == core::Verdict::Incorrect ? 1
+                                                  : 3;
+  }
+  return Exit;
+}
