@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proof_sensitive.dir/bench_ablation_proof_sensitive.cpp.o"
+  "CMakeFiles/bench_ablation_proof_sensitive.dir/bench_ablation_proof_sensitive.cpp.o.d"
+  "bench_ablation_proof_sensitive"
+  "bench_ablation_proof_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proof_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_order.dir/bench_ext_adaptive_order.cpp.o"
+  "CMakeFiles/bench_ext_adaptive_order.dir/bench_ext_adaptive_order.cpp.o.d"
+  "bench_ext_adaptive_order"
+  "bench_ext_adaptive_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

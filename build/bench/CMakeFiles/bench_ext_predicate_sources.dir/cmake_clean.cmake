@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_predicate_sources.dir/bench_ext_predicate_sources.cpp.o"
+  "CMakeFiles/bench_ext_predicate_sources.dir/bench_ext_predicate_sources.cpp.o.d"
+  "bench_ext_predicate_sources"
+  "bench_ext_predicate_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_predicate_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

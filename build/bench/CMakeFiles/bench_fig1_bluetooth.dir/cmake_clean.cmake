@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_bluetooth.dir/bench_fig1_bluetooth.cpp.o"
+  "CMakeFiles/bench_fig1_bluetooth.dir/bench_fig1_bluetooth.cpp.o.d"
+  "bench_fig1_bluetooth"
+  "bench_fig1_bluetooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_bluetooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_quantiles.dir/bench_fig6_quantiles.cpp.o"
+  "CMakeFiles/bench_fig6_quantiles.dir/bench_fig6_quantiles.cpp.o.d"
+  "bench_fig6_quantiles"
+  "bench_fig6_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

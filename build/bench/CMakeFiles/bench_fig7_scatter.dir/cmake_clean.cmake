@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_scatter.dir/bench_fig7_scatter.cpp.o"
+  "CMakeFiles/bench_fig7_scatter.dir/bench_fig7_scatter.cpp.o.d"
+  "bench_fig7_scatter"
+  "bench_fig7_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

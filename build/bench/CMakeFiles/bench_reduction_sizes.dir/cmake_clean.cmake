@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduction_sizes.dir/bench_reduction_sizes.cpp.o"
+  "CMakeFiles/bench_reduction_sizes.dir/bench_reduction_sizes.cpp.o.d"
+  "bench_reduction_sizes"
+  "bench_reduction_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduction_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/seqver_bench_harness.dir/Harness.cpp.o.d"
+  "libseqver_bench_harness.a"
+  "libseqver_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_account.dir/bank_account.cpp.o"
+  "CMakeFiles/bank_account.dir/bank_account.cpp.o.d"
+  "bank_account"
+  "bank_account.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_account.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

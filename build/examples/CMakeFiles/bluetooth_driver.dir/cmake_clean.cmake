@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluetooth_driver.dir/bluetooth_driver.cpp.o"
+  "CMakeFiles/bluetooth_driver.dir/bluetooth_driver.cpp.o.d"
+  "bluetooth_driver"
+  "bluetooth_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluetooth_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

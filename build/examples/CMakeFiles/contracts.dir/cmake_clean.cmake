@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contracts.dir/contracts.cpp.o"
+  "CMakeFiles/contracts.dir/contracts.cpp.o.d"
+  "contracts"
+  "contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_explorer.dir/reduction_explorer.cpp.o"
+  "CMakeFiles/reduction_explorer.dir/reduction_explorer.cpp.o.d"
+  "reduction_explorer"
+  "reduction_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/Dfa.cpp" "src/automata/CMakeFiles/seqver_automata.dir/Dfa.cpp.o" "gcc" "src/automata/CMakeFiles/seqver_automata.dir/Dfa.cpp.o.d"
+  "/root/repo/src/automata/DfaOps.cpp" "src/automata/CMakeFiles/seqver_automata.dir/DfaOps.cpp.o" "gcc" "src/automata/CMakeFiles/seqver_automata.dir/DfaOps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/seqver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

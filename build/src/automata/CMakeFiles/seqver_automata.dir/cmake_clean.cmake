@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_automata.dir/Dfa.cpp.o"
+  "CMakeFiles/seqver_automata.dir/Dfa.cpp.o.d"
+  "CMakeFiles/seqver_automata.dir/DfaOps.cpp.o"
+  "CMakeFiles/seqver_automata.dir/DfaOps.cpp.o.d"
+  "libseqver_automata.a"
+  "libseqver_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_core.dir/Interpolation.cpp.o"
+  "CMakeFiles/seqver_core.dir/Interpolation.cpp.o.d"
+  "CMakeFiles/seqver_core.dir/Portfolio.cpp.o"
+  "CMakeFiles/seqver_core.dir/Portfolio.cpp.o.d"
+  "CMakeFiles/seqver_core.dir/Proof.cpp.o"
+  "CMakeFiles/seqver_core.dir/Proof.cpp.o.d"
+  "CMakeFiles/seqver_core.dir/TraceAnalysis.cpp.o"
+  "CMakeFiles/seqver_core.dir/TraceAnalysis.cpp.o.d"
+  "CMakeFiles/seqver_core.dir/Verifier.cpp.o"
+  "CMakeFiles/seqver_core.dir/Verifier.cpp.o.d"
+  "libseqver_core.a"
+  "libseqver_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

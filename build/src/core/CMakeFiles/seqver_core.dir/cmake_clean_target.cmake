@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseqver_core.a"
+)

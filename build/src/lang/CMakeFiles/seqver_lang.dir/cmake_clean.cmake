@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/seqver_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/seqver_lang.dir/Parser.cpp.o"
+  "CMakeFiles/seqver_lang.dir/Parser.cpp.o.d"
+  "libseqver_lang.a"
+  "libseqver_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

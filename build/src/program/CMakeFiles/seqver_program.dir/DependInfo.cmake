@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/CfgBuilder.cpp" "src/program/CMakeFiles/seqver_program.dir/CfgBuilder.cpp.o" "gcc" "src/program/CMakeFiles/seqver_program.dir/CfgBuilder.cpp.o.d"
+  "/root/repo/src/program/Interpreter.cpp" "src/program/CMakeFiles/seqver_program.dir/Interpreter.cpp.o" "gcc" "src/program/CMakeFiles/seqver_program.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/program/Program.cpp" "src/program/CMakeFiles/seqver_program.dir/Program.cpp.o" "gcc" "src/program/CMakeFiles/seqver_program.dir/Program.cpp.o.d"
+  "/root/repo/src/program/Semantics.cpp" "src/program/CMakeFiles/seqver_program.dir/Semantics.cpp.o" "gcc" "src/program/CMakeFiles/seqver_program.dir/Semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/seqver_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/seqver_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/seqver_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/seqver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

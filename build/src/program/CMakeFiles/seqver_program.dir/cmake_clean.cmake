@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_program.dir/CfgBuilder.cpp.o"
+  "CMakeFiles/seqver_program.dir/CfgBuilder.cpp.o.d"
+  "CMakeFiles/seqver_program.dir/Interpreter.cpp.o"
+  "CMakeFiles/seqver_program.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/seqver_program.dir/Program.cpp.o"
+  "CMakeFiles/seqver_program.dir/Program.cpp.o.d"
+  "CMakeFiles/seqver_program.dir/Semantics.cpp.o"
+  "CMakeFiles/seqver_program.dir/Semantics.cpp.o.d"
+  "libseqver_program.a"
+  "libseqver_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_reduction.dir/Commutativity.cpp.o"
+  "CMakeFiles/seqver_reduction.dir/Commutativity.cpp.o.d"
+  "CMakeFiles/seqver_reduction.dir/PersistentSets.cpp.o"
+  "CMakeFiles/seqver_reduction.dir/PersistentSets.cpp.o.d"
+  "CMakeFiles/seqver_reduction.dir/PreferenceOrder.cpp.o"
+  "CMakeFiles/seqver_reduction.dir/PreferenceOrder.cpp.o.d"
+  "CMakeFiles/seqver_reduction.dir/SleepSet.cpp.o"
+  "CMakeFiles/seqver_reduction.dir/SleepSet.cpp.o.d"
+  "libseqver_reduction.a"
+  "libseqver_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

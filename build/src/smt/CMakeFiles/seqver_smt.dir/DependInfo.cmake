@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/Evaluator.cpp" "src/smt/CMakeFiles/seqver_smt.dir/Evaluator.cpp.o" "gcc" "src/smt/CMakeFiles/seqver_smt.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/smt/Farkas.cpp" "src/smt/CMakeFiles/seqver_smt.dir/Farkas.cpp.o" "gcc" "src/smt/CMakeFiles/seqver_smt.dir/Farkas.cpp.o.d"
+  "/root/repo/src/smt/LiaSolver.cpp" "src/smt/CMakeFiles/seqver_smt.dir/LiaSolver.cpp.o" "gcc" "src/smt/CMakeFiles/seqver_smt.dir/LiaSolver.cpp.o.d"
+  "/root/repo/src/smt/SatSolver.cpp" "src/smt/CMakeFiles/seqver_smt.dir/SatSolver.cpp.o" "gcc" "src/smt/CMakeFiles/seqver_smt.dir/SatSolver.cpp.o.d"
+  "/root/repo/src/smt/Simplex.cpp" "src/smt/CMakeFiles/seqver_smt.dir/Simplex.cpp.o" "gcc" "src/smt/CMakeFiles/seqver_smt.dir/Simplex.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/smt/CMakeFiles/seqver_smt.dir/Solver.cpp.o" "gcc" "src/smt/CMakeFiles/seqver_smt.dir/Solver.cpp.o.d"
+  "/root/repo/src/smt/Term.cpp" "src/smt/CMakeFiles/seqver_smt.dir/Term.cpp.o" "gcc" "src/smt/CMakeFiles/seqver_smt.dir/Term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/seqver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_smt.dir/Evaluator.cpp.o"
+  "CMakeFiles/seqver_smt.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/seqver_smt.dir/Farkas.cpp.o"
+  "CMakeFiles/seqver_smt.dir/Farkas.cpp.o.d"
+  "CMakeFiles/seqver_smt.dir/LiaSolver.cpp.o"
+  "CMakeFiles/seqver_smt.dir/LiaSolver.cpp.o.d"
+  "CMakeFiles/seqver_smt.dir/SatSolver.cpp.o"
+  "CMakeFiles/seqver_smt.dir/SatSolver.cpp.o.d"
+  "CMakeFiles/seqver_smt.dir/Simplex.cpp.o"
+  "CMakeFiles/seqver_smt.dir/Simplex.cpp.o.d"
+  "CMakeFiles/seqver_smt.dir/Solver.cpp.o"
+  "CMakeFiles/seqver_smt.dir/Solver.cpp.o.d"
+  "CMakeFiles/seqver_smt.dir/Term.cpp.o"
+  "CMakeFiles/seqver_smt.dir/Term.cpp.o.d"
+  "libseqver_smt.a"
+  "libseqver_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_support.dir/Rational.cpp.o"
+  "CMakeFiles/seqver_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/seqver_support.dir/Statistics.cpp.o"
+  "CMakeFiles/seqver_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/seqver_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/seqver_support.dir/StringUtils.cpp.o.d"
+  "libseqver_support.a"
+  "libseqver_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

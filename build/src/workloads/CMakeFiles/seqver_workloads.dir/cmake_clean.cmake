@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/seqver_workloads.dir/Workloads.cpp.o.d"
+  "libseqver_workloads.a"
+  "libseqver_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prepost_test.cpp" "tests/CMakeFiles/prepost_test.dir/prepost_test.cpp.o" "gcc" "tests/CMakeFiles/prepost_test.dir/prepost_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seqver_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduction/CMakeFiles/seqver_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/seqver_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/seqver_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/seqver_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/seqver_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/seqver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

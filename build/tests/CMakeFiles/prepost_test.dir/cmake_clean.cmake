@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepost_test.dir/prepost_test.cpp.o"
+  "CMakeFiles/prepost_test.dir/prepost_test.cpp.o.d"
+  "prepost_test"
+  "prepost_test.pdb"
+  "prepost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_simplex_test.dir/smt_simplex_test.cpp.o"
+  "CMakeFiles/smt_simplex_test.dir/smt_simplex_test.cpp.o.d"
+  "smt_simplex_test"
+  "smt_simplex_test.pdb"
+  "smt_simplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

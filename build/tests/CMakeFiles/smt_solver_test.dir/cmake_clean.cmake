@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_solver_test.dir/smt_solver_test.cpp.o"
+  "CMakeFiles/smt_solver_test.dir/smt_solver_test.cpp.o.d"
+  "smt_solver_test"
+  "smt_solver_test.pdb"
+  "smt_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

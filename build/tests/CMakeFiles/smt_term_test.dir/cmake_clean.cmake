@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_term_test.dir/smt_term_test.cpp.o"
+  "CMakeFiles/smt_term_test.dir/smt_term_test.cpp.o.d"
+  "smt_term_test"
+  "smt_term_test.pdb"
+  "smt_term_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_term_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundness_test.dir/soundness_test.cpp.o"
+  "CMakeFiles/soundness_test.dir/soundness_test.cpp.o.d"
+  "soundness_test"
+  "soundness_test.pdb"
+  "soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

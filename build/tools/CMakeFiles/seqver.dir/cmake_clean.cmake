@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqver.dir/seqver_cli.cpp.o"
+  "CMakeFiles/seqver.dir/seqver_cli.cpp.o.d"
+  "seqver"
+  "seqver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
