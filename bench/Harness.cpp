@@ -35,6 +35,11 @@ RunRecord toRecord(const workloads::WorkloadInstance &W,
   Out.Rounds = R.Rounds;
   Out.ProofSize = R.ProofSize;
   Out.PeakVisited = R.Stats.get("peak_visited");
+  Out.CommutQueries = R.Stats.get("commut_queries");
+  Out.CommutSyntactic = R.Stats.get("commut_syntactic");
+  Out.CommutStatic = R.Stats.get("commut_static");
+  Out.SemanticChecks = R.Stats.get("semantic_commut_checks");
+  Out.SmtQueries = R.Stats.get("smt_queries");
   Out.BestOrder = BestOrder;
   return Out;
 }
@@ -188,6 +193,10 @@ SuiteAggregate seqver::bench::aggregate(const std::vector<RunRecord> &Records,
     Out.TotalSeconds += R.Seconds;
     Out.TotalPeakVisited += R.PeakVisited;
     Out.TotalRounds += R.Rounds;
+    Out.TotalCommutQueries += R.CommutQueries;
+    Out.TotalCommutStatic += R.CommutStatic;
+    Out.TotalSemanticChecks += R.SemanticChecks;
+    Out.TotalSmtQueries += R.SmtQueries;
   }
   return Out;
 }

@@ -33,6 +33,13 @@ struct RunRecord {
   int Rounds = 0;
   size_t ProofSize = 0;
   int64_t PeakVisited = 0;
+  /// Commutativity tier breakdown (support/Statistics counters of the
+  /// winning run): how the commutativity queries were settled.
+  int64_t CommutQueries = 0;
+  int64_t CommutSyntactic = 0;
+  int64_t CommutStatic = 0;
+  int64_t SemanticChecks = 0;
+  int64_t SmtQueries = 0;
   /// Portfolio only: name of the winning order.
   std::string BestOrder;
 
@@ -80,6 +87,10 @@ struct SuiteAggregate {
   double TotalSeconds = 0;
   int64_t TotalPeakVisited = 0;
   int64_t TotalRounds = 0;
+  int64_t TotalCommutQueries = 0;
+  int64_t TotalCommutStatic = 0;
+  int64_t TotalSemanticChecks = 0;
+  int64_t TotalSmtQueries = 0;
 };
 
 /// Aggregate over records, optionally restricted to expected-correct or

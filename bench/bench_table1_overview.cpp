@@ -63,15 +63,41 @@ void printSuiteBlock(const std::string &SuiteName,
   std::printf("\ncommonly-solved rounds: Automizer=%lld GemCutter=%lld\n",
               static_cast<long long>(CommonRoundsA),
               static_cast<long long>(CommonRoundsG));
+
+  // Commutativity tier breakdown for GemCutter: how many queries the
+  // solver-free static tier settled, and the SMT checks that remained.
+  SuiteAggregate G = aggregate(GemCutter);
+  double StaticPct =
+      G.TotalCommutQueries
+          ? 100.0 * static_cast<double>(G.TotalCommutStatic) /
+                static_cast<double>(G.TotalCommutQueries)
+          : 0.0;
+  std::printf("commutativity tiers (GemCutter): queries=%lld static=%lld "
+              "(%.1f%%) semantic=%lld smt=%lld\n",
+              static_cast<long long>(G.TotalCommutQueries),
+              static_cast<long long>(G.TotalCommutStatic), StaticPct,
+              static_cast<long long>(G.TotalSemanticChecks),
+              static_cast<long long>(G.TotalSmtQueries));
 }
 
 void BM_SuiteGemcutterSmall(benchmark::State &State) {
   auto Suite = workloads::weaverLikeSuite();
   Suite.resize(4); // bluetooth 1..4
+  SuiteAggregate Last;
   for (auto _ : State) {
     auto Records = runSuite(Suite, "gemcutter");
     benchmark::DoNotOptimize(Records.size());
+    Last = aggregate(Records);
   }
+  // Exported into --benchmark_out JSON so BENCH_*.json tracks the SMT-query
+  // savings of the static commutativity tier over time.
+  State.counters["commut_queries"] =
+      static_cast<double>(Last.TotalCommutQueries);
+  State.counters["commut_static"] =
+      static_cast<double>(Last.TotalCommutStatic);
+  State.counters["semantic_commut_checks"] =
+      static_cast<double>(Last.TotalSemanticChecks);
+  State.counters["smt_queries"] = static_cast<double>(Last.TotalSmtQueries);
 }
 BENCHMARK(BM_SuiteGemcutterSmall)->Unit(benchmark::kMillisecond)->Iterations(1);
 

@@ -1,0 +1,93 @@
+//===- analysis/Analysis.cpp - Whole-program static analysis driver -------===//
+
+#include "analysis/Analysis.h"
+
+#include <map>
+#include <sstream>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::automata::Letter;
+using seqver::prog::Location;
+using seqver::smt::Term;
+
+ProgramAnalysis::ProgramAnalysis(const prog::ConcurrentProgram &P) : P(P) {
+  Locks = std::make_unique<LockSetAnalysis>(P);
+  Accesses = std::make_unique<MayAccessAnalysis>(P);
+  Intervals = std::make_unique<IntervalAnalysis>(P);
+  Racy = std::make_unique<RaceDetector>(P, *Locks, Intervals.get());
+}
+
+std::string ProgramAnalysis::report() const {
+  std::ostringstream Out;
+  const smt::TermManager &TM = P.termManager();
+
+  Out << "== static analysis report ==\n";
+  Out << "threads: " << P.numThreads() << "  actions: " << P.numLetters()
+      << "  locations: " << P.size() << "\n\n";
+
+  Out << "locks (" << Locks->locks().Locks.size() << "):";
+  for (Term L : Locks->locks().Locks)
+    Out << " " << L->name();
+  Out << "\n";
+
+  const auto &Dead = Intervals->deadEdges();
+  Out << "dead edges (" << Dead.size() << "):";
+  for (const DeadEdge &E : Dead)
+    Out << " " << P.action(E.EdgeLetter).Name;
+  Out << "\n\n";
+
+  const auto &Races = Racy->races();
+  Out << "races (" << Races.size() << "):\n";
+  for (const Race &R : Races) {
+    Out << "  " << (R.WriteWrite ? "write/write" : "write/read") << " on";
+    for (Term V : R.Vars)
+      Out << " " << V->name();
+    Out << ": `" << P.action(R.First).Name << "` (thread "
+        << P.action(R.First).ThreadId << ") vs `" << P.action(R.Second).Name
+        << "` (thread " << P.action(R.Second).ThreadId << ")\n";
+  }
+  if (Races.empty())
+    Out << "  none (lockset discipline covers all conflicting pairs)\n";
+
+  const auto &Prot = Racy->protectedPairs();
+  Out << "\nlock-protected independent pairs (" << Prot.size() << "):\n";
+  for (const ProtectedPair &Pair : Prot)
+    Out << "  `" << P.action(Pair.First).Name << "` vs `"
+        << P.action(Pair.Second).Name << "` under " << Pair.Lock->name()
+        << "\n";
+  if (Prot.empty())
+    Out << "  none\n";
+  (void)TM;
+  return Out.str();
+}
+
+uint32_t seqver::analysis::pruneDeadEdges(prog::ConcurrentProgram &P,
+                                          const IntervalAnalysis &Intervals) {
+  // Group dead edges by (thread, source) so "would this empty the location"
+  // can be answered before touching the CFG.
+  std::map<std::pair<int, Location>, std::vector<Letter>> BySource;
+  for (const DeadEdge &E : Intervals.deadEdges())
+    BySource[{E.ThreadId, E.From}].push_back(E.EdgeLetter);
+
+  uint32_t Removed = 0;
+  for (const auto &[Src, Letters] : BySource) {
+    const auto &[ThreadId, From] = Src;
+    bool Reachable = Intervals.reachable(ThreadId, From);
+    size_t OutDegree = P.thread(ThreadId).Edges[From].size();
+    // Keep a reachable location's last edge: removing all of them would
+    // reclassify a stuck (deadlocked) location as a legitimate exit.
+    size_t Removable =
+        Reachable && Letters.size() >= OutDegree ? Letters.size() - 1
+                                                 : Letters.size();
+    for (size_t I = 0; I < Removable; ++I)
+      if (P.removeEdge(ThreadId, From, Letters[I]))
+        ++Removed;
+  }
+  return Removed;
+}
+
+uint32_t seqver::analysis::pruneDeadEdges(prog::ConcurrentProgram &P) {
+  IntervalAnalysis Intervals(P);
+  return pruneDeadEdges(P, Intervals);
+}

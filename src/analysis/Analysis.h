@@ -1,0 +1,63 @@
+//===- analysis/Analysis.h - Whole-program static analysis driver ---------===//
+///
+/// \file
+/// Runs every analysis pass over a concurrent program and bundles the
+/// results: lock discipline + must-locksets, may-access sets, constant/
+/// interval facts with dead edges, and the lockset race report. Also hosts
+/// the dead-edge pruning transformation and the human-readable report
+/// behind `seqver_cli --analyze`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_ANALYSIS_H
+#define SEQVER_ANALYSIS_ANALYSIS_H
+
+#include "analysis/IntervalProp.h"
+#include "analysis/LockSet.h"
+#include "analysis/MayAccess.h"
+#include "analysis/RaceDetector.h"
+
+#include <memory>
+#include <string>
+
+namespace seqver {
+namespace analysis {
+
+/// All pass results for one program. Owns the analyses; references the
+/// program, which must outlive it.
+class ProgramAnalysis {
+public:
+  explicit ProgramAnalysis(const prog::ConcurrentProgram &P);
+
+  const prog::ConcurrentProgram &program() const { return P; }
+  const LockSetAnalysis &locks() const { return *Locks; }
+  const MayAccessAnalysis &accesses() const { return *Accesses; }
+  const IntervalAnalysis &intervals() const { return *Intervals; }
+  const RaceDetector &races() const { return *Racy; }
+
+  /// Human-readable race/independence/pruning report (--analyze output).
+  std::string report() const;
+
+private:
+  const prog::ConcurrentProgram &P;
+  std::unique_ptr<LockSetAnalysis> Locks;
+  std::unique_ptr<MayAccessAnalysis> Accesses;
+  std::unique_ptr<IntervalAnalysis> Intervals;
+  std::unique_ptr<RaceDetector> Racy;
+};
+
+/// Removes the statically dead edges found by interval propagation from P,
+/// in place. A reachable location keeps at least one outgoing edge even if
+/// all of them are dead: dropping every edge would turn a (deadlocked)
+/// location into a terminal one and change L(P)'s all-exit states. Returns
+/// the number of edges removed.
+uint32_t pruneDeadEdges(prog::ConcurrentProgram &P,
+                        const IntervalAnalysis &Intervals);
+
+/// Convenience overload: runs a fresh interval analysis, then prunes.
+uint32_t pruneDeadEdges(prog::ConcurrentProgram &P);
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_ANALYSIS_H

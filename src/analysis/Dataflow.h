@@ -1,0 +1,149 @@
+//===- analysis/Dataflow.h - Monotone dataflow framework ------------------===//
+///
+/// \file
+/// A reusable worklist solver for monotone dataflow problems over one
+/// thread's control flow graph. Passes plug in a *domain* describing the
+/// lattice and the transfer functions; the solver iterates to a fixpoint.
+///
+/// Domain concept (duck-typed; see MustLockDomain / IntervalDomain for
+/// concrete instances):
+///
+///   struct Domain {
+///     using Fact = ...;                    // lattice element, copyable
+///     Fact boundary() const;               // fact at the entry boundary
+///     bool join(Fact &Into, const Fact &From) const;   // true iff changed
+///     std::optional<Fact> transfer(const prog::Action &A,
+///                                  const Fact &In) const;
+///     void widen(Fact &F) const;           // jump to a finite-height cover
+///   };
+///
+/// `transfer` returning std::nullopt means the edge is infeasible under the
+/// incoming fact (e.g. an assume guard that evaluates to false): nothing is
+/// propagated to the target. Locations never reached by propagation keep no
+/// fact at all — `at()` returns nullptr for them — which is what the
+/// dead-edge pruning pass exploits.
+///
+/// Termination: the solver counts joins per location and calls `widen` on a
+/// location's fact once the count passes WidenThreshold; domains with
+/// infinite ascending chains (intervals) must make `widen` reach a finite
+/// subdomain, finite domains can make it a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_DATAFLOW_H
+#define SEQVER_ANALYSIS_DATAFLOW_H
+
+#include "program/Program.h"
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+enum class Direction { Forward, Backward };
+
+/// Worklist fixpoint solver for one thread CFG. The fact attached to a
+/// location L is valid whenever the thread is at L:
+///  - Forward: join over all paths from the entry to L.
+///  - Backward: join over all paths from L to any terminal location.
+template <typename Domain> class DataflowSolver {
+public:
+  using Fact = typename Domain::Fact;
+
+  DataflowSolver(const prog::ConcurrentProgram &P, int ThreadId,
+                 Domain D = Domain(), Direction Dir = Direction::Forward)
+      : P(P), Cfg(P.thread(ThreadId)), D(std::move(D)), Dir(Dir) {}
+
+  /// Runs to fixpoint; returns the number of edge-transfer applications
+  /// (a proxy for solver work, used by tests and statistics).
+  uint64_t run() {
+    uint32_t N = Cfg.numLocations();
+    Facts.assign(N, std::nullopt);
+    JoinCounts.assign(N, 0);
+    std::vector<bool> InList(N, false);
+    std::deque<prog::Location> Worklist;
+    auto Enqueue = [&](prog::Location L) {
+      if (!InList[L]) {
+        InList[L] = true;
+        Worklist.push_back(L);
+      }
+    };
+
+    // Edge orientation: Backward runs on the reversed CFG, with the
+    // boundary fact seeded at every terminal location.
+    std::vector<std::vector<std::pair<automata::Letter, prog::Location>>>
+        Succ(N);
+    if (Dir == Direction::Forward) {
+      for (prog::Location L = 0; L < N; ++L)
+        Succ[L] = Cfg.Edges[L];
+      seed(Cfg.InitialLoc, Enqueue);
+    } else {
+      for (prog::Location From = 0; From < N; ++From)
+        for (const auto &[Letter, To] : Cfg.Edges[From])
+          Succ[To].emplace_back(Letter, From);
+      for (prog::Location L = 0; L < N; ++L)
+        if (Cfg.isTerminal(L))
+          seed(L, Enqueue);
+    }
+
+    uint64_t Transfers = 0;
+    while (!Worklist.empty()) {
+      prog::Location Current = Worklist.front();
+      Worklist.pop_front();
+      InList[Current] = false;
+      for (const auto &[Letter, To] : Succ[Current]) {
+        ++Transfers;
+        std::optional<Fact> Out = D.transfer(P.action(Letter), *Facts[Current]);
+        if (!Out)
+          continue; // infeasible edge under the current fact
+        if (!Facts[To]) {
+          Facts[To] = std::move(Out);
+          Enqueue(To);
+          continue;
+        }
+        if (D.join(*Facts[To], *Out)) {
+          if (++JoinCounts[To] > WidenThreshold)
+            D.widen(*Facts[To]);
+          Enqueue(To);
+        }
+      }
+    }
+    return Transfers;
+  }
+
+  /// Fixpoint fact at a location, or nullptr if the location was never
+  /// reached by propagation (unreachable under the domain's abstraction).
+  const Fact *at(prog::Location L) const {
+    return Facts[L] ? &*Facts[L] : nullptr;
+  }
+
+  const Domain &domain() const { return D; }
+
+  /// Joins per location before widening kicks in. Small enough to bound
+  /// runtime on interval chains, large enough not to fire on the lock and
+  /// access domains (whose height is bounded by the variable count).
+  static constexpr uint32_t WidenThreshold = 32;
+
+private:
+  template <typename Enq> void seed(prog::Location L, Enq &Enqueue) {
+    if (!Facts[L])
+      Facts[L] = D.boundary();
+    else
+      D.join(*Facts[L], D.boundary());
+    Enqueue(L);
+  }
+
+  const prog::ConcurrentProgram &P;
+  const prog::ThreadCfg &Cfg;
+  Domain D;
+  Direction Dir;
+  std::vector<std::optional<Fact>> Facts;
+  std::vector<uint32_t> JoinCounts;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,205 @@
+//===- analysis/IntervalProp.cpp - Constant/interval propagation ----------===//
+
+#include "analysis/IntervalProp.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/Refine.h"
+#include "analysis/TermSet.h"
+
+#include <algorithm>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::prog::Action;
+using seqver::prog::Location;
+using seqver::prog::Prim;
+using seqver::smt::Term;
+
+namespace {
+
+class IntervalDomain {
+public:
+  using Fact = IntervalFact;
+
+  IntervalDomain(const prog::ConcurrentProgram &P,
+                 const std::vector<Term> &Trackable)
+      : P(P), TM(P.termManager()), Trackable(Trackable) {}
+
+  Fact boundary() const {
+    Fact F;
+    for (Term Var : Trackable) {
+      if (!P.isGlobalConstrained(Var))
+        continue;
+      const smt::Assignment &Init = P.initialValues();
+      if (Var->sort() == smt::Sort::Int)
+        F[Var] = Interval::exact(Init.intValue(Var));
+      else
+        F[Var] = Interval::exact(Init.boolValue(Var) ? 1 : 0);
+    }
+    return F;
+  }
+
+  bool join(Fact &Into, const Fact &From) const {
+    bool Changed = false;
+    for (auto It = Into.begin(); It != Into.end();) {
+      auto OIt = From.find(It->first);
+      if (OIt == From.end()) {
+        It = Into.erase(It);
+        Changed = true;
+        continue;
+      }
+      Interval Hull = It->second;
+      Hull.hullWith(OIt->second);
+      if (Hull != It->second) {
+        It->second = Hull;
+        Changed = true;
+      }
+      ++It;
+    }
+    return Changed;
+  }
+
+  std::optional<Fact> transfer(const Action &A, const Fact &In) const {
+    auto IsTrackable = [&](Term Var) {
+      return termSetContains(Trackable, Var);
+    };
+    Fact F = In;
+    for (const Prim &Pr : A.Prims) {
+      switch (Pr.K) {
+      case Prim::Kind::Assume:
+        if (evalTri(TM, Pr.Guard, FactEnv{F}) == Tri::False)
+          return std::nullopt;
+        if (!refineConjunction(Pr.Guard, F, IsTrackable))
+          return std::nullopt;
+        break;
+      case Prim::Kind::AssignInt:
+        if (IsTrackable(Pr.Var))
+          setInterval(F, Pr.Var, intervalOfSum(Pr.IntValue, FactEnv{F}));
+        break;
+      case Prim::Kind::AssignBool:
+        if (IsTrackable(Pr.Var)) {
+          switch (evalTri(TM, Pr.BoolValue, FactEnv{F})) {
+          case Tri::True:
+            F[Pr.Var] = Interval::exact(1);
+            break;
+          case Tri::False:
+            F[Pr.Var] = Interval::exact(0);
+            break;
+          case Tri::Unknown:
+            F.erase(Pr.Var);
+            break;
+          }
+        }
+        break;
+      case Prim::Kind::Havoc:
+        F.erase(Pr.Var);
+        break;
+      }
+    }
+    return F;
+  }
+
+  /// Finite cover: drop integer entries, keep booleans (their sublattice of
+  /// [0,1] is finite, so chains through them terminate on their own).
+  void widen(Fact &F) const {
+    for (auto It = F.begin(); It != F.end();)
+      if (It->first->sort() == smt::Sort::Int)
+        It = F.erase(It);
+      else
+        ++It;
+  }
+
+private:
+  const prog::ConcurrentProgram &P;
+  const smt::TermManager &TM;
+  const std::vector<Term> &Trackable;
+};
+
+} // namespace
+
+IntervalAnalysis::IntervalAnalysis(const prog::ConcurrentProgram &P) : P(P) {
+  int N = P.numThreads();
+
+  // Trackable[t]: globals written by no thread other than t.
+  std::vector<std::vector<bool>> WrittenByThread(
+      P.globals().size(), std::vector<bool>(static_cast<size_t>(N), false));
+  auto GlobalIndex = [&](Term Var) -> int {
+    const auto &G = P.globals();
+    for (size_t I = 0; I < G.size(); ++I)
+      if (G[I] == Var)
+        return static_cast<int>(I);
+    return -1;
+  };
+  for (const Action &A : P.actions())
+    for (Term W : A.Writes) {
+      int I = GlobalIndex(W);
+      if (I >= 0)
+        WrittenByThread[static_cast<size_t>(I)]
+                       [static_cast<size_t>(A.ThreadId)] = true;
+    }
+  Trackable.assign(static_cast<size_t>(N), {});
+  for (int T = 0; T < N; ++T)
+    for (size_t I = 0; I < P.globals().size(); ++I) {
+      bool OtherWrites = false;
+      for (int O = 0; O < N; ++O)
+        if (O != T && WrittenByThread[I][static_cast<size_t>(O)])
+          OtherWrites = true;
+      if (!OtherWrites)
+        termSetInsert(Trackable[static_cast<size_t>(T)], P.globals()[I]);
+    }
+
+  Facts.resize(static_cast<size_t>(N));
+  for (int T = 0; T < N; ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    IntervalDomain D(P, Trackable[static_cast<size_t>(T)]);
+    DataflowSolver<IntervalDomain> Solver(P, T, D, Direction::Forward);
+    Solver.run();
+    auto &PerLoc = Facts[static_cast<size_t>(T)];
+    PerLoc.assign(Cfg.numLocations(), std::nullopt);
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      if (const IntervalFact *F = Solver.at(L))
+        PerLoc[L] = *F;
+
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      for (const auto &[EdgeLetter, To] : Cfg.Edges[L]) {
+        (void)To;
+        bool IsDead =
+            !PerLoc[L] || !D.transfer(P.action(EdgeLetter), *PerLoc[L]);
+        if (IsDead)
+          Dead.push_back({T, L, EdgeLetter});
+      }
+  }
+}
+
+const Interval *IntervalAnalysis::varAt(int ThreadId, Location Loc,
+                                        Term Var) const {
+  const IntervalFact *F = factAt(ThreadId, Loc);
+  if (!F)
+    return nullptr;
+  auto It = F->find(Var);
+  return It == F->end() ? nullptr : &It->second;
+}
+
+const IntervalFact *IntervalAnalysis::factAt(int ThreadId,
+                                             Location Loc) const {
+  const auto &PerLoc = Facts[static_cast<size_t>(ThreadId)];
+  if (Loc >= PerLoc.size() || !PerLoc[Loc])
+    return nullptr;
+  return &*PerLoc[Loc];
+}
+
+bool IntervalAnalysis::reachable(int ThreadId, Location Loc) const {
+  return factAt(ThreadId, Loc) != nullptr;
+}
+
+Tri IntervalAnalysis::evalAt(int ThreadId, Location Loc,
+                             Term Formula) const {
+  const IntervalFact *F = factAt(ThreadId, Loc);
+  if (!F)
+    return Tri::Unknown;
+  return evalTri(P.termManager(), Formula, FactEnv{*F});
+}
+
+const std::vector<Term> &IntervalAnalysis::trackable(int ThreadId) const {
+  return Trackable[static_cast<size_t>(ThreadId)];
+}

@@ -1,0 +1,78 @@
+//===- analysis/IntervalProp.h - Constant/interval propagation ------------===//
+///
+/// \file
+/// Thread-modular constant/interval propagation on the Dataflow framework.
+///
+/// Soundness under concurrency: the pass only tracks a thread's *trackable*
+/// variables — globals written by no thread other than the analyzed one.
+/// Their value cannot change while the thread sits at a location, so a fact
+/// attached to a location is a true invariant of every product state in
+/// which the thread occupies that location, regardless of interleaving.
+/// Assume guards refine trackable variables only; guards over shared
+/// variables merely evaluate (and can still kill an edge when they are
+/// contradictory on their own, e.g. a constant-false guard).
+///
+/// The pass yields:
+///  - per-location intervals for trackable variables (constants included),
+///  - thread-CFG reachability under the abstraction,
+///  - the list of *dead edges*: edges whose transfer is infeasible from the
+///    fixpoint fact (or whose source is unreachable). These are provably
+///    never executed in any interleaving and can be pruned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_INTERVALPROP_H
+#define SEQVER_ANALYSIS_INTERVALPROP_H
+
+#include "analysis/Interval.h"
+#include "program/Program.h"
+
+#include <map>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// A prunable CFG edge, identified by thread, source location and letter.
+struct DeadEdge {
+  int ThreadId;
+  prog::Location From;
+  automata::Letter EdgeLetter;
+};
+
+class IntervalAnalysis {
+public:
+  explicit IntervalAnalysis(const prog::ConcurrentProgram &P);
+
+  /// The interval known for Var when ThreadId is at Loc, or nullptr if
+  /// nothing is known (untracked variable or unreachable location).
+  const Interval *varAt(int ThreadId, prog::Location Loc,
+                        smt::Term Var) const;
+
+  /// Whole fact at a location; nullptr when unreachable.
+  const IntervalFact *factAt(int ThreadId, prog::Location Loc) const;
+
+  /// True if the abstraction reaches Loc (initial locations always are).
+  bool reachable(int ThreadId, prog::Location Loc) const;
+
+  /// Tri-state truth of Formula as an invariant of "ThreadId at Loc".
+  Tri evalAt(int ThreadId, prog::Location Loc, smt::Term Formula) const;
+
+  /// Edges provably never taken; sorted by (thread, location, letter).
+  const std::vector<DeadEdge> &deadEdges() const { return Dead; }
+
+  /// Variables trackable for ThreadId (written by no other thread).
+  const std::vector<smt::Term> &trackable(int ThreadId) const;
+
+private:
+  const prog::ConcurrentProgram &P;
+  std::vector<std::vector<smt::Term>> Trackable;
+  /// Facts[thread][loc]; nullopt = unreachable.
+  std::vector<std::vector<std::optional<IntervalFact>>> Facts;
+  std::vector<DeadEdge> Dead;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_INTERVALPROP_H

@@ -1,0 +1,247 @@
+//===- analysis/LockSet.cpp - Lock discovery and MustLock dataflow --------===//
+
+#include "analysis/LockSet.h"
+
+#include "analysis/TermSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::automata::Letter;
+using seqver::prog::Action;
+using seqver::prog::Location;
+using seqver::prog::Prim;
+using seqver::smt::Term;
+
+namespace {
+
+/// True if Guard has !Var as a top-level conjunct.
+bool guardAssumesNot(const smt::TermManager &TM, Term Guard, Term Var) {
+  (void)TM;
+  if (Guard->kind() == smt::TermKind::Not && Guard->child(0) == Var)
+    return true;
+  if (Guard->kind() == smt::TermKind::And)
+    for (Term Child : Guard->children())
+      if (Child->kind() == smt::TermKind::Not && Child->child(0) == Var)
+        return true;
+  return false;
+}
+
+/// Classification of one action's effect on one candidate variable.
+enum class WriteShape { None, Acquire, Release, Other };
+
+WriteShape classifyWrite(const smt::TermManager &TM, const Action &A,
+                         Term Var) {
+  bool Writes = false;
+  bool SetTrue = false;
+  bool SetFalse = false;
+  bool TestedBefore = false;
+  bool SawTest = false;
+  for (const Prim &P : A.Prims) {
+    switch (P.K) {
+    case Prim::Kind::Assume:
+      if (guardAssumesNot(TM, P.Guard, Var))
+        SawTest = true;
+      break;
+    case Prim::Kind::AssignBool:
+      if (P.Var == Var) {
+        Writes = true;
+        if (P.BoolValue == TM.mkTrue()) {
+          SetTrue = true;
+          TestedBefore = SawTest;
+        } else if (P.BoolValue == TM.mkFalse()) {
+          SetFalse = true;
+        } else {
+          return WriteShape::Other; // data-dependent write
+        }
+      }
+      break;
+    case Prim::Kind::Havoc:
+      if (P.Var == Var)
+        return WriteShape::Other;
+      break;
+    case Prim::Kind::AssignInt:
+      break;
+    }
+  }
+  if (!Writes)
+    return WriteShape::None;
+  if (SetTrue && SetFalse)
+    return WriteShape::Other; // toggles within one action
+  if (SetTrue)
+    return TestedBefore ? WriteShape::Acquire : WriteShape::Other;
+  return WriteShape::Release;
+}
+
+} // namespace
+
+bool LockInfo::isLock(Term Var) const { return termSetContains(Locks, Var); }
+
+LockInfo seqver::analysis::discoverLocks(const prog::ConcurrentProgram &P) {
+  const smt::TermManager &TM = P.termManager();
+  LockInfo Info;
+  Info.Acquires.assign(P.numLetters(), {});
+  Info.Releases.assign(P.numLetters(), {});
+
+  for (Term Var : P.globals()) {
+    if (Var->sort() != smt::Sort::Bool)
+      continue;
+    bool HasAcquire = false;
+    bool Disciplined = true;
+    for (const Action &A : P.actions()) {
+      switch (classifyWrite(TM, A, Var)) {
+      case WriteShape::None:
+      case WriteShape::Release:
+        break;
+      case WriteShape::Acquire:
+        HasAcquire = true;
+        break;
+      case WriteShape::Other:
+        Disciplined = false;
+        break;
+      }
+      if (!Disciplined)
+        break;
+    }
+    if (HasAcquire && Disciplined)
+      termSetInsert(Info.Locks, Var);
+  }
+
+  for (const Action &A : P.actions()) {
+    for (Term L : Info.Locks) {
+      switch (classifyWrite(TM, A, L)) {
+      case WriteShape::Acquire:
+        termSetInsert(Info.Acquires[A.Letter], L);
+        break;
+      case WriteShape::Release:
+        termSetInsert(Info.Releases[A.Letter], L);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Info;
+}
+
+namespace {
+
+/// Must-held lockset domain: facts are sorted lock vectors, joined by
+/// intersection (held on *all* paths).
+class MustLockDomain {
+public:
+  using Fact = std::vector<Term>;
+
+  MustLockDomain(const LockInfo &Info) : Info(Info) {}
+
+  Fact boundary() const { return {}; }
+
+  bool join(Fact &Into, const Fact &From) const {
+    Fact Merged;
+    std::set_intersection(
+        Into.begin(), Into.end(), From.begin(), From.end(),
+        std::back_inserter(Merged),
+        [](Term A, Term B) { return A->id() < B->id(); });
+    bool Changed = Merged.size() != Into.size();
+    Into = std::move(Merged);
+    return Changed;
+  }
+
+  std::optional<Fact> transfer(const Action &A, const Fact &In) const {
+    Fact Out = In;
+    for (Term L : Info.Acquires[A.Letter])
+      termSetInsert(Out, L);
+    for (Term L : Info.Releases[A.Letter])
+      termSetErase(Out, L);
+    return Out;
+  }
+
+  void widen(Fact &) const {} // finite lattice: height <= #locks
+
+private:
+  const LockInfo &Info;
+};
+
+} // namespace
+
+LockSetAnalysis::LockSetAnalysis(const prog::ConcurrentProgram &P)
+    : P(P), Info(discoverLocks(P)) {
+  int N = P.numThreads();
+  HeldAt.resize(static_cast<size_t>(N));
+  Reachable.resize(static_cast<size_t>(N));
+  SourceLoc.assign(P.numLetters(), 0);
+  for (int T = 0; T < N; ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    DataflowSolver<MustLockDomain> Solver(P, T, MustLockDomain(Info),
+                                          Direction::Forward);
+    Solver.run();
+    auto &PerLoc = HeldAt[static_cast<size_t>(T)];
+    auto &Reach = Reachable[static_cast<size_t>(T)];
+    PerLoc.assign(Cfg.numLocations(), {});
+    Reach.assign(Cfg.numLocations(), false);
+    for (Location L = 0; L < Cfg.numLocations(); ++L) {
+      if (const auto *Fact = Solver.at(L)) {
+        PerLoc[L] = *Fact;
+        Reach[L] = true;
+      }
+      for (const auto &[Letter, To] : Cfg.Edges[L]) {
+        (void)To;
+        SourceLoc[Letter] = L;
+      }
+    }
+  }
+
+  // Ownership validation: every reachable release of L must happen while the
+  // releasing thread must-holds L. A release without ownership would let L
+  // go false under another thread's critical section, breaking the mutual
+  // exclusion argument, so such an L is not a lock. The must-lock facts of
+  // distinct locks are independent, so demoting one lock leaves the others'
+  // facts valid and no re-analysis is needed.
+  std::vector<Term> Demoted;
+  for (const Action &A : P.actions()) {
+    if (!Reachable[static_cast<size_t>(A.ThreadId)][SourceLoc[A.Letter]])
+      continue;
+    for (Term L : Info.Releases[A.Letter])
+      if (!termSetContains(heldAt(A.ThreadId, SourceLoc[A.Letter]), L) &&
+          !termSetContains(Info.Acquires[A.Letter], L))
+        termSetInsert(Demoted, L);
+  }
+  for (Term L : Demoted) {
+    termSetErase(Info.Locks, L);
+    for (Letter A = 0; A < P.numLetters(); ++A) {
+      termSetErase(Info.Acquires[A], L);
+      termSetErase(Info.Releases[A], L);
+    }
+    for (auto &PerLoc : HeldAt)
+      for (auto &Held : PerLoc)
+        termSetErase(Held, L);
+  }
+}
+
+const std::vector<Term> &LockSetAnalysis::heldAt(int ThreadId,
+                                                 Location Loc) const {
+  return HeldAt[static_cast<size_t>(ThreadId)][Loc];
+}
+
+bool LockSetAnalysis::reachable(int ThreadId, Location Loc) const {
+  return Reachable[static_cast<size_t>(ThreadId)][Loc];
+}
+
+std::vector<Term> LockSetAnalysis::actionLockset(Letter L) const {
+  const Action &A = P.action(L);
+  std::vector<Term> Out = heldAt(A.ThreadId, SourceLoc[L]);
+  for (Term Lock : Info.Acquires[L])
+    termSetInsert(Out, Lock);
+  return Out;
+}
+
+bool LockSetAnalysis::commonLockHeld(Letter A, Letter B) const {
+  std::vector<Term> LA = actionLockset(A);
+  std::vector<Term> LB = actionLockset(B);
+  for (Term L : LA)
+    if (termSetContains(LB, L))
+      return true;
+  return false;
+}

@@ -1,0 +1,85 @@
+//===- analysis/LockSet.h - Lock discovery and MustLock dataflow ----------===//
+///
+/// \file
+/// Identifies boolean globals used with a test-and-set lock discipline and
+/// computes, per thread location, the set of locks *definitely* held
+/// whenever the thread is at that location (a classic must-analysis with
+/// intersection at joins, run on the Dataflow framework).
+///
+/// A boolean global L is a lock iff
+///   - some action *acquires* it: a prim sequence containing
+///     `assume ... && !L && ...` followed by `L := true` within one atomic
+///     action (the test and the set are not torn), and
+///   - every program action that writes L is such an acquire or a *release*
+///     (`L := false`); havocs or data-dependent writes disqualify L.
+///
+/// The per-action lockset (locks held for the whole duration of the action)
+/// is the must-held set at the action's source location, plus the locks the
+/// action itself acquires (the acquire is atomic, so accesses bundled into
+/// the acquiring action are already mutually excluded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_LOCKSET_H
+#define SEQVER_ANALYSIS_LOCKSET_H
+
+#include "analysis/Dataflow.h"
+#include "program/Program.h"
+
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// The discovered locks and the acquire/release classification per action.
+struct LockInfo {
+  /// Lock variables, sorted by term id.
+  std::vector<smt::Term> Locks;
+  /// Indexed by letter: locks acquired / released by the action.
+  std::vector<std::vector<smt::Term>> Acquires;
+  std::vector<std::vector<smt::Term>> Releases;
+
+  bool isLock(smt::Term Var) const;
+  bool empty() const { return Locks.empty(); }
+};
+
+/// Scans all actions of P and classifies its lock variables.
+LockInfo discoverLocks(const prog::ConcurrentProgram &P);
+
+/// MustLock facts for every thread location, plus per-action locksets.
+class LockSetAnalysis {
+public:
+  explicit LockSetAnalysis(const prog::ConcurrentProgram &P);
+
+  const LockInfo &locks() const { return Info; }
+
+  /// Locks definitely held when ThreadId is at Loc (sorted by term id).
+  /// Empty for locations the must-analysis never reached.
+  const std::vector<smt::Term> &heldAt(int ThreadId,
+                                       prog::Location Loc) const;
+
+  /// True if Loc is reachable within its thread CFG (graph reachability).
+  bool reachable(int ThreadId, prog::Location Loc) const;
+
+  /// Locks held for the whole execution of the action: must-held at its
+  /// source location plus its own acquires. Sorted by term id.
+  std::vector<smt::Term> actionLockset(automata::Letter L) const;
+
+  /// True if the two actions hold a common lock (and hence can never be
+  /// co-enabled in any execution).
+  bool commonLockHeld(automata::Letter A, automata::Letter B) const;
+
+private:
+  const prog::ConcurrentProgram &P;
+  LockInfo Info;
+  /// HeldAt[thread][loc]: must-held locks; empty when unreached.
+  std::vector<std::vector<std::vector<smt::Term>>> HeldAt;
+  std::vector<std::vector<bool>> Reachable;
+  /// Source location of each letter within its thread CFG.
+  std::vector<prog::Location> SourceLoc;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_LOCKSET_H

@@ -1,0 +1,63 @@
+//===- analysis/MayAccess.cpp - May-read/may-write sets per location ------===//
+
+#include "analysis/MayAccess.h"
+
+#include "analysis/TermSet.h"
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::prog::Action;
+using seqver::prog::Location;
+using seqver::smt::Term;
+
+bool AccessSets::mayRead(Term V) const { return termSetContains(Reads, V); }
+bool AccessSets::mayWrite(Term V) const { return termSetContains(Writes, V); }
+
+namespace {
+
+/// Backward may-analysis: the fact at L is the union of the footprints of
+/// all actions on paths from L to a terminal location.
+class MayAccessDomain {
+public:
+  using Fact = AccessSets;
+
+  Fact boundary() const { return {}; }
+
+  bool join(Fact &Into, const Fact &From) const {
+    bool Changed = termSetUnion(Into.Reads, From.Reads);
+    Changed |= termSetUnion(Into.Writes, From.Writes);
+    return Changed;
+  }
+
+  std::optional<Fact> transfer(const Action &A, const Fact &In) const {
+    Fact Out = In;
+    termSetUnion(Out.Reads, A.Reads);
+    termSetUnion(Out.Writes, A.Writes);
+    return Out;
+  }
+
+  void widen(Fact &) const {} // finite lattice: height <= #variables
+};
+
+} // namespace
+
+MayAccessAnalysis::MayAccessAnalysis(const prog::ConcurrentProgram &P) {
+  Facts.resize(static_cast<size_t>(P.numThreads()));
+  for (int T = 0; T < P.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    DataflowSolver<MayAccessDomain> Solver(P, T, MayAccessDomain(),
+                                           Direction::Backward);
+    Solver.run();
+    auto &PerLoc = Facts[static_cast<size_t>(T)];
+    PerLoc.assign(Cfg.numLocations(), {});
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      if (const AccessSets *F = Solver.at(L))
+        PerLoc[L] = *F;
+  }
+}
+
+const AccessSets &MayAccessAnalysis::at(int ThreadId,
+                                        prog::Location Loc) const {
+  const auto &PerLoc = Facts[static_cast<size_t>(ThreadId)];
+  return Loc < PerLoc.size() ? PerLoc[Loc] : Empty;
+}

@@ -1,0 +1,50 @@
+//===- analysis/MayAccess.h - May-read/may-write sets per location --------===//
+///
+/// \file
+/// For every thread location, the sets of global variables the thread may
+/// still read or write from that location onward: a backward may-analysis
+/// (union at joins) over the action footprints, run on the Dataflow
+/// framework. The race report uses it to summarize a thread's remaining
+/// shared-memory behaviour, and tests use it to exercise the backward
+/// direction of the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_MAYACCESS_H
+#define SEQVER_ANALYSIS_MAYACCESS_H
+
+#include "analysis/Dataflow.h"
+#include "program/Program.h"
+
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// Sorted-by-id variable sets; the lattice element of the MayAccess pass.
+struct AccessSets {
+  std::vector<smt::Term> Reads;
+  std::vector<smt::Term> Writes;
+
+  bool mayRead(smt::Term V) const;
+  bool mayWrite(smt::Term V) const;
+};
+
+/// May-access facts for every location of every thread.
+class MayAccessAnalysis {
+public:
+  explicit MayAccessAnalysis(const prog::ConcurrentProgram &P);
+
+  /// Variables possibly accessed by ThreadId at-or-after Loc. Locations
+  /// with no fact (unreachable) yield empty sets.
+  const AccessSets &at(int ThreadId, prog::Location Loc) const;
+
+private:
+  std::vector<std::vector<AccessSets>> Facts;
+  AccessSets Empty;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_MAYACCESS_H

@@ -1,0 +1,84 @@
+//===- analysis/RaceDetector.cpp - Lockset-based static race detection ----===//
+
+#include "analysis/RaceDetector.h"
+
+#include "analysis/TermSet.h"
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::automata::Letter;
+using seqver::prog::Action;
+using seqver::prog::Location;
+using seqver::smt::Term;
+
+RaceDetector::RaceDetector(const prog::ConcurrentProgram &P,
+                           const LockSetAnalysis &Locks,
+                           const IntervalAnalysis *Intervals) {
+  const LockInfo &Info = Locks.locks();
+
+  // Source location and reachability per letter.
+  uint32_t NumLetters = P.numLetters();
+  std::vector<Location> Source(NumLetters, 0);
+  std::vector<bool> Live(NumLetters, false);
+  for (int T = 0; T < P.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      for (const auto &[EdgeLetter, To] : Cfg.Edges[L]) {
+        (void)To;
+        Source[EdgeLetter] = L;
+        bool Reach = Locks.reachable(T, L);
+        if (Intervals)
+          Reach = Reach && Intervals->reachable(T, L);
+        Live[EdgeLetter] = Reach;
+      }
+  }
+
+  for (Letter A = 0; A < NumLetters; ++A) {
+    if (!Live[A])
+      continue;
+    const Action &ActA = P.action(A);
+    for (Letter B = A + 1; B < NumLetters; ++B) {
+      if (!Live[B])
+        continue;
+      const Action &ActB = P.action(B);
+      if (ActA.ThreadId == ActB.ThreadId)
+        continue;
+
+      // Conflicting shared non-lock variables.
+      std::vector<Term> Vars;
+      bool WriteWrite = false;
+      for (Term W : ActA.Writes) {
+        if (Info.isLock(W))
+          continue;
+        if (ActB.writesVar(W)) {
+          termSetInsert(Vars, W);
+          WriteWrite = true;
+        } else if (ActB.readsVar(W)) {
+          termSetInsert(Vars, W);
+        }
+      }
+      for (Term W : ActB.Writes) {
+        if (Info.isLock(W))
+          continue;
+        if (ActA.readsVar(W))
+          termSetInsert(Vars, W);
+      }
+      if (Vars.empty())
+        continue;
+
+      // A common must-held lock makes co-enabledness impossible.
+      std::vector<Term> LockA = Locks.actionLockset(A);
+      std::vector<Term> LockB = Locks.actionLockset(B);
+      Term Common = nullptr;
+      for (Term L : LockA)
+        if (termSetContains(LockB, L)) {
+          Common = L;
+          break;
+        }
+      if (Common)
+        Protected.push_back({A, B, Common});
+      else
+        Races.push_back({A, B, std::move(Vars), WriteWrite});
+    }
+  }
+}

@@ -1,0 +1,71 @@
+//===- analysis/RaceDetector.h - Lockset-based static race detection ------===//
+///
+/// \file
+/// Classic lockset (Eraser-style) race detection on top of the MustLock
+/// facts: two actions of different threads *race* when their footprints
+/// conflict on a shared non-lock variable and they do not hold a common
+/// lock. Dually, a conflicting pair that always holds a common lock is
+/// *statically independent*: the mutual-exclusion invariant of the lock
+/// discipline (at most one thread can must-hold a given lock) means the two
+/// actions can never be co-enabled, so their conflict can never materialize
+/// in an execution.
+///
+/// The detector is a may-analysis: reported races are candidates (no
+/// feasibility proof), but an empty report on a lock-disciplined program is
+/// a proof of race freedom for the recognized discipline. Actions whose
+/// source location is statically unreachable are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_RACEDETECTOR_H
+#define SEQVER_ANALYSIS_RACEDETECTOR_H
+
+#include "analysis/IntervalProp.h"
+#include "analysis/LockSet.h"
+#include "program/Program.h"
+
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// One racy action pair and the variables it races on.
+struct Race {
+  automata::Letter First;
+  automata::Letter Second;
+  /// Conflicting non-lock variables, sorted by term id.
+  std::vector<smt::Term> Vars;
+  /// True if some conflict is write/write (else write/read).
+  bool WriteWrite;
+};
+
+/// A conflicting pair proven non-co-enabled by a common lock.
+struct ProtectedPair {
+  automata::Letter First;
+  automata::Letter Second;
+  /// A common lock both actions hold (witness).
+  smt::Term Lock;
+};
+
+class RaceDetector {
+public:
+  /// Intervals may be null; when given, its sharper reachability (constant
+  /// propagation can prove more locations dead) filters candidate actions.
+  RaceDetector(const prog::ConcurrentProgram &P, const LockSetAnalysis &Locks,
+               const IntervalAnalysis *Intervals = nullptr);
+
+  const std::vector<Race> &races() const { return Races; }
+  const std::vector<ProtectedPair> &protectedPairs() const {
+    return Protected;
+  }
+  bool raceFree() const { return Races.empty(); }
+
+private:
+  std::vector<Race> Races;
+  std::vector<ProtectedPair> Protected;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_RACEDETECTOR_H

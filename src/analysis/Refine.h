@@ -1,0 +1,197 @@
+//===- analysis/Refine.h - Interval refinement by assumed literals --------===//
+///
+/// \file
+/// Strengthens an interval environment with the literal conjuncts of an
+/// assumed formula: bool literals pin their variable, <= / == / != atoms
+/// bound each variable by the range of the residual sum. Returns false when
+/// a literal is infeasible under the environment — the caller treats that
+/// as "the assumption cannot hold here".
+///
+/// Shared by two clients with different refinement policies, expressed as a
+/// `Refinable(Term Var) -> bool` predicate:
+///  - the interval propagation pass refines only thread-trackable variables
+///    (facts must survive other threads' steps), and
+///  - the SMT-free commutativity decider refines every variable (there the
+///    environment describes one hypothetical state, so any necessary
+///    consequence of the conjuncts may be recorded).
+///
+/// Infeasibility reports that do not write to the environment (pure range
+/// contradictions, integer divisibility) are emitted regardless of the
+/// predicate: they are consequences of the formula alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_REFINE_H
+#define SEQVER_ANALYSIS_REFINE_H
+
+#include "analysis/Interval.h"
+
+#include <algorithm>
+
+namespace seqver {
+namespace analysis {
+
+inline void setInterval(IntervalFact &F, smt::Term Var, const Interval &I) {
+  if (I.isTop())
+    F.erase(Var);
+  else
+    F[Var] = I;
+}
+
+/// Meets Var's entry with I; returns false iff the result is empty.
+inline bool meetVar(IntervalFact &F, smt::Term Var, const Interval &I) {
+  auto It = F.find(Var);
+  if (It == F.end()) {
+    if (!I.isTop())
+      F[Var] = I;
+    return true;
+  }
+  return It->second.meetWith(I);
+}
+
+/// Floor/ceil division for int64 with sign-correct rounding.
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+namespace detail {
+
+inline smt::LinSum residualSum(const smt::LinSum &Sum, smt::Term Var) {
+  smt::LinSum Rest = Sum;
+  Rest.Terms.erase(std::remove_if(Rest.Terms.begin(), Rest.Terms.end(),
+                                  [&](const auto &E) {
+                                    return E.first == Var;
+                                  }),
+                   Rest.Terms.end());
+  return Rest;
+}
+
+/// sum <= 0: for each refinable variable V with coefficient c, bound V by
+/// the range of the residual sum.
+template <typename RefinablePred>
+bool refineLe(const smt::LinSum &Sum, IntervalFact &F,
+              const RefinablePred &Refinable) {
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    if (!Refinable(Var))
+      continue;
+    Interval R = intervalOfSum(residualSum(Sum, Var), FactEnv{F});
+    if (!R.HasLo)
+      continue;
+    // Coeff * V <= -Rest <= -R.Lo
+    Interval Bound = Coeff > 0 ? Interval::atMost(floorDiv(-R.Lo, Coeff))
+                               : Interval::atLeast(ceilDiv(-R.Lo, Coeff));
+    if (!meetVar(F, Var, Bound))
+      return false;
+  }
+  return true;
+}
+
+/// sum == 0: feasibility via the full range, plus exact propagation when
+/// the residual is a known constant.
+template <typename RefinablePred>
+bool refineEq(const smt::LinSum &Sum, IntervalFact &F,
+              const RefinablePred &Refinable) {
+  if (!intervalOfSum(Sum, FactEnv{F}).contains(0))
+    return false;
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    Interval R = intervalOfSum(residualSum(Sum, Var), FactEnv{F});
+    if (!R.isExact())
+      continue;
+    // Coeff * V == -R.Lo exactly; integer solvability does not depend on
+    // whether V is refinable.
+    if ((-R.Lo) % Coeff != 0)
+      return false;
+    if (Refinable(Var) && !meetVar(F, Var, Interval::exact((-R.Lo) / Coeff)))
+      return false;
+  }
+  return true;
+}
+
+/// sum != 0: infeasible when the range pins sum to exactly 0; trims a
+/// refinable variable's bound when the excluded value sits on it.
+template <typename RefinablePred>
+bool refineDiseq(const smt::LinSum &Sum, IntervalFact &F,
+                 const RefinablePred &Refinable) {
+  Interval Whole = intervalOfSum(Sum, FactEnv{F});
+  if (Whole.isExact() && Whole.Lo == 0)
+    return false;
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    if (!Refinable(Var))
+      continue;
+    Interval R = intervalOfSum(residualSum(Sum, Var), FactEnv{F});
+    if (!R.isExact() || (-R.Lo) % Coeff != 0)
+      continue;
+    int64_t Excluded = (-R.Lo) / Coeff;
+    auto It = F.find(Var);
+    if (It == F.end())
+      continue;
+    Interval &I = It->second;
+    if (I.isExact() && I.Lo == Excluded)
+      return false;
+    if (I.HasLo && I.Lo == Excluded)
+      ++I.Lo;
+    else if (I.HasHi && I.Hi == Excluded)
+      --I.Hi;
+  }
+  return true;
+}
+
+} // namespace detail
+
+/// Strengthens F with one literal. Returns false iff infeasible under F.
+/// Non-literal conjuncts (Or, Iff) are left to the caller's evaluator.
+template <typename RefinablePred>
+bool refineLiteral(smt::Term C, IntervalFact &F,
+                   const RefinablePred &Refinable) {
+  using smt::TermKind;
+  switch (C->kind()) {
+  case TermKind::BoolConst:
+    return C->boolValue();
+  case TermKind::BoolVar:
+    return !Refinable(C) || meetVar(F, C, Interval::exact(1));
+  case TermKind::Not: {
+    smt::Term Inner = C->child(0);
+    if (Inner->kind() == TermKind::BoolVar)
+      return !Refinable(Inner) || meetVar(F, Inner, Interval::exact(0));
+    if (Inner->kind() == TermKind::AtomEq)
+      return detail::refineDiseq(Inner->sum(), F, Refinable);
+    return true;
+  }
+  case TermKind::AtomLe:
+    return detail::refineLe(C->sum(), F, Refinable);
+  case TermKind::AtomEq:
+    return detail::refineEq(C->sum(), F, Refinable);
+  default:
+    return true;
+  }
+}
+
+/// Strengthens F with every conjunct of Formula (the formula itself when it
+/// is not a conjunction). Returns false iff some literal is infeasible.
+template <typename RefinablePred>
+bool refineConjunction(smt::Term Formula, IntervalFact &F,
+                       const RefinablePred &Refinable) {
+  using smt::TermKind;
+  if (Formula->kind() == TermKind::And) {
+    for (smt::Term C : Formula->children())
+      if (!refineLiteral(C, F, Refinable))
+        return false;
+    return true;
+  }
+  return refineLiteral(Formula, F, Refinable);
+}
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_REFINE_H

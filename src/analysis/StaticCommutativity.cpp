@@ -1,0 +1,109 @@
+//===- analysis/StaticCommutativity.cpp - SMT-free commutativity tier -----===//
+
+#include "analysis/StaticCommutativity.h"
+
+#include "analysis/Refine.h"
+#include "program/Semantics.h"
+
+#include <algorithm>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::automata::Letter;
+using seqver::prog::Action;
+using seqver::prog::SymbolicState;
+using seqver::smt::Term;
+using seqver::smt::TermKind;
+using seqver::smt::TermManager;
+
+bool seqver::analysis::staticallyUnsat(const TermManager &TM, Term Formula) {
+  if (Formula->kind() == TermKind::BoolConst)
+    return !Formula->boolValue();
+  // A disjunction is unsat iff every branch is.
+  if (Formula->kind() == TermKind::Or) {
+    for (Term C : Formula->children())
+      if (!staticallyUnsat(TM, C))
+        return false;
+    return true;
+  }
+
+  // Bounds propagation over the literal conjuncts. The environment records
+  // necessary consequences of the literals, so a contradiction — during
+  // refinement or when re-evaluating the whole formula under the final
+  // environment — proves unsatisfiability. A few rounds let bounds flow
+  // across atoms (x <= y, y <= 3, x >= 5); the round count only limits
+  // precision, never soundness.
+  auto All = [](Term) { return true; };
+  IntervalFact Env;
+  const std::vector<Term> Single{Formula};
+  const std::vector<Term> &Conjuncts =
+      Formula->kind() == TermKind::And ? Formula->children() : Single;
+  for (int Round = 0; Round < 3; ++Round)
+    for (Term C : Conjuncts)
+      if (!refineLiteral(C, Env, All))
+        return true;
+  return evalTri(TM, Formula, FactEnv{Env}) == Tri::False;
+}
+
+bool StaticCommutativity::provablyCommutes(Term Phi, Letter A, Letter B) {
+  ++Queries;
+  const Action &ActA = P.action(std::min(A, B));
+  const Action &ActB = P.action(std::max(A, B));
+
+  // Same symbolic compositions as CommutativityChecker::semanticCheck, with
+  // the same canonical havoc naming, so obligations match term-for-term.
+  std::map<std::pair<Letter, size_t>, Term> Havocs;
+  SymbolicState AB = prog::symbolicIdentity(TM);
+  applySymbolic(TM, ActA, AB, Havocs);
+  applySymbolic(TM, ActB, AB, Havocs);
+  SymbolicState BA = prog::symbolicIdentity(TM);
+  applySymbolic(TM, ActB, BA, Havocs);
+  applySymbolic(TM, ActA, BA, Havocs);
+
+  Term Context = Phi ? Phi : TM.mkTrue();
+
+  Term GuardsDiffer = TM.mkNot(TM.mkIff(AB.Guard, BA.Guard));
+  if (!staticallyUnsat(TM, TM.mkAnd(Context, GuardsDiffer)))
+    return false;
+
+  std::vector<Term> Written;
+  Written.insert(Written.end(), ActA.Writes.begin(), ActA.Writes.end());
+  Written.insert(Written.end(), ActB.Writes.begin(), ActB.Writes.end());
+  std::sort(Written.begin(), Written.end(),
+            [](Term X, Term Y) { return X->id() < Y->id(); });
+  Written.erase(std::unique(Written.begin(), Written.end()), Written.end());
+
+  for (Term Var : Written) {
+    Term ValuesDiffer;
+    if (Var->sort() == smt::Sort::Int) {
+      ValuesDiffer =
+          TM.mkNot(TM.mkEq(AB.intValue(TM, Var), BA.intValue(TM, Var)));
+    } else {
+      ValuesDiffer = TM.mkNot(TM.mkIff(AB.boolValue(Var), BA.boolValue(Var)));
+    }
+    if (!staticallyUnsat(TM, TM.mkAnd({Context, AB.Guard, ValuesDiffer})))
+      return false;
+  }
+  ++Proofs;
+  return true;
+}
+
+ConflictRelation StaticCommutativity::conflictRelation() {
+  ConflictRelation R;
+  uint32_t N = P.numLetters();
+  R.Rows.assign(N, std::vector<bool>(N, false));
+  for (Letter A = 0; A < N; ++A)
+    for (Letter B = A + 1; B < N; ++B) {
+      const Action &ActA = P.action(A);
+      const Action &ActB = P.action(B);
+      if (ActA.ThreadId == ActB.ThreadId)
+        continue;
+      bool Independent = !ActA.footprintConflictsWith(ActB) ||
+                         provablyCommutes(nullptr, A, B);
+      if (Independent) {
+        R.Rows[A][B] = true;
+        R.Rows[B][A] = true;
+      }
+    }
+  return R;
+}

@@ -1,0 +1,91 @@
+//===- analysis/StaticCommutativity.h - SMT-free commutativity tier -------===//
+///
+/// \file
+/// Decides conditional-commutativity queries a ~_phi b without the SMT
+/// solver whenever constant folding and interval reasoning suffice. The
+/// check builds the *same* proof obligations as the semantic tier — equal
+/// guards and equal final values of the two symbolic compositions AB and BA
+/// — and accepts only when each obligation formula is *statically unsat*:
+///
+///   phi /\ ¬(G_ab <-> G_ba)                     (guard agreement)
+///   phi /\ G_ab /\ value_ab(v) != value_ba(v)   (for each written v)
+///
+/// Because the obligations are identical to the semantic tier's, a Commute
+/// answer here implies the semantic answer for the same phi: the tier is a
+/// sound filter, never a new source of reduction. Anything not provably
+/// unsat is reported Unknown and falls through to SMT (or to a conservative
+/// "no" when the solver is disabled).
+///
+/// TermManager canonicalization does most of the work: identical updates
+/// (x := x+1 against x := x+1) make both compositions literally equal, and
+/// conflicting lock acquires make both composed guards fold to false. The
+/// interval decider mops up residual linear-arithmetic obligations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_STATICCOMMUTATIVITY_H
+#define SEQVER_ANALYSIS_STATICCOMMUTATIVITY_H
+
+#include "automata/Dfa.h"
+#include "program/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// Decides whether a ground formula is unsatisfiable by constant structure
+/// and interval propagation over its literal conjuncts. "true" is a proof;
+/// "false" means undecided. Exposed for tests and the conflict relation.
+bool staticallyUnsat(const smt::TermManager &TM, smt::Term Formula);
+
+/// Statically proven independence between letters, precomputed for all
+/// pairs: Algorithm 1's persistent-set construction consults this bitset
+/// matrix instead of issuing per-pair commutativity queries.
+class ConflictRelation {
+public:
+  ConflictRelation() = default;
+
+  /// True when the pair was statically proven commuting (unconditionally).
+  bool independent(automata::Letter A, automata::Letter B) const {
+    return !Rows.empty() && Rows[A][B];
+  }
+
+  uint32_t numLetters() const { return static_cast<uint32_t>(Rows.size()); }
+
+private:
+  friend class StaticCommutativity;
+  std::vector<std::vector<bool>> Rows;
+};
+
+class StaticCommutativity {
+public:
+  explicit StaticCommutativity(const prog::ConcurrentProgram &P)
+      : P(P), TM(P.termManager()) {}
+
+  /// True iff a ~_phi b is provable without the solver. Phi == nullptr
+  /// means phi = true. Precondition: different threads (callers dispatch
+  /// same-thread pairs before any tier runs).
+  bool provablyCommutes(smt::Term Phi, automata::Letter A,
+                        automata::Letter B);
+
+  /// All-pairs unconditional independence (syntactic disjointness or a
+  /// static commutativity proof). Quadratic in the alphabet; computed once
+  /// per verification run when persistent sets are enabled.
+  ConflictRelation conflictRelation();
+
+  uint64_t numQueries() const { return Queries; }
+  uint64_t numProofs() const { return Proofs; }
+
+private:
+  const prog::ConcurrentProgram &P;
+  smt::TermManager &TM;
+  uint64_t Queries = 0;
+  uint64_t Proofs = 0;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_STATICCOMMUTATIVITY_H

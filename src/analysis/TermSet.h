@@ -1,0 +1,74 @@
+//===- analysis/TermSet.h - Sorted term-set helpers -----------------------===//
+///
+/// \file
+/// Small helpers for variable sets represented as vectors sorted by term id
+/// (the representation Program.cpp already uses for action footprints). All
+/// analysis passes share these so their set operations stay consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_TERMSET_H
+#define SEQVER_ANALYSIS_TERMSET_H
+
+#include "smt/Term.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+inline bool termIdLess(smt::Term A, smt::Term B) { return A->id() < B->id(); }
+
+inline bool termSetContains(const std::vector<smt::Term> &Sorted,
+                            smt::Term V) {
+  return std::binary_search(Sorted.begin(), Sorted.end(), V, termIdLess);
+}
+
+inline void termSetInsert(std::vector<smt::Term> &Sorted, smt::Term V) {
+  auto It = std::lower_bound(Sorted.begin(), Sorted.end(), V, termIdLess);
+  if (It == Sorted.end() || *It != V)
+    Sorted.insert(It, V);
+}
+
+inline void termSetErase(std::vector<smt::Term> &Sorted, smt::Term V) {
+  auto It = std::lower_bound(Sorted.begin(), Sorted.end(), V, termIdLess);
+  if (It != Sorted.end() && *It == V)
+    Sorted.erase(It);
+}
+
+/// Unions From into Into; returns true iff Into changed.
+inline bool termSetUnion(std::vector<smt::Term> &Into,
+                         const std::vector<smt::Term> &From) {
+  std::vector<smt::Term> Merged;
+  Merged.reserve(Into.size() + From.size());
+  std::set_union(Into.begin(), Into.end(), From.begin(), From.end(),
+                 std::back_inserter(Merged), termIdLess);
+  bool Changed = Merged.size() != Into.size();
+  Into = std::move(Merged);
+  return Changed;
+}
+
+/// Intersects From into Into; returns true iff Into changed.
+inline bool termSetIntersect(std::vector<smt::Term> &Into,
+                             const std::vector<smt::Term> &From) {
+  std::vector<smt::Term> Merged;
+  std::set_intersection(Into.begin(), Into.end(), From.begin(), From.end(),
+                        std::back_inserter(Merged), termIdLess);
+  bool Changed = Merged.size() != Into.size();
+  Into = std::move(Merged);
+  return Changed;
+}
+
+inline bool termSetsIntersect(const std::vector<smt::Term> &A,
+                              const std::vector<smt::Term> &B) {
+  for (smt::Term V : A)
+    if (termSetContains(B, V))
+      return true;
+  return false;
+}
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_TERMSET_H

@@ -72,9 +72,18 @@ public:
   Impl(const prog::ConcurrentProgram &P, const VerifierConfig &Config)
       : P(P), Config(Config), TM(P.termManager()), QE(TM), Fresh(TM),
         Commut(P, QE, Config.CommutMode), Proof(TM, QE, Fresh, P) {
-    if (Config.UsePersistentSets)
+    if (!Config.StaticTier)
+      Commut.disableStaticTier();
+    Commut.setStatistics(&Stats);
+    if (Config.UsePersistentSets) {
+      // Precompute the static independence relation once so the persistent
+      // set construction consults a bitset instead of re-deciding pairs.
+      if (analysis::StaticCommutativity *Tier = Commut.staticTier())
+        StaticIndep = Tier->conflictRelation();
       Persistent = std::make_unique<red::PersistentSetComputer>(
-          P, Commut, Config.Order);
+          P, Commut, Config.Order,
+          StaticIndep.numLetters() ? &StaticIndep : nullptr);
+    }
     assert((Config.Order || !Config.UseSleepSets) &&
            "sleep sets require a preference order");
   }
@@ -121,6 +130,7 @@ private:
   prog::FreshVarSource Fresh;
   red::CommutativityChecker Commut;
   ProofAutomaton Proof;
+  analysis::ConflictRelation StaticIndep;
   std::unique_ptr<red::PersistentSetComputer> Persistent;
 
   /// Cross-round useless-state cache: (Q, Ctx, Sleep) -> assertions under

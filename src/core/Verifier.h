@@ -73,6 +73,12 @@ struct VerifierConfig {
   PredicateSource Source = PredicateSource::WpChain;
   red::CommutativityChecker::Mode CommutMode =
       red::CommutativityChecker::Mode::Semantic;
+  /// Solver-free static commutativity tier between the syntactic and
+  /// semantic ones; also lets the persistent-set precomputation consume the
+  /// statically proven independence relation. Sound: the tier proves the
+  /// same obligations the SMT tier would check, so disabling it can only
+  /// cost time, never change a verdict.
+  bool StaticTier = true;
   int MaxRounds = 500;
   double TimeoutSeconds = 60;
   uint64_t MaxVisitedPerRound = 4000000;

@@ -148,6 +148,23 @@ bool ConcurrentProgram::hasPostCondition() const {
   return Ensures && Ensures != TM.mkTrue();
 }
 
+bool ConcurrentProgram::isGlobalConstrained(Term Var) const {
+  for (size_t I = 0; I < Globals.size(); ++I)
+    if (Globals[I] == Var)
+      return GlobalConstrained[I];
+  return false;
+}
+
+bool ConcurrentProgram::removeEdge(int ThreadId, Location From, Letter L) {
+  auto &List = Threads[static_cast<size_t>(ThreadId)].Edges[From];
+  for (auto It = List.begin(); It != List.end(); ++It)
+    if (It->first == L) {
+      List.erase(It);
+      return true;
+    }
+  return false;
+}
+
 uint32_t ConcurrentProgram::size() const {
   uint32_t Total = 0;
   for (const ThreadCfg &T : Threads)

@@ -133,7 +133,16 @@ public:
   /// size(P) = sum of thread sizes (number of control locations, Sec. 3).
   uint32_t size() const;
 
+  /// Removes one CFG edge (used by dead-edge pruning). The action stays
+  /// registered and keeps its letter — only the edge disappears, so letters
+  /// never need remapping; the pruned letter simply stops being enabled.
+  /// Returns false if no such edge exists.
+  bool removeEdge(int ThreadId, Location From, automata::Letter L);
+
   const smt::Assignment &initialValues() const { return InitialState; }
+  /// True if Var was declared with an initializer (its entry in
+  /// initialValues() is binding rather than an interpreter default).
+  bool isGlobalConstrained(smt::Term Var) const;
   /// Conjunction of  var == initial value  over all initialized globals,
   /// and of the precondition; unconstrained globals are left free.
   smt::Term initialConstraint() const;

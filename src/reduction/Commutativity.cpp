@@ -20,17 +20,37 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
     return false;
   if (M == Mode::Full)
     return true;
+  count("commut_queries");
 
   // Syntactic sufficient condition is independent of Phi.
-  if (!ActA.footprintConflictsWith(ActB))
+  if (!ActA.footprintConflictsWith(ActB)) {
+    count("commut_syntactic");
     return true;
+  }
   if (M == Mode::Syntactic)
     return false;
 
   auto Key = std::make_tuple(std::min(A, B), std::max(A, B), Phi);
   auto It = Cache.find(Key);
-  if (It != Cache.end())
+  if (It != Cache.end()) {
+    count("commut_cache_hits");
     return It->second;
+  }
+
+  // Solver-free middle tier: proves the same obligations the semantic tier
+  // would hand to SMT, so a positive answer short-circuits identically.
+  if (Static && Static->provablyCommutes(Phi, A, B)) {
+    count("commut_static");
+    Cache.emplace(Key, true);
+    return true;
+  }
+  if (M == Mode::Static) {
+    // No solver available: undecided pairs are conservatively dependent.
+    Cache.emplace(Key, false);
+    return false;
+  }
+
+  count("commut_semantic");
   bool Result = semanticCheck(Phi, P.action(std::min(A, B)),
                               P.action(std::max(A, B)));
   Cache.emplace(Key, Result);

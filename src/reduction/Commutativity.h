@@ -2,24 +2,37 @@
 ///
 /// \file
 /// The commutativity relation over program statements (Sec. 4, Sec. 7).
-/// Mirrors GemCutter's layering (Sec. 8): a cheap syntactic sufficient
-/// condition -- neither action writes a variable accessed by the other --
-/// backed by a precise SMT-based check on symbolic compositions, including
-/// *conditional* commutativity under a context assertion phi (Def. 7.3).
-/// Whenever the solver cannot decide a query, the actions are conservatively
-/// declared non-commutative (always sound).
+/// Mirrors GemCutter's layering (Sec. 8), extended with a solver-free
+/// middle tier:
+///
+///   Syntactic -> Static -> Semantic
+///
+/// 1. Syntactic: neither action writes a variable accessed by the other.
+/// 2. Static: the same proof obligations as the semantic tier, discharged
+///    by constant folding and interval reasoning (analysis::
+///    StaticCommutativity). A "commute" here provably implies the semantic
+///    answer; anything undecided falls through.
+/// 3. Semantic: SMT equivalence of the two symbolic compositions, including
+///    *conditional* commutativity under a context assertion phi (Def. 7.3).
+///
+/// Whenever a tier cannot decide a query, the next tier runs; if the solver
+/// itself cannot decide, the actions are conservatively declared
+/// non-commutative (always sound).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEQVER_REDUCTION_COMMUTATIVITY_H
 #define SEQVER_REDUCTION_COMMUTATIVITY_H
 
+#include "analysis/StaticCommutativity.h"
 #include "program/Program.h"
 #include "program/Semantics.h"
 #include "smt/Solver.h"
+#include "support/Statistics.h"
 
 #include <cstdint>
 #include <map>
+#include <memory>
 
 namespace seqver {
 namespace red {
@@ -29,13 +42,27 @@ class CommutativityChecker {
 public:
   enum class Mode : uint8_t {
     Syntactic, ///< footprint disjointness only
-    Semantic,  ///< syntactic fast path + SMT equivalence of compositions
+    Static,    ///< syntactic + solver-free obligation check, no SMT
+    Semantic,  ///< all tiers; SMT settles what the static tier cannot
     Full,      ///< test-only: all pairs from different threads commute
   };
 
   CommutativityChecker(const prog::ConcurrentProgram &P,
                        smt::QueryEngine &QE, Mode M)
-      : P(P), QE(QE), M(M) {}
+      : P(P), QE(QE), M(M) {
+    if (M == Mode::Static || M == Mode::Semantic)
+      Static = std::make_unique<analysis::StaticCommutativity>(P);
+  }
+
+  /// Routes per-tier counters (commut_queries, commut_syntactic,
+  /// commut_static, commut_semantic, commut_cache_hits) into Sink; the
+  /// counters self-register on first use. Null disables reporting.
+  void setStatistics(Statistics *Sink) { Stats = Sink; }
+
+  /// Disables the static tier (for tier-comparison runs; Semantic mode then
+  /// behaves exactly like the historical two-tier checker).
+  void disableStaticTier() { Static.reset(); }
+  analysis::StaticCommutativity *staticTier() { return Static.get(); }
 
   /// Unconditional commutativity a ~ b.
   bool commutes(automata::Letter A, automata::Letter B) {
@@ -49,14 +76,24 @@ public:
 
   Mode mode() const { return M; }
   uint64_t numSemanticChecks() const { return SemanticChecks; }
+  /// Queries the static tier proved commuting (and the solver never saw).
+  uint64_t numStaticProofs() const {
+    return Static ? Static->numProofs() : 0;
+  }
 
 private:
   bool semanticCheck(smt::Term Phi, const prog::Action &A,
                      const prog::Action &B);
+  void count(const char *Name) {
+    if (Stats)
+      Stats->add(Name);
+  }
 
   const prog::ConcurrentProgram &P;
   smt::QueryEngine &QE;
   Mode M;
+  std::unique_ptr<analysis::StaticCommutativity> Static;
+  Statistics *Stats = nullptr;
   /// Cache key: (min letter, max letter, condition or nullptr).
   std::map<std::tuple<automata::Letter, automata::Letter, smt::Term>, bool>
       Cache;

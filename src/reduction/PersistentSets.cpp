@@ -16,8 +16,9 @@ using seqver::prog::ThreadCfg;
 
 PersistentSetComputer::PersistentSetComputer(
     const prog::ConcurrentProgram &P, CommutativityChecker &Commut,
-    const PreferenceOrder *Order)
-    : P(P), Commut(Commut), Order(Order) {
+    const PreferenceOrder *Order,
+    const analysis::ConflictRelation *StaticIndep)
+    : P(P), Commut(Commut), Order(Order), StaticIndep(StaticIndep) {
   HasAssert.resize(static_cast<size_t>(P.numThreads()));
   for (int T = 0; T < P.numThreads(); ++T)
     HasAssert[static_cast<size_t>(T)] = P.thread(T).containsAssert();
@@ -73,8 +74,13 @@ void PersistentSetComputer::precomputeConflicts() {
             (void)ToA;
             ReachableLetters[static_cast<size_t>(J)][LJ].forEach(
                 [&](size_t B) {
-                  if (!Conflict &&
-                      !Commut.commutes(A, static_cast<Letter>(B)))
+                  if (Conflict)
+                    return;
+                  // Statically proven independent pairs need no query.
+                  if (StaticIndep &&
+                      StaticIndep->independent(A, static_cast<Letter>(B)))
+                    return;
+                  if (!Commut.commutes(A, static_cast<Letter>(B)))
                     Conflict = true;
                 });
             if (Conflict)

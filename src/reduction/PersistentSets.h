@@ -34,10 +34,15 @@ class PersistentSetComputer {
 public:
   /// Order may be null: then no compatibility edges are added (pure
   /// conflict-closure), which is what the persistent-set-only verifier
-  /// variant of Table 2 uses.
+  /// variant of Table 2 uses. StaticIndep, when given, short-circuits the
+  /// per-pair commutativity queries of the conflict precomputation with the
+  /// statically proven independence relation (Algorithm 1's thread conflict
+  /// relation consuming the static conflict graph directly).
   PersistentSetComputer(const prog::ConcurrentProgram &P,
                         CommutativityChecker &Commut,
-                        const PreferenceOrder *Order);
+                        const PreferenceOrder *Order,
+                        const analysis::ConflictRelation *StaticIndep =
+                            nullptr);
 
   /// The weakly persistent membrane for state S under order context Ctx, as
   /// a bitset over letters.
@@ -58,6 +63,7 @@ private:
   const prog::ConcurrentProgram &P;
   CommutativityChecker &Commut;
   const PreferenceOrder *Order;
+  const analysis::ConflictRelation *StaticIndep;
 
   /// Conflict[i][li][j] = bitset over locations of thread j in conflict
   /// with (i, li). Indexed sparsely via vectors.

@@ -6,6 +6,14 @@
 /// memory; collecting them through one object keeps the bench harnesses
 /// uniform.
 ///
+/// Counters register lazily: the first add()/setMax() of a name creates it.
+/// Components that want to report counters take a `Statistics *` sink and
+/// bump it at the event site (see CommutativityChecker::setStatistics)
+/// instead of having the verifier enumerate every component's counters
+/// centrally — adding a pass or tier never requires touching a registry.
+/// Readers use get(), which returns 0 for never-bumped names, so absent
+/// and zero counters are indistinguishable by design.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEQVER_SUPPORT_STATISTICS_H

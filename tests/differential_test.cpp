@@ -125,4 +125,46 @@ TEST_P(DifferentialVariants, VariantsAgreeWithOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialVariants,
                          ::testing::Range(0, 40));
 
+/// Sweep of the commutativity tiers: the syntactic-only, static (solver-
+/// free), and full semantic tiers must all produce the oracle verdict,
+/// with and without the static middle tier enabled. The tiers only decide
+/// which pairs may be reordered, never the verdict, so any disagreement
+/// is an unsoundness in a tier.
+class DifferentialCommutTiers : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialCommutTiers, TiersAgreeWithOracle) {
+  smt::TermManager TM;
+  Rng R(static_cast<uint64_t>(GetParam()) * 7577 + 13);
+  auto P = makeRandomAssertProgram(TM, R);
+  prog::ReachResult Oracle = prog::explicitReach(*P, 2000000);
+  ASSERT_FALSE(Oracle.Overflow);
+
+  using Mode = red::CommutativityChecker::Mode;
+  struct Tier {
+    const char *Name;
+    Mode M;
+    bool StaticTier;
+  };
+  for (Tier T : {Tier{"syntactic", Mode::Syntactic, false},
+                 Tier{"static", Mode::Static, true},
+                 Tier{"semantic+static", Mode::Semantic, true},
+                 Tier{"semantic-only", Mode::Semantic, false}}) {
+    VerifierConfig Config;
+    Config.TimeoutSeconds = 60;
+    Config.CommutMode = T.M;
+    Config.StaticTier = T.StaticTier;
+    VerificationResult VR = runSingleOrder(*P, Config, "seq");
+    EXPECT_EQ(VR.V, Oracle.ErrorReachable ? Verdict::Incorrect
+                                          : Verdict::Correct)
+        << "tier " << T.Name;
+    if (VR.V == Verdict::Incorrect) {
+      EXPECT_TRUE(prog::replayTrace(*P, VR.Witness).has_value())
+          << "tier " << T.Name << ": witness must replay";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialCommutTiers,
+                         ::testing::Range(0, 40));
+
 } // namespace

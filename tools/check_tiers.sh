@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-agreement gate: runs the bench workload suites with the solver-free
+# commutativity tier enabled and disabled, and fails if any verification
+# verdict changes. Also prints the SMT-query savings the tier delivers.
+#
+# Usage: tools/check_tiers.sh [build-dir] [--quick]
+#   build-dir  defaults to ./build
+#   --quick    sample every third workload (what the ctest target runs)
+set -eu
+
+BUILD_DIR=build
+MODE=--check-tiers
+for arg in "$@"; do
+  case "$arg" in
+    --quick) MODE=--check-tiers=quick ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+SEQVER="$BUILD_DIR/tools/seqver"
+if [ ! -x "$SEQVER" ]; then
+  echo "error: $SEQVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+exec "$SEQVER" "$MODE"

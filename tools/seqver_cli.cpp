@@ -6,13 +6,20 @@
 ///
 /// Usage:
 ///   seqver [options] <file.conc>
+///   seqver --check-tiers[=quick]
 ///
 /// Options:
 ///   --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>
 ///                         single preference order (default: portfolio)
+///   --analyze             print the static race/independence report and
+///                         exit (1 when potential races are found)
 ///   --no-sleep            disable sleep set reduction
 ///   --no-persistent       disable persistent set reduction
 ///   --no-proof-sensitive  disable conditional commutativity (Def. 7.3)
+///   --no-static           disable the solver-free commutativity tier
+///   --no-prune            keep statically dead CFG edges
+///   --check-tiers[=quick] verify the workload suites with the static tier
+///                         on and off; fail if any verdict changes
 ///   --timeout=<seconds>   per-analysis timeout (default 60)
 ///   --witness             print the error trace for incorrect programs
 ///   --proof               print the final proof assertions
@@ -24,9 +31,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "core/Portfolio.h"
 #include "program/CfgBuilder.h"
 #include "program/Interpreter.h"
+#include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstring>
@@ -41,9 +50,14 @@ namespace {
 struct CliOptions {
   std::string File;
   std::string Order; // empty = portfolio
+  bool Analyze = false;
   bool NoSleep = false;
   bool NoPersistent = false;
   bool NoProofSensitive = false;
+  bool NoStatic = false;
+  bool NoPrune = false;
+  bool CheckTiers = false;
+  bool CheckTiersQuick = false;
   bool PrintWitness = false;
   bool PrintProof = false;
   bool Minimize = false;
@@ -51,13 +65,16 @@ struct CliOptions {
   uint64_t Simulate = 0;
   bool PrintStats = false;
   double Timeout = 60;
+  bool TimeoutSet = false;
 };
 
 void printUsage() {
   std::printf(
       "usage: seqver [options] <file.conc>\n"
+      "       seqver --check-tiers[=quick]\n"
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
-      "  --no-sleep --no-persistent --no-proof-sensitive --minimize\n"
+      "  --analyze --no-sleep --no-persistent --no-proof-sensitive\n"
+      "  --no-static --no-prune --minimize\n"
       "  --source=<wp|interp|both>\n"
       "  --timeout=<seconds> --witness --proof --stats\n");
 }
@@ -67,12 +84,23 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     std::string Arg = argv[I];
     if (Arg.rfind("--order=", 0) == 0) {
       Opts.Order = Arg.substr(8);
+    } else if (Arg == "--analyze") {
+      Opts.Analyze = true;
     } else if (Arg == "--no-sleep") {
       Opts.NoSleep = true;
     } else if (Arg == "--no-persistent") {
       Opts.NoPersistent = true;
     } else if (Arg == "--no-proof-sensitive") {
       Opts.NoProofSensitive = true;
+    } else if (Arg == "--no-static") {
+      Opts.NoStatic = true;
+    } else if (Arg == "--no-prune") {
+      Opts.NoPrune = true;
+    } else if (Arg == "--check-tiers") {
+      Opts.CheckTiers = true;
+    } else if (Arg == "--check-tiers=quick") {
+      Opts.CheckTiers = true;
+      Opts.CheckTiersQuick = true;
     } else if (Arg == "--witness") {
       Opts.PrintWitness = true;
     } else if (Arg == "--proof") {
@@ -93,6 +121,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Simulate = static_cast<uint64_t>(std::atoll(Arg.c_str() + 11));
     } else if (Arg.rfind("--timeout=", 0) == 0) {
       Opts.Timeout = std::atof(Arg.c_str() + 10);
+      Opts.TimeoutSet = true;
     } else if (Arg == "--help" || Arg == "-h") {
       return false;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -105,7 +134,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       return false;
     }
   }
-  return !Opts.File.empty();
+  return Opts.CheckTiers || !Opts.File.empty();
 }
 
 void report(const core::VerificationResult &R,
@@ -132,6 +161,79 @@ void report(const core::VerificationResult &R,
     std::printf("stats: %s\n", R.Stats.str().c_str());
 }
 
+/// Runs every workload twice — static tier on / off — and reports verdict
+/// agreement and SMT savings. Returns the process exit code.
+int runCheckTiers(const CliOptions &Opts) {
+  std::vector<workloads::WorkloadInstance> Suite =
+      workloads::svcompLikeSuite();
+  std::vector<workloads::WorkloadInstance> Weaver =
+      workloads::weaverLikeSuite();
+  Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  if (Opts.CheckTiersQuick) {
+    // Every third workload still covers each family.
+    std::vector<workloads::WorkloadInstance> Sample;
+    for (size_t I = 0; I < Suite.size(); I += 3)
+      Sample.push_back(Suite[I]);
+    Suite = std::move(Sample);
+  }
+
+  double Timeout = Opts.TimeoutSet ? Opts.Timeout : 10;
+  int Mismatches = 0;
+  int64_t StaticSettled = 0, SemWith = 0, SemWithout = 0;
+
+  std::printf("%-22s %-10s %-10s %8s %8s\n", "workload", "static-on",
+              "static-off", "sem-on", "sem-off");
+  for (const auto &W : Suite) {
+    smt::TermManager TM;
+    prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
+    if (!Build.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), Build.Error.c_str());
+      return 2;
+    }
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = Timeout;
+
+    Config.StaticTier = true;
+    core::VerificationResult On =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+    Config.StaticTier = false;
+    core::VerificationResult Off =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+
+    bool Agree = On.V == Off.V;
+    if (!Agree)
+      ++Mismatches;
+    StaticSettled += On.Stats.get("commut_static");
+    SemWith += On.Stats.get("semantic_commut_checks");
+    SemWithout += Off.Stats.get("semantic_commut_checks");
+    std::printf("%-22s %-10s %-10s %8lld %8lld%s\n", W.Name.c_str(),
+                core::verdictName(On.V).c_str(),
+                core::verdictName(Off.V).c_str(),
+                static_cast<long long>(
+                    On.Stats.get("semantic_commut_checks")),
+                static_cast<long long>(
+                    Off.Stats.get("semantic_commut_checks")),
+                Agree ? "" : "  << VERDICT MISMATCH");
+  }
+
+  std::printf("\nstatically settled queries: %lld\n",
+              static_cast<long long>(StaticSettled));
+  std::printf("semantic checks: %lld with static tier, %lld without",
+              static_cast<long long>(SemWith),
+              static_cast<long long>(SemWithout));
+  if (SemWithout > 0)
+    std::printf(" (%.1f%% saved)",
+                100.0 * static_cast<double>(SemWithout - SemWith) /
+                    static_cast<double>(SemWithout));
+  std::printf("\n");
+  if (Mismatches > 0) {
+    std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
+    return 1;
+  }
+  std::printf("all verdicts agree\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -140,6 +242,8 @@ int main(int argc, char **argv) {
     printUsage();
     return 2;
   }
+  if (Opts.CheckTiers)
+    return runCheckTiers(Opts);
 
   std::ifstream In(Opts.File);
   if (!In) {
@@ -156,9 +260,21 @@ int main(int argc, char **argv) {
                  Build.Error.c_str());
     return 2;
   }
-  const prog::ConcurrentProgram &P = *Build.Program;
+  prog::ConcurrentProgram &P = *Build.Program;
   std::printf("%s: %d threads, %u locations, %u statements\n",
               Opts.File.c_str(), P.numThreads(), P.size(), P.numLetters());
+
+  if (Opts.Analyze) {
+    analysis::ProgramAnalysis PA(P);
+    std::printf("%s", PA.report().c_str());
+    return PA.races().raceFree() ? 0 : 1;
+  }
+
+  if (!Opts.NoPrune) {
+    uint32_t Pruned = analysis::pruneDeadEdges(P);
+    if (Pruned > 0)
+      std::printf("pruned %u statically dead edge(s)\n", Pruned);
+  }
 
   if (Opts.Simulate > 0) {
     auto Bug = prog::randomWalkForBug(P, /*Seed=*/1, Opts.Simulate);
@@ -179,6 +295,7 @@ int main(int argc, char **argv) {
   Config.UseSleepSets = !Opts.NoSleep;
   Config.UsePersistentSets = !Opts.NoPersistent;
   Config.ProofSensitive = !Opts.NoProofSensitive && !Opts.NoSleep;
+  Config.StaticTier = !Opts.NoStatic;
   Config.MinimizeProof = Opts.Minimize;
   Config.Source = Opts.Source == "interp"
                       ? core::PredicateSource::Interpolation
