@@ -3,6 +3,7 @@
 #include "Harness.h"
 
 #include "program/CfgBuilder.h"
+#include "runtime/ParallelPortfolio.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -103,6 +104,16 @@ RunRecord seqver::bench::runTool(const workloads::WorkloadInstance &W,
   }
   if (Tool == "gemcutter")
     return runPortfolioVariant(W, Tool, [](VerifierConfig &) {});
+  if (Tool == "gemcutter-par") {
+    VerifierConfig Config;
+    Config.TimeoutSeconds = benchTimeout();
+    runtime::ParallelPortfolioResult R =
+        runtime::runPortfolioParallel(W.Source, Config);
+    RunRecord Out = toRecord(W, Tool, R.Best, R.BestOrder);
+    Out.WallSeconds = R.WallSeconds;
+    Out.RaceCostSeconds = R.sumSeconds();
+    return Out;
+  }
   if (Tool == "sleep")
     return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
       C.UsePersistentSets = false;

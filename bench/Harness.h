@@ -42,10 +42,13 @@ struct RunRecord {
   int64_t SmtQueries = 0;
   /// Portfolio only: name of the winning order.
   std::string BestOrder;
+  /// Parallel portfolio only: real wall-clock of the whole race (Seconds
+  /// stays the winner's own time, the as-if-parallel aggregate) and the
+  /// summed per-order cost the race actually paid.
+  double WallSeconds = 0;
+  double RaceCostSeconds = 0;
 
-  bool decisive() const {
-    return V == core::Verdict::Correct || V == core::Verdict::Incorrect;
-  }
+  bool decisive() const { return core::isDecisive(V); }
   /// Decisive and agreeing with ground truth (all tools here are sound, so
   /// a decisive disagreement indicates a harness bug, not a tool answer).
   bool successful() const {
@@ -60,7 +63,10 @@ double benchTimeout();
 
 /// Tool names understood by runTool:
 ///   automizer            baseline, no reduction (Sec. 8's comparison)
-///   gemcutter            portfolio over seq/lockstep/rand(1..3)
+///   gemcutter            portfolio over seq/lockstep/rand(1..3),
+///                        sequential as-if-parallel emulation
+///   gemcutter-par        the same portfolio raced on the parallel runtime
+///                        (real wall-clock in WallSeconds)
 ///   seq | lockstep | rand(1) | rand(2) | rand(3)
 ///                        single preference order, full reduction
 ///   sleep                portfolio, sleep sets only

@@ -10,6 +10,7 @@
 
 #include "Harness.h"
 
+#include "program/CfgBuilder.h"
 #include "support/StringUtils.h"
 
 #include <benchmark/benchmark.h>
@@ -79,6 +80,47 @@ void printSuiteBlock(const std::string &SuiteName,
               static_cast<long long>(G.TotalSemanticChecks),
               static_cast<long long>(G.TotalSmtQueries));
 }
+
+/// Races the parallel portfolio against the sequential portfolio's
+/// sum-of-orders cost on the small Weaver subset. The exported counters
+/// land in the BENCH JSON: parallel_wall_s is real measured wall-clock,
+/// sequential_sum_s is what running every order to completion costs, and
+/// portfolio_speedup is their ratio (the genuine win of the racing
+/// executor — cancellation stops losing orders, so it exceeds 1 even on a
+/// single core).
+void BM_SuitePortfolioParallel(benchmark::State &State) {
+  auto Suite = workloads::weaverLikeSuite();
+  Suite.resize(4); // bluetooth 1..4
+  double ParallelWall = 0, SequentialSum = 0, AsIfParallel = 0;
+  for (auto _ : State) {
+    ParallelWall = SequentialSum = AsIfParallel = 0;
+    for (const auto &W : Suite) {
+      RunRecord Par = runTool(W, "gemcutter-par");
+      ParallelWall += Par.WallSeconds;
+      AsIfParallel += Par.Seconds;
+      // Sequential portfolio: every order runs to completion; its cost is
+      // the sum over orders (what the emulation actually pays).
+      smt::TermManager TM;
+      prog::BuildResult B = prog::buildFromSource(W.Source, TM);
+      if (!B.ok())
+        continue;
+      core::VerifierConfig Config;
+      Config.TimeoutSeconds = benchTimeout();
+      core::PortfolioResult Seq = core::runPortfolio(*B.Program, Config);
+      for (const core::PortfolioEntry &E : Seq.Entries)
+        SequentialSum += E.Result.Seconds;
+    }
+    benchmark::DoNotOptimize(ParallelWall);
+  }
+  State.counters["parallel_wall_s"] = ParallelWall;
+  State.counters["sequential_sum_s"] = SequentialSum;
+  State.counters["as_if_parallel_s"] = AsIfParallel;
+  State.counters["portfolio_speedup"] =
+      ParallelWall > 0 ? SequentialSum / ParallelWall : 0;
+}
+BENCHMARK(BM_SuitePortfolioParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_SuiteGemcutterSmall(benchmark::State &State) {
   auto Suite = workloads::weaverLikeSuite();

@@ -12,7 +12,8 @@ using namespace seqver::core;
 PortfolioResult seqver::core::runPortfolio(const prog::ConcurrentProgram &P,
                                            const VerifierConfig &Base) {
   PortfolioResult Out;
-  auto Orders = red::makePortfolioOrders(P);
+  auto Orders =
+      red::makePortfolioOrders(P, Base.RandOrders, Base.RandSeedBase);
 
   bool HaveBest = false;
   for (auto &Order : Orders) {
@@ -20,15 +21,14 @@ PortfolioResult seqver::core::runPortfolio(const prog::ConcurrentProgram &P,
     Config.Order = Order.get();
     Verifier V(P, Config);
     VerificationResult R = V.run();
-    bool Decisive = R.V == Verdict::Correct || R.V == Verdict::Incorrect;
+    bool Decisive = isDecisive(R.V);
     PortfolioEntry Entry;
     Entry.OrderName = Order->name();
     Entry.Result = R;
 
     // As-if-parallel: the portfolio's result is the fastest decisive run.
     if (Decisive && (!HaveBest || R.Seconds < Out.Best.Seconds ||
-                     !(Out.Best.V == Verdict::Correct ||
-                       Out.Best.V == Verdict::Incorrect))) {
+                     !isDecisive(Out.Best.V))) {
       Out.Best = R;
       Out.BestOrder = Order->name();
       HaveBest = true;
@@ -56,7 +56,8 @@ seqver::core::runSingleOrder(const prog::ConcurrentProgram &P,
     Verifier V(P, Config);
     return V.run();
   }
-  auto Orders = red::makePortfolioOrders(P);
+  auto Orders =
+      red::makePortfolioOrders(P, Base.RandOrders, Base.RandSeedBase);
   for (auto &Order : Orders) {
     if (Order->name() != OrderName)
       continue;
@@ -74,7 +75,8 @@ seqver::core::runAdaptivePortfolio(const prog::ConcurrentProgram &P,
                                    const VerifierConfig &Base,
                                    double InitialBudgetSeconds) {
   AdaptiveResult Out;
-  auto Orders = red::makePortfolioOrders(P);
+  auto Orders =
+      red::makePortfolioOrders(P, Base.RandOrders, Base.RandSeedBase);
   Timer Total;
   double Budget = InitialBudgetSeconds;
 
@@ -95,10 +97,17 @@ seqver::core::runAdaptivePortfolio(const prog::ConcurrentProgram &P,
             std::min(Budget, Base.TimeoutSeconds - Total.seconds());
       Verifier V(P, Config);
       VerificationResult R = V.run();
-      if (R.V == Verdict::Correct || R.V == Verdict::Incorrect) {
+      if (isDecisive(R.V)) {
         Out.Result = std::move(R);
         Out.Result.Seconds = Total.seconds();
         Out.DecidingOrder = Order->name();
+        Out.BudgetDoublings = Doubling;
+        return Out;
+      }
+      if (R.V == Verdict::Cancelled) {
+        // The scheduler itself was cancelled from outside: stop retrying.
+        Out.Result = std::move(R);
+        Out.Result.Seconds = Total.seconds();
         Out.BudgetDoublings = Doubling;
         return Out;
       }

@@ -34,9 +34,7 @@ struct PortfolioResult {
   std::string BestOrder;
   std::vector<PortfolioEntry> Entries;
 
-  bool decisive() const {
-    return Best.V == Verdict::Correct || Best.V == Verdict::Incorrect;
-  }
+  bool decisive() const { return isDecisive(Best.V); }
 };
 
 /// Runs the full portfolio (all orders) on P. Template parameters of each

@@ -28,6 +28,8 @@ std::string seqver::core::verdictName(Verdict V) {
     return "timeout";
   case Verdict::Unknown:
     return "unknown";
+  case Verdict::Cancelled:
+    return "cancelled";
   }
   return "invalid";
 }
@@ -75,6 +77,11 @@ public:
     if (!Config.StaticTier)
       Commut.disableStaticTier();
     Commut.setStatistics(&Stats);
+    // Semantic commutativity queries are the most expensive step between
+    // two DFS polls; have the checker poll the same stop conditions.
+    if (Config.Cancel)
+      Commut.watchCancellation(Config.Cancel);
+    Commut.watchCancellation(&OwnDeadline);
     if (Config.UsePersistentSets) {
       // Precompute the static independence relation once so the persistent
       // set construction consults a bitset instead of re-deciding pairs.
@@ -117,11 +124,23 @@ private:
     bool IsExitTrace = false;
   };
 
-  RoundResult checkProofRound(const Deadline &Budget);
+  RoundResult checkProofRound();
   std::vector<std::pair<Letter, Key>> expand(const Key &Node);
   bool isKnownUseless(const Key &Node);
   void markUseless(const Key &Node);
-  size_t minimizeProof(const Deadline &Budget);
+  size_t minimizeProof();
+
+  /// External cancellation (the portfolio race), as opposed to running out
+  /// of budget: decides Verdict::Cancelled vs Verdict::Timeout.
+  bool cancelRequested() const {
+    return Config.Cancel && Config.Cancel->cancelRequested();
+  }
+  /// Any reason to stop: external cancel, external deadline, own deadline
+  /// (Config.TimeoutSeconds, armed at the top of run()).
+  bool stopRequested() const {
+    return (Config.Cancel && Config.Cancel->stopRequested()) ||
+           OwnDeadline.deadlineExpired();
+  }
 
   const prog::ConcurrentProgram &P;
   VerifierConfig Config;
@@ -140,6 +159,8 @@ private:
       UselessCache;
   static constexpr size_t MaxUselessEntriesPerNode = 8;
 
+  /// Config.TimeoutSeconds mapped onto the cancellation mechanism.
+  runtime::CancellationToken OwnDeadline;
   Statistics Stats;
 };
 
@@ -236,8 +257,7 @@ Verifier::Impl::expand(const Key &Node) {
   return Out;
 }
 
-Verifier::Impl::RoundResult
-Verifier::Impl::checkProofRound(const Deadline &Budget) {
+Verifier::Impl::RoundResult Verifier::Impl::checkProofRound() {
   struct Frame {
     Key Node;
     Letter InLetter = 0;
@@ -248,7 +268,7 @@ Verifier::Impl::checkProofRound(const Deadline &Budget) {
 
   std::map<Key, NodeStatus> Visited;
   std::vector<Frame> Stack;
-  uint64_t Pops = 0;
+  uint64_t Steps = 0;
   bool ExitCtex = false;
   const bool CheckPost = P.hasPostCondition();
   Term Post = P.postCondition();
@@ -293,6 +313,14 @@ Verifier::Impl::checkProofRound(const Deadline &Budget) {
   }
 
   while (!Stack.empty()) {
+    // Cheap cancellation/deadline poll on every DFS step (push or pop);
+    // the mask keeps the clock read off the per-step path. This is the
+    // innermost poll point of the cancellation contract (docs/RUNTIME.md).
+    if ((++Steps & 0x3FF) == 0 &&
+        (stopRequested() || Visited.size() > Config.MaxVisitedPerRound)) {
+      Stats.setMax("peak_visited", static_cast<int64_t>(Visited.size()));
+      return {RoundResult::Kind::Aborted, {}};
+    }
     Frame &Top = Stack.back();
     if (Top.NextIndex < Top.Succs.size()) {
       auto &[L, Next] = Top.Succs[Top.NextIndex++];
@@ -309,12 +337,6 @@ Verifier::Impl::checkProofRound(const Deadline &Budget) {
       continue;
     }
     // Pop.
-    ++Pops;
-    if ((Pops & 0x3FF) == 0 &&
-        (Budget.expired() || Visited.size() > Config.MaxVisitedPerRound)) {
-      Stats.setMax("peak_visited", static_cast<int64_t>(Visited.size()));
-      return {RoundResult::Kind::Aborted, {}};
-    }
     bool Useless = !Top.TouchedUnknown;
     Visited[Top.Node] =
         Useless ? NodeStatus::DoneUseless : NodeStatus::DoneUnknown;
@@ -333,17 +355,17 @@ Verifier::Impl::checkProofRound(const Deadline &Budget) {
 VerificationResult Verifier::Impl::run() {
   VerificationResult Result;
   Timer Total;
-  Deadline Budget(Config.TimeoutSeconds);
+  OwnDeadline.armDeadline(Config.TimeoutSeconds);
 
   for (int Round = 1; Round <= Config.MaxRounds; ++Round) {
     Result.Rounds = Round;
-    if (Budget.expired()) {
-      Result.V = Verdict::Timeout;
+    if (stopRequested()) {
+      Result.V = cancelRequested() ? Verdict::Cancelled : Verdict::Timeout;
       break;
     }
-    RoundResult RR = checkProofRound(Budget);
+    RoundResult RR = checkProofRound();
     if (RR.K == RoundResult::Kind::Aborted) {
-      Result.V = Verdict::Timeout;
+      Result.V = cancelRequested() ? Verdict::Cancelled : Verdict::Timeout;
       break;
     }
     if (RR.K == RoundResult::Kind::ProofValid) {
@@ -406,7 +428,7 @@ VerificationResult Verifier::Impl::run() {
 
   Result.ProofSize = Proof.numPredicates();
   if (Result.V == Verdict::Correct && Config.MinimizeProof)
-    Result.MinimizedProofSize = minimizeProof(Budget);
+    Result.MinimizedProofSize = minimizeProof();
   Result.Seconds = Total.seconds();
   if (Result.V == Verdict::Correct)
     for (uint32_t Id = 0; Id < Proof.numPredicates(); ++Id)
@@ -430,7 +452,7 @@ Verifier::~Verifier() = default;
 
 VerificationResult Verifier::run() { return ImplPtr->run(); }
 
-size_t Verifier::Impl::minimizeProof(const Deadline &Budget) {
+size_t Verifier::Impl::minimizeProof() {
   // Greedy deletion: drop each predicate and keep the drop if the proof
   // check still succeeds. The useless-state cache was built against the
   // full pool (weaker pools may reach more states), so disable it here.
@@ -441,11 +463,11 @@ size_t Verifier::Impl::minimizeProof(const Deadline &Budget) {
 
   std::vector<bool> Mask(Proof.numPredicates(), true);
   for (uint32_t Id = 1; Id < Proof.numPredicates(); ++Id) {
-    if (Budget.expired())
+    if (stopRequested())
       break;
     Mask[Id] = false;
     Proof.setEnabledMask(Mask);
-    RoundResult RR = checkProofRound(Budget);
+    RoundResult RR = checkProofRound();
     if (RR.K != RoundResult::Kind::ProofValid)
       Mask[Id] = true; // needed (or budget pressure): keep it
   }

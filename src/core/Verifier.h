@@ -28,6 +28,7 @@
 #include "reduction/Commutativity.h"
 #include "reduction/PersistentSets.h"
 #include "reduction/PreferenceOrder.h"
+#include "runtime/Cancellation.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 
@@ -80,8 +81,23 @@ struct VerifierConfig {
   /// cost time, never change a verdict.
   bool StaticTier = true;
   int MaxRounds = 500;
+  /// Per-run deadline; mapped onto the cancellation mechanism (the verifier
+  /// arms an internal runtime::CancellationToken deadline and polls it at
+  /// the same sites as Cancel below). Non-positive disables.
   double TimeoutSeconds = 60;
   uint64_t MaxVisitedPerRound = 4000000;
+  /// External cancellation token (the parallel portfolio's race). Polled in
+  /// the refinement loop, inside the proof-check DFS, and before each
+  /// semantic commutativity query; see docs/RUNTIME.md for the contract.
+  /// Null means "never cancelled externally". The token is read-only here;
+  /// only the scheduler requests cancellation.
+  const runtime::CancellationToken *Cancel = nullptr;
+  /// Portfolio composition: number of rand(k) orders and the seed of the
+  /// first one (rand(RandSeedBase+1) .. rand(RandSeedBase+RandOrders)).
+  /// Seeds derive from this config — never from shared RNG state — so
+  /// parallel portfolio runs are reproducible and race-free.
+  int RandOrders = 3;
+  uint64_t RandSeedBase = 0;
 
   /// Baseline configuration: explore all interleavings (Automizer role).
   static VerifierConfig baseline() {
@@ -98,9 +114,15 @@ enum class Verdict : uint8_t {
   Incorrect, ///< feasible error trace found
   Timeout,   ///< resource budget exhausted
   Unknown,   ///< solver gave up on a decisive query
+  Cancelled, ///< stopped by an external cancellation request (portfolio race)
 };
 
 std::string verdictName(Verdict V);
+
+/// True iff V settles the instance (the portfolio's termination condition).
+inline bool isDecisive(Verdict V) {
+  return V == Verdict::Correct || V == Verdict::Incorrect;
+}
 
 struct VerificationResult {
   Verdict V = Verdict::Unknown;

@@ -50,6 +50,14 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
     return false;
   }
 
+  // Cancellation/deadline poll before handing the query to the solver: a
+  // cancelled run answers "dependent" (sound — it only weakens the
+  // reduction) and skips the cache so a live run re-decides the pair.
+  if (stopRequested()) {
+    count("commut_cancelled");
+    return false;
+  }
+
   count("commut_semantic");
   bool Result = semanticCheck(Phi, P.action(std::min(A, B)),
                               P.action(std::max(A, B)));

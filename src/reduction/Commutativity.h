@@ -27,12 +27,14 @@
 #include "analysis/StaticCommutativity.h"
 #include "program/Program.h"
 #include "program/Semantics.h"
+#include "runtime/Cancellation.h"
 #include "smt/Solver.h"
 #include "support/Statistics.h"
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 namespace seqver {
 namespace red {
@@ -58,6 +60,15 @@ public:
   /// commut_static, commut_semantic, commut_cache_hits) into Sink; the
   /// counters self-register on first use. Null disables reporting.
   void setStatistics(Statistics *Sink) { Stats = Sink; }
+
+  /// Adds a cancellation token to poll before every semantic (SMT) query.
+  /// When any watched token requests a stop, undecided queries short-
+  /// circuit to "non-commutative" — conservative and sound — without
+  /// being cached, so a later non-cancelled run re-decides them.
+  void watchCancellation(const runtime::CancellationToken *Token) {
+    if (Token)
+      Watched.push_back(Token);
+  }
 
   /// Disables the static tier (for tier-comparison runs; Semantic mode then
   /// behaves exactly like the historical two-tier checker).
@@ -88,12 +99,19 @@ private:
     if (Stats)
       Stats->add(Name);
   }
+  bool stopRequested() const {
+    for (const runtime::CancellationToken *T : Watched)
+      if (T->stopRequested())
+        return true;
+    return false;
+  }
 
   const prog::ConcurrentProgram &P;
   smt::QueryEngine &QE;
   Mode M;
   std::unique_ptr<analysis::StaticCommutativity> Static;
   Statistics *Stats = nullptr;
+  std::vector<const runtime::CancellationToken *> Watched;
   /// Cache key: (min letter, max letter, condition or nullptr).
   std::map<std::tuple<automata::Letter, automata::Letter, smt::Term>, bool>
       Cache;

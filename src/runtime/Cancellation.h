@@ -1,0 +1,92 @@
+//===- runtime/Cancellation.h - Cooperative cancellation ------------------===//
+///
+/// \file
+/// A cancellation token shared between the portfolio scheduler and the
+/// verifiers racing under it: a lock-free cancel flag plus an optional
+/// deadline. Verifier hot paths poll stopRequested() (see docs/RUNTIME.md
+/// for the exact poll points and the worst-case cancellation latency);
+/// the racing scheduler calls requestCancel() the moment any order
+/// produces a decisive verdict.
+///
+/// Header-only and dependency-free on purpose: core and reduction poll the
+/// token without linking against the runtime library (which in turn links
+/// core), so there is no cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_RUNTIME_CANCELLATION_H
+#define SEQVER_RUNTIME_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace seqver {
+namespace runtime {
+
+/// Shared cancel flag + optional deadline. requestCancel() may be called
+/// from any thread, any number of times; readers only ever observe a
+/// monotone false -> true transition. The deadline is stored as atomic
+/// nanoseconds so arming it after workers started is still race-free
+/// (normally it is armed once, before the token is shared).
+class CancellationToken {
+public:
+  CancellationToken() = default;
+  /// Arms a deadline BudgetSeconds from now; non-positive means none.
+  explicit CancellationToken(double BudgetSeconds) {
+    armDeadline(BudgetSeconds);
+  }
+
+  void requestCancel() { Cancelled.store(true, std::memory_order_release); }
+  bool cancelRequested() const {
+    return Cancelled.load(std::memory_order_acquire);
+  }
+
+  /// (Re)arms the deadline at now + BudgetSeconds; non-positive disarms.
+  void armDeadline(double BudgetSeconds) {
+    if (BudgetSeconds <= 0) {
+      DeadlineNs.store(kNoDeadline, std::memory_order_release);
+      return;
+    }
+    int64_t Now = nowNs();
+    int64_t Budget =
+        static_cast<int64_t>(BudgetSeconds * 1e9);
+    DeadlineNs.store(Now + Budget, std::memory_order_release);
+  }
+
+  bool hasDeadline() const {
+    return DeadlineNs.load(std::memory_order_acquire) != kNoDeadline;
+  }
+  bool deadlineExpired() const {
+    int64_t D = DeadlineNs.load(std::memory_order_acquire);
+    return D != kNoDeadline && nowNs() >= D;
+  }
+  /// Seconds until the deadline (a large value when none is armed).
+  double remainingSeconds() const {
+    int64_t D = DeadlineNs.load(std::memory_order_acquire);
+    if (D == kNoDeadline)
+      return 1e18;
+    return static_cast<double>(D - nowNs()) * 1e-9;
+  }
+
+  /// The poll entry point: cancelled or past the deadline.
+  bool stopRequested() const {
+    return cancelRequested() || deadlineExpired();
+  }
+
+private:
+  static int64_t nowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> Cancelled{false};
+  std::atomic<int64_t> DeadlineNs{kNoDeadline};
+};
+
+} // namespace runtime
+} // namespace seqver
+
+#endif // SEQVER_RUNTIME_CANCELLATION_H

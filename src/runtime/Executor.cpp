@@ -1,0 +1,70 @@
+//===- runtime/Executor.cpp - Fixed-size worker pool ----------------------===//
+
+#include "runtime/Executor.h"
+
+#include <stdexcept>
+
+using namespace seqver;
+using namespace seqver::runtime;
+
+Executor::Executor(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Executor::~Executor() { shutdown(); }
+
+void Executor::enqueue(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping)
+      throw std::logic_error("Executor::submit after shutdown");
+    Queue.push_back(std::move(Fn));
+  }
+  CV.notify_one();
+}
+
+void Executor::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping && Workers.empty())
+      return;
+    Stopping = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+}
+
+uint64_t Executor::tasksRun() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Completed;
+}
+
+void Executor::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    // packaged_task catches the task's exceptions into its future; nothing
+    // escapes into the worker.
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Completed;
+    }
+  }
+}

@@ -1,0 +1,82 @@
+//===- runtime/Executor.h - Fixed-size worker pool ------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with a FIFO task queue, the execution substrate
+/// of the parallel portfolio (docs/RUNTIME.md). Tasks are submitted as
+/// callables and observed through std::future, so exceptions thrown inside
+/// a task propagate to whoever joins on the result instead of terminating
+/// the worker. shutdown() (and the destructor) drains the queue: tasks
+/// already submitted still run to completion before the workers join —
+/// cancellation of in-flight work is the CancellationToken's job, not the
+/// pool's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_RUNTIME_EXECUTOR_H
+#define SEQVER_RUNTIME_EXECUTOR_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace seqver {
+namespace runtime {
+
+/// Fixed-size worker pool over a FIFO queue.
+class Executor {
+public:
+  /// Spawns NumThreads workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit Executor(unsigned NumThreads);
+  ~Executor();
+
+  Executor(const Executor &) = delete;
+  Executor &operator=(const Executor &) = delete;
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues Fn; returns a future for its result. Throws std::logic_error
+  /// after shutdown() started.
+  template <typename Fn>
+  auto submit(Fn &&F) -> std::future<std::invoke_result_t<Fn &>> {
+    using Result = std::invoke_result_t<Fn &>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables; route it through a shared_ptr.
+    auto Task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(F));
+    std::future<Result> Out = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Out;
+  }
+
+  /// Stops accepting new tasks, runs everything still queued, joins all
+  /// workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Number of tasks executed to completion (for tests / statistics).
+  uint64_t tasksRun() const;
+
+private:
+  void enqueue(std::function<void()> Fn);
+  void workerLoop();
+
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  bool Stopping = false;
+  uint64_t Completed = 0;
+};
+
+} // namespace runtime
+} // namespace seqver
+
+#endif // SEQVER_RUNTIME_EXECUTOR_H

@@ -1,0 +1,82 @@
+//===- runtime/ParallelPortfolio.h - Racing portfolio scheduler -----------===//
+///
+/// \file
+/// The genuinely parallel preference-order portfolio (PAPER.md Sec. 8:
+/// "terminates as soon as the analysis for any preference order
+/// terminates"), replacing the sequential as-if-parallel emulation of
+/// core/Portfolio.h for actual execution. One verification task per order
+/// runs on a fixed-size Executor; the first decisive verdict cancels the
+/// remaining tasks through a shared CancellationToken; losers stop within
+/// one poll interval (docs/RUNTIME.md quantifies the latency).
+///
+/// Isolation: every worker builds its *own* program from source with its
+/// own TermManager — term construction mutates the manager, so racing
+/// verifiers must not share one. Orders are reconstructed per worker from
+/// the config's RandSeedBase (support/Random.h has no shared state), so
+/// all workers see the identical portfolio.
+///
+/// Determinism: all orders run sound analyses of the same program, so
+/// every decisive verdict agrees; the *verdict* is therefore independent
+/// of thread scheduling. The reported winning order is tie-broken by fixed
+/// order priority (seq < lockstep < rand(k)) among the orders that
+/// finished decisively, and with Jobs=1 the race degenerates to exactly
+/// the sequential priority-order sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_RUNTIME_PARALLELPORTFOLIO_H
+#define SEQVER_RUNTIME_PARALLELPORTFOLIO_H
+
+#include "core/Portfolio.h"
+#include "support/Statistics.h"
+
+#include <string>
+#include <vector>
+
+namespace seqver {
+namespace runtime {
+
+/// Scheduler knobs for one parallel portfolio race.
+struct ParallelConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned Jobs = 0;
+  /// Apply analysis::pruneDeadEdges to each worker's program copy (the
+  /// CLI's default preprocessing; must match the sequential path when
+  /// comparing verdicts).
+  bool PruneDeadEdges = false;
+};
+
+struct ParallelPortfolioResult {
+  /// Winner's result (deterministic tie-break; see file comment). Its
+  /// Seconds is the winner's own run time — the as-if-parallel aggregate.
+  core::VerificationResult Best;
+  std::string BestOrder;
+  /// All orders in priority order, including cancelled losers.
+  std::vector<core::PortfolioEntry> Entries;
+  /// Real wall-clock of the whole race (launch to last join).
+  double WallSeconds = 0;
+  /// Worker threads actually used.
+  unsigned Jobs = 0;
+  /// Per-worker statistics sinks merged after the join (plus scheduler
+  /// counters: portfolio_cancelled_orders, portfolio_decisive_orders).
+  Statistics Merged;
+
+  bool decisive() const { return core::isDecisive(Best.V); }
+  /// Sum of per-order run times: the cost the race actually paid
+  /// (cancelled orders contribute only their partial time).
+  double sumSeconds() const;
+};
+
+/// Races the full portfolio over Source. Base supplies everything but the
+/// order (Order is overridden per task; Cancel is overridden with the
+/// race's shared token). Base.TimeoutSeconds, when positive, is armed as a
+/// real deadline for the race as a whole and for each task.
+ParallelPortfolioResult
+runPortfolioParallel(const std::string &Source,
+                     const core::VerifierConfig &Base,
+                     const ParallelConfig &PC = {});
+
+} // namespace runtime
+} // namespace seqver
+
+#endif // SEQVER_RUNTIME_PARALLELPORTFOLIO_H

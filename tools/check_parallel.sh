@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Portfolio-agreement gate: runs the bench workload suites with the
+# sequential (as-if-parallel) portfolio and the real parallel racing
+# portfolio, and fails if any verification verdict differs. Also prints
+# the wall-clock speedup of the race over the sequential sum-of-orders.
+#
+# Usage: tools/check_parallel.sh [build-dir] [--quick] [--jobs=N]
+#   build-dir  defaults to ./build
+#   --quick    sample every third workload (what the ctest target runs)
+#   --jobs=N   worker threads (default: hardware concurrency)
+set -eu
+
+BUILD_DIR=build
+MODE=--check-parallel
+JOBS=
+for arg in "$@"; do
+  case "$arg" in
+    --quick) MODE=--check-parallel=quick ;;
+    --jobs=*) JOBS=$arg ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+SEQVER="$BUILD_DIR/tools/seqver"
+if [ ! -x "$SEQVER" ]; then
+  echo "error: $SEQVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+exec "$SEQVER" "$MODE" ${JOBS:+"$JOBS"}

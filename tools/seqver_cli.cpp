@@ -7,10 +7,18 @@
 /// Usage:
 ///   seqver [options] <file.conc>
 ///   seqver --check-tiers[=quick]
+///   seqver --check-parallel[=quick]
 ///
 /// Options:
 ///   --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>
 ///                         single preference order (default: portfolio)
+///   --portfolio=<sequential|parallel>
+///                         sequential emulation (as-if-parallel aggregate,
+///                         default) or the real racing executor
+///   --jobs=<n>            worker threads for --portfolio=parallel
+///                         (default: hardware concurrency)
+///   --rand-seed=<n>       seed base for the rand(k) portfolio orders
+///                         (orders become rand(n+1)..rand(n+3))
 ///   --analyze             print the static race/independence report and
 ///                         exit (1 when potential races are found)
 ///   --no-sleep            disable sleep set reduction
@@ -20,6 +28,10 @@
 ///   --no-prune            keep statically dead CFG edges
 ///   --check-tiers[=quick] verify the workload suites with the static tier
 ///                         on and off; fail if any verdict changes
+///   --check-parallel[=quick]
+///                         verify the workload suites with the sequential
+///                         and the parallel portfolio; fail on any verdict
+///                         mismatch, report wall-clock speedup
 ///   --timeout=<seconds>   per-analysis timeout (default 60)
 ///   --witness             print the error trace for incorrect programs
 ///   --proof               print the final proof assertions
@@ -35,6 +47,8 @@
 #include "core/Portfolio.h"
 #include "program/CfgBuilder.h"
 #include "program/Interpreter.h"
+#include "runtime/ParallelPortfolio.h"
+#include "support/Timer.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -50,6 +64,11 @@ namespace {
 struct CliOptions {
   std::string File;
   std::string Order; // empty = portfolio
+  bool ParallelPortfolio = false;
+  unsigned Jobs = 0; // 0 = hardware concurrency
+  uint64_t RandSeedBase = 0;
+  bool CheckParallel = false;
+  bool CheckParallelQuick = false;
   bool Analyze = false;
   bool NoSleep = false;
   bool NoPersistent = false;
@@ -72,7 +91,9 @@ void printUsage() {
   std::printf(
       "usage: seqver [options] <file.conc>\n"
       "       seqver --check-tiers[=quick]\n"
+      "       seqver --check-parallel[=quick]\n"
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
+      "  --portfolio=<sequential|parallel> --jobs=<n> --rand-seed=<n>\n"
       "  --analyze --no-sleep --no-persistent --no-proof-sensitive\n"
       "  --no-static --no-prune --minimize\n"
       "  --source=<wp|interp|both>\n"
@@ -84,6 +105,26 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     std::string Arg = argv[I];
     if (Arg.rfind("--order=", 0) == 0) {
       Opts.Order = Arg.substr(8);
+    } else if (Arg.rfind("--portfolio=", 0) == 0) {
+      std::string Mode = Arg.substr(12);
+      if (Mode == "parallel") {
+        Opts.ParallelPortfolio = true;
+      } else if (Mode == "sequential") {
+        Opts.ParallelPortfolio = false;
+      } else {
+        std::fprintf(stderr, "unknown portfolio mode '%s'\n", Mode.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Opts.Jobs = static_cast<unsigned>(std::atoi(Arg.c_str() + 7));
+    } else if (Arg.rfind("--rand-seed=", 0) == 0) {
+      Opts.RandSeedBase =
+          static_cast<uint64_t>(std::atoll(Arg.c_str() + 12));
+    } else if (Arg == "--check-parallel") {
+      Opts.CheckParallel = true;
+    } else if (Arg == "--check-parallel=quick") {
+      Opts.CheckParallel = true;
+      Opts.CheckParallelQuick = true;
     } else if (Arg == "--analyze") {
       Opts.Analyze = true;
     } else if (Arg == "--no-sleep") {
@@ -134,7 +175,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       return false;
     }
   }
-  return Opts.CheckTiers || !Opts.File.empty();
+  return Opts.CheckTiers || Opts.CheckParallel || !Opts.File.empty();
 }
 
 void report(const core::VerificationResult &R,
@@ -234,6 +275,71 @@ int runCheckTiers(const CliOptions &Opts) {
   return 0;
 }
 
+/// Runs every workload under the sequential and the parallel portfolio and
+/// compares verdicts (they must be identical — all orders are sound); also
+/// reports the real wall-clock win of the race over the sequential
+/// sum-of-orders. Returns the process exit code.
+int runCheckParallel(const CliOptions &Opts) {
+  std::vector<workloads::WorkloadInstance> Suite =
+      workloads::svcompLikeSuite();
+  std::vector<workloads::WorkloadInstance> Weaver =
+      workloads::weaverLikeSuite();
+  Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  if (Opts.CheckParallelQuick) {
+    std::vector<workloads::WorkloadInstance> Sample;
+    for (size_t I = 0; I < Suite.size(); I += 3)
+      Sample.push_back(Suite[I]);
+    Suite = std::move(Sample);
+  }
+
+  core::VerifierConfig Base;
+  Base.TimeoutSeconds = Opts.TimeoutSet ? Opts.Timeout : 10;
+  Base.RandSeedBase = Opts.RandSeedBase;
+  runtime::ParallelConfig PC;
+  PC.Jobs = Opts.Jobs;
+
+  int Mismatches = 0;
+  double SeqSum = 0, ParWall = 0;
+  std::printf("%-22s %-10s %-10s %9s %9s\n", "workload", "sequential",
+              "parallel", "seq-sum", "par-wall");
+  for (const auto &W : Suite) {
+    smt::TermManager TM;
+    prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
+    if (!Build.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), Build.Error.c_str());
+      return 2;
+    }
+    Timer SeqTimer;
+    core::PortfolioResult Seq = core::runPortfolio(*Build.Program, Base);
+    double SeqSeconds = SeqTimer.seconds();
+    runtime::ParallelPortfolioResult Par =
+        runtime::runPortfolioParallel(W.Source, Base, PC);
+
+    bool Agree = Seq.Best.V == Par.Best.V;
+    if (!Agree)
+      ++Mismatches;
+    SeqSum += SeqSeconds;
+    ParWall += Par.WallSeconds;
+    std::printf("%-22s %-10s %-10s %8.2fs %8.2fs%s\n", W.Name.c_str(),
+                core::verdictName(Seq.Best.V).c_str(),
+                core::verdictName(Par.Best.V).c_str(), SeqSeconds,
+                Par.WallSeconds, Agree ? "" : "  << VERDICT MISMATCH");
+  }
+
+  std::printf("\nsequential sum-of-orders: %.2fs, parallel wall-clock: "
+              "%.2fs",
+              SeqSum, ParWall);
+  if (ParWall > 0)
+    std::printf(" (%.2fx speedup)", SeqSum / ParWall);
+  std::printf("\n");
+  if (Mismatches > 0) {
+    std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
+    return 1;
+  }
+  std::printf("all verdicts agree\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -244,6 +350,8 @@ int main(int argc, char **argv) {
   }
   if (Opts.CheckTiers)
     return runCheckTiers(Opts);
+  if (Opts.CheckParallel)
+    return runCheckParallel(Opts);
 
   std::ifstream In(Opts.File);
   if (!In) {
@@ -292,6 +400,7 @@ int main(int argc, char **argv) {
 
   core::VerifierConfig Config;
   Config.TimeoutSeconds = Opts.Timeout;
+  Config.RandSeedBase = Opts.RandSeedBase;
   Config.UseSleepSets = !Opts.NoSleep;
   Config.UsePersistentSets = !Opts.NoPersistent;
   Config.ProofSensitive = !Opts.NoProofSensitive && !Opts.NoSleep;
@@ -314,6 +423,24 @@ int main(int argc, char **argv) {
     Exit = R.V == core::Verdict::Correct      ? 0
            : R.V == core::Verdict::Incorrect ? 1
                                              : 3;
+  } else if (Opts.ParallelPortfolio) {
+    runtime::ParallelConfig PC;
+    PC.Jobs = Opts.Jobs;
+    // Workers rebuild from source; replicate this process's preprocessing.
+    PC.PruneDeadEdges = !Opts.NoPrune;
+    runtime::ParallelPortfolioResult R =
+        runtime::runPortfolioParallel(Buffer.str(), Config, PC);
+    report(R.Best, P, Opts, R.BestOrder);
+    std::printf("portfolio: %u job(s), wall %.3fs, race cost %.3fs\n",
+                R.Jobs, R.WallSeconds, R.sumSeconds());
+    for (const core::PortfolioEntry &E : R.Entries)
+      std::printf("  %-10s %-10s %7.3fs\n", E.OrderName.c_str(),
+                  core::verdictName(E.Result.V).c_str(), E.Result.Seconds);
+    if (Opts.PrintStats)
+      std::printf("merged stats: %s\n", R.Merged.str().c_str());
+    Exit = R.Best.V == core::Verdict::Correct      ? 0
+           : R.Best.V == core::Verdict::Incorrect ? 1
+                                                  : 3;
   } else {
     core::PortfolioResult R = core::runPortfolio(P, Config);
     report(R.Best, P, Opts, R.BestOrder);
