@@ -39,8 +39,10 @@ RunRecord toRecord(const workloads::WorkloadInstance &W,
   Out.CommutQueries = R.Stats.get("commut_queries");
   Out.CommutSyntactic = R.Stats.get("commut_syntactic");
   Out.CommutStatic = R.Stats.get("commut_static");
+  Out.CommutOctagon = R.Stats.get("commut_octagon");
   Out.SemanticChecks = R.Stats.get("semantic_commut_checks");
   Out.SmtQueries = R.Stats.get("smt_queries");
+  Out.SeededPredicates = R.Stats.get("seeded_predicates");
   Out.BestOrder = BestOrder;
   return Out;
 }
@@ -112,8 +114,27 @@ RunRecord seqver::bench::runTool(const workloads::WorkloadInstance &W,
     RunRecord Out = toRecord(W, Tool, R.Best, R.BestOrder);
     Out.WallSeconds = R.WallSeconds;
     Out.RaceCostSeconds = R.sumSeconds();
+    // The winner's lazily-registered counters miss whatever only the losing
+    // orders touched; the hub-merged statistics are the race's true per-tier
+    // totals (each worker's sink carries its verifier-exported counters).
+    Out.CommutQueries = R.Merged.get("commut_queries");
+    Out.CommutSyntactic = R.Merged.get("commut_syntactic");
+    Out.CommutStatic = R.Merged.get("commut_static");
+    Out.CommutOctagon = R.Merged.get("commut_octagon");
+    Out.SemanticChecks = R.Merged.get("semantic_commut_checks");
+    Out.SmtQueries = R.Merged.get("smt_queries");
+    Out.SeededPredicates = R.Merged.get("seeded_predicates");
     return Out;
   }
+  if (Tool == "gemcutter-oct")
+    return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
+      C.SeedProof = true;
+    });
+  if (Tool == "gemcutter-nooct")
+    return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
+      C.OctagonTier = false;
+      C.SeedProof = false;
+    });
   if (Tool == "sleep")
     return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
       C.UsePersistentSets = false;
@@ -206,8 +227,10 @@ SuiteAggregate seqver::bench::aggregate(const std::vector<RunRecord> &Records,
     Out.TotalRounds += R.Rounds;
     Out.TotalCommutQueries += R.CommutQueries;
     Out.TotalCommutStatic += R.CommutStatic;
+    Out.TotalCommutOctagon += R.CommutOctagon;
     Out.TotalSemanticChecks += R.SemanticChecks;
     Out.TotalSmtQueries += R.SmtQueries;
+    Out.TotalSeededPredicates += R.SeededPredicates;
   }
   return Out;
 }

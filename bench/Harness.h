@@ -38,8 +38,12 @@ struct RunRecord {
   int64_t CommutQueries = 0;
   int64_t CommutSyntactic = 0;
   int64_t CommutStatic = 0;
+  int64_t CommutOctagon = 0;
   int64_t SemanticChecks = 0;
   int64_t SmtQueries = 0;
+  /// Proof predicates contributed by octagon seeding (0 unless the tool
+  /// enables SeedProof).
+  int64_t SeededPredicates = 0;
   /// Portfolio only: name of the winning order.
   std::string BestOrder;
   /// Parallel portfolio only: real wall-clock of the whole race (Seconds
@@ -66,7 +70,13 @@ double benchTimeout();
 ///   gemcutter            portfolio over seq/lockstep/rand(1..3),
 ///                        sequential as-if-parallel emulation
 ///   gemcutter-par        the same portfolio raced on the parallel runtime
-///                        (real wall-clock in WallSeconds)
+///                        (real wall-clock in WallSeconds; tier counters are
+///                        taken from the hub-merged statistics, i.e. summed
+///                        over every racing order, not just the winner)
+///   gemcutter-oct        portfolio with octagon proof seeding on top of
+///                        the full static tier stack
+///   gemcutter-nooct      portfolio with the octagon tier and seeding off —
+///                        interval tier only (ablation baseline)
 ///   seq | lockstep | rand(1) | rand(2) | rand(3)
 ///                        single preference order, full reduction
 ///   sleep                portfolio, sleep sets only
@@ -95,8 +105,10 @@ struct SuiteAggregate {
   int64_t TotalRounds = 0;
   int64_t TotalCommutQueries = 0;
   int64_t TotalCommutStatic = 0;
+  int64_t TotalCommutOctagon = 0;
   int64_t TotalSemanticChecks = 0;
   int64_t TotalSmtQueries = 0;
+  int64_t TotalSeededPredicates = 0;
 };
 
 /// Aggregate over records, optionally restricted to expected-correct or

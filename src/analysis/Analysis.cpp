@@ -2,6 +2,7 @@
 
 #include "analysis/Analysis.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -15,6 +16,7 @@ ProgramAnalysis::ProgramAnalysis(const prog::ConcurrentProgram &P) : P(P) {
   Locks = std::make_unique<LockSetAnalysis>(P);
   Accesses = std::make_unique<MayAccessAnalysis>(P);
   Intervals = std::make_unique<IntervalAnalysis>(P);
+  Octagons = std::make_unique<OctagonAnalysis>(P);
   Racy = std::make_unique<RaceDetector>(P, *Locks, Intervals.get());
 }
 
@@ -35,7 +37,23 @@ std::string ProgramAnalysis::report() const {
   Out << "dead edges (" << Dead.size() << "):";
   for (const DeadEdge &E : Dead)
     Out << " " << P.action(E.EdgeLetter).Name;
-  Out << "\n\n";
+  Out << "\n";
+
+  // Relational pass: how much the octagons see beyond the intervals.
+  const auto &ODead = Octagons->deadEdges();
+  auto InIntervalDead = [&](const DeadEdge &E) {
+    return std::any_of(Dead.begin(), Dead.end(), [&](const DeadEdge &D) {
+      return D.ThreadId == E.ThreadId && D.From == E.From &&
+             D.EdgeLetter == E.EdgeLetter;
+    });
+  };
+  Out << "octagon dead edges (" << ODead.size() << "):";
+  for (const DeadEdge &E : ODead)
+    if (!InIntervalDead(E))
+      Out << " +" << P.action(E.EdgeLetter).Name;
+  Out << "\n";
+  Out << "octagon relational locations: "
+      << Octagons->numRelationalLocations() << "\n\n";
 
   const auto &Races = Racy->races();
   Out << "races (" << Races.size() << "):\n";
@@ -63,17 +81,29 @@ std::string ProgramAnalysis::report() const {
 }
 
 uint32_t seqver::analysis::pruneDeadEdges(prog::ConcurrentProgram &P,
-                                          const IntervalAnalysis &Intervals) {
+                                          const IntervalAnalysis &Intervals,
+                                          const OctagonAnalysis *Octagons) {
   // Group dead edges by (thread, source) so "would this empty the location"
-  // can be answered before touching the CFG.
+  // can be answered before touching the CFG. Interval and octagon lists are
+  // merged with deduplication (both passes find most shallow dead edges).
   std::map<std::pair<int, Location>, std::vector<Letter>> BySource;
+  auto Record = [&](const DeadEdge &E) {
+    auto &Letters = BySource[{E.ThreadId, E.From}];
+    if (std::find(Letters.begin(), Letters.end(), E.EdgeLetter) ==
+        Letters.end())
+      Letters.push_back(E.EdgeLetter);
+  };
   for (const DeadEdge &E : Intervals.deadEdges())
-    BySource[{E.ThreadId, E.From}].push_back(E.EdgeLetter);
+    Record(E);
+  if (Octagons)
+    for (const DeadEdge &E : Octagons->deadEdges())
+      Record(E);
 
   uint32_t Removed = 0;
   for (const auto &[Src, Letters] : BySource) {
     const auto &[ThreadId, From] = Src;
-    bool Reachable = Intervals.reachable(ThreadId, From);
+    bool Reachable = Intervals.reachable(ThreadId, From) &&
+                     (!Octagons || Octagons->reachable(ThreadId, From));
     size_t OutDegree = P.thread(ThreadId).Edges[From].size();
     // Keep a reachable location's last edge: removing all of them would
     // reclassify a stuck (deadlocked) location as a legitimate exit.
@@ -87,7 +117,16 @@ uint32_t seqver::analysis::pruneDeadEdges(prog::ConcurrentProgram &P,
   return Removed;
 }
 
-uint32_t seqver::analysis::pruneDeadEdges(prog::ConcurrentProgram &P) {
+uint32_t seqver::analysis::pruneDeadEdges(prog::ConcurrentProgram &P,
+                                          const IntervalAnalysis &Intervals) {
+  return pruneDeadEdges(P, Intervals, nullptr);
+}
+
+uint32_t seqver::analysis::pruneDeadEdges(prog::ConcurrentProgram &P,
+                                          bool WithOctagons) {
   IntervalAnalysis Intervals(P);
-  return pruneDeadEdges(P, Intervals);
+  if (!WithOctagons)
+    return pruneDeadEdges(P, Intervals, nullptr);
+  OctagonAnalysis Octagons(P);
+  return pruneDeadEdges(P, Intervals, &Octagons);
 }

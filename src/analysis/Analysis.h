@@ -15,6 +15,7 @@
 #include "analysis/IntervalProp.h"
 #include "analysis/LockSet.h"
 #include "analysis/MayAccess.h"
+#include "analysis/OctagonProp.h"
 #include "analysis/RaceDetector.h"
 
 #include <memory>
@@ -33,6 +34,7 @@ public:
   const LockSetAnalysis &locks() const { return *Locks; }
   const MayAccessAnalysis &accesses() const { return *Accesses; }
   const IntervalAnalysis &intervals() const { return *Intervals; }
+  const OctagonAnalysis &octagons() const { return *Octagons; }
   const RaceDetector &races() const { return *Racy; }
 
   /// Human-readable race/independence/pruning report (--analyze output).
@@ -43,19 +45,28 @@ private:
   std::unique_ptr<LockSetAnalysis> Locks;
   std::unique_ptr<MayAccessAnalysis> Accesses;
   std::unique_ptr<IntervalAnalysis> Intervals;
+  std::unique_ptr<OctagonAnalysis> Octagons;
   std::unique_ptr<RaceDetector> Racy;
 };
 
-/// Removes the statically dead edges found by interval propagation from P,
-/// in place. A reachable location keeps at least one outgoing edge even if
+/// Removes statically dead edges from P, in place: the interval pass's dead
+/// edges, plus (when Octagons is non-null) the relational pass's — whose
+/// invariants kill edges intervals cannot, e.g. a branch on `b > a` after
+/// `b := a`. A reachable location keeps at least one outgoing edge even if
 /// all of them are dead: dropping every edge would turn a (deadlocked)
 /// location into a terminal one and change L(P)'s all-exit states. Returns
 /// the number of edges removed.
 uint32_t pruneDeadEdges(prog::ConcurrentProgram &P,
+                        const IntervalAnalysis &Intervals,
+                        const OctagonAnalysis *Octagons);
+
+/// Interval-only pruning (historical behavior).
+uint32_t pruneDeadEdges(prog::ConcurrentProgram &P,
                         const IntervalAnalysis &Intervals);
 
-/// Convenience overload: runs a fresh interval analysis, then prunes.
-uint32_t pruneDeadEdges(prog::ConcurrentProgram &P);
+/// Convenience overload: runs a fresh interval analysis — and, when
+/// WithOctagons, a fresh octagon analysis — then prunes.
+uint32_t pruneDeadEdges(prog::ConcurrentProgram &P, bool WithOctagons = false);
 
 } // namespace analysis
 } // namespace seqver

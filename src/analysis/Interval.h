@@ -152,12 +152,14 @@ Interval intervalOfSum(const smt::LinSum &Sum, const LookupFn &Lookup) {
   return Out;
 }
 
-/// Tri-state truth of Formula under an interval environment. Boolean
-/// variables evaluate through Lookup with the [0,1] encoding. Conservative:
-/// Unknown whenever the environment does not pin the answer down.
-template <typename LookupFn>
-Tri evalTri(const smt::TermManager &TM, smt::Term Formula,
-            const LookupFn &Lookup) {
+/// Tri-state truth of Formula with pluggable atom evaluation. Boolean
+/// variables evaluate through Lookup with the [0,1] encoding; the range of
+/// each linear atom's sum comes from RangeOf, so relational domains (the
+/// octagon) can answer atoms their unary projection cannot. Conservative:
+/// Unknown whenever the ranges do not pin the answer down.
+template <typename LookupFn, typename SumRangeFn>
+Tri evalTriOver(const smt::TermManager &TM, smt::Term Formula,
+                const LookupFn &Lookup, const SumRangeFn &RangeOf) {
   using smt::TermKind;
   switch (Formula->kind()) {
   case TermKind::BoolConst:
@@ -171,7 +173,7 @@ Tri evalTri(const smt::TermManager &TM, smt::Term Formula,
     return Tri::Unknown;
   }
   case TermKind::AtomLe: {
-    Interval R = intervalOfSum(Formula->sum(), Lookup);
+    Interval R = RangeOf(Formula->sum());
     if (R.HasHi && R.Hi <= 0)
       return Tri::True;
     if (R.HasLo && R.Lo > 0)
@@ -179,7 +181,7 @@ Tri evalTri(const smt::TermManager &TM, smt::Term Formula,
     return Tri::Unknown;
   }
   case TermKind::AtomEq: {
-    Interval R = intervalOfSum(Formula->sum(), Lookup);
+    Interval R = RangeOf(Formula->sum());
     if (R.isExact() && R.Lo == 0)
       return Tri::True;
     if (!R.contains(0))
@@ -187,11 +189,11 @@ Tri evalTri(const smt::TermManager &TM, smt::Term Formula,
     return Tri::Unknown;
   }
   case TermKind::Not:
-    return triNot(evalTri(TM, Formula->child(0), Lookup));
+    return triNot(evalTriOver(TM, Formula->child(0), Lookup, RangeOf));
   case TermKind::And: {
     Tri Acc = Tri::True;
     for (smt::Term C : Formula->children()) {
-      Tri T = evalTri(TM, C, Lookup);
+      Tri T = evalTriOver(TM, C, Lookup, RangeOf);
       if (T == Tri::False)
         return Tri::False;
       if (T == Tri::Unknown)
@@ -202,7 +204,7 @@ Tri evalTri(const smt::TermManager &TM, smt::Term Formula,
   case TermKind::Or: {
     Tri Acc = Tri::False;
     for (smt::Term C : Formula->children()) {
-      Tri T = evalTri(TM, C, Lookup);
+      Tri T = evalTriOver(TM, C, Lookup, RangeOf);
       if (T == Tri::True)
         return Tri::True;
       if (T == Tri::Unknown)
@@ -211,14 +213,24 @@ Tri evalTri(const smt::TermManager &TM, smt::Term Formula,
     return Acc;
   }
   case TermKind::Iff: {
-    Tri A = evalTri(TM, Formula->child(0), Lookup);
-    Tri B = evalTri(TM, Formula->child(1), Lookup);
+    Tri A = evalTriOver(TM, Formula->child(0), Lookup, RangeOf);
+    Tri B = evalTriOver(TM, Formula->child(1), Lookup, RangeOf);
     if (A == Tri::Unknown || B == Tri::Unknown)
       return Tri::Unknown;
     return A == B ? Tri::True : Tri::False;
   }
   }
   return Tri::Unknown;
+}
+
+/// Tri-state truth under a plain interval environment (atoms ranged by
+/// intervalOfSum over Lookup).
+template <typename LookupFn>
+Tri evalTri(const smt::TermManager &TM, smt::Term Formula,
+            const LookupFn &Lookup) {
+  return evalTriOver(TM, Formula, Lookup, [&](const smt::LinSum &Sum) {
+    return intervalOfSum(Sum, Lookup);
+  });
 }
 
 } // namespace analysis

@@ -117,10 +117,9 @@ private:
 
 } // namespace
 
-IntervalAnalysis::IntervalAnalysis(const prog::ConcurrentProgram &P) : P(P) {
+std::vector<std::vector<Term>>
+seqver::analysis::trackableVariables(const prog::ConcurrentProgram &P) {
   int N = P.numThreads();
-
-  // Trackable[t]: globals written by no thread other than t.
   std::vector<std::vector<bool>> WrittenByThread(
       P.globals().size(), std::vector<bool>(static_cast<size_t>(N), false));
   auto GlobalIndex = [&](Term Var) -> int {
@@ -137,7 +136,7 @@ IntervalAnalysis::IntervalAnalysis(const prog::ConcurrentProgram &P) : P(P) {
         WrittenByThread[static_cast<size_t>(I)]
                        [static_cast<size_t>(A.ThreadId)] = true;
     }
-  Trackable.assign(static_cast<size_t>(N), {});
+  std::vector<std::vector<Term>> Trackable(static_cast<size_t>(N));
   for (int T = 0; T < N; ++T)
     for (size_t I = 0; I < P.globals().size(); ++I) {
       bool OtherWrites = false;
@@ -147,6 +146,12 @@ IntervalAnalysis::IntervalAnalysis(const prog::ConcurrentProgram &P) : P(P) {
       if (!OtherWrites)
         termSetInsert(Trackable[static_cast<size_t>(T)], P.globals()[I]);
     }
+  return Trackable;
+}
+
+IntervalAnalysis::IntervalAnalysis(const prog::ConcurrentProgram &P) : P(P) {
+  int N = P.numThreads();
+  Trackable = trackableVariables(P);
 
   Facts.resize(static_cast<size_t>(N));
   for (int T = 0; T < N; ++T) {

@@ -40,6 +40,14 @@ struct DeadEdge {
   automata::Letter EdgeLetter;
 };
 
+/// Per-thread trackable variables: globals written by no thread other than
+/// the given one (id-sorted). Shared by every thread-modular value analysis
+/// (intervals, octagons) — a fact over these variables survives all other
+/// threads' steps, which is exactly what makes per-location facts sound
+/// under arbitrary interleaving.
+std::vector<std::vector<smt::Term>>
+trackableVariables(const prog::ConcurrentProgram &P);
+
 class IntervalAnalysis {
 public:
   explicit IntervalAnalysis(const prog::ConcurrentProgram &P);

@@ -1,0 +1,413 @@
+//===- analysis/Octagon.h - Octagon abstract domain (DBM form) ------------===//
+///
+/// \file
+/// The octagon abstract domain of Miné: conjunctions of constraints
+/// `±x ± y <= c` over a fixed, small variable universe, represented as a
+/// difference-bound matrix (DBM) over 2N nodes. Node 2k stands for +x_k and
+/// node 2k+1 for -x_k; entry B[i][j] is an upper bound on V_i - V_j, so
+///
+///   x - y <= c   ->  B[2kx][2ky]       x + y <= c  ->  B[2kx][2ky+1]
+///   -x - y <= c  ->  B[2kx+1][2ky]     x <= c      ->  B[2kx][2kx+1] = 2c
+///   x >= c       ->  B[2kx+1][2kx] = -2c
+///
+/// together with the coherence condition B[i][j] == B[j^1][i^1] (every
+/// constraint is stored with its mirror). Closure is Floyd-Warshall
+/// shortest paths plus the octagonal strengthening step
+/// B[i][j] = min(B[i][j], floor(B[i][i^1]/2) + floor(B[j^1][j]/2)), with
+/// unary bounds tightened to even values (variables are integers).
+///
+/// The representation is value-level and copyable like analysis::Interval:
+/// the thread-modular propagation pass copies facts per CFG edge, and the
+/// SMT-free relational unsat decider builds one octagon per query. All
+/// bound arithmetic saturates *upward* (towards "no bound"), which keeps
+/// every operation sound under overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_OCTAGON_H
+#define SEQVER_ANALYSIS_OCTAGON_H
+
+#include "analysis/Interval.h"
+#include "analysis/Refine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// An element of the octagon lattice over an ordered variable universe.
+/// Default-constructed octagons have an empty universe and mean "top over
+/// nothing"; bottom is an explicit flag (any contradiction collapses the
+/// whole element).
+class Octagon {
+public:
+  /// +infinity sentinel for "no bound".
+  static constexpr int64_t Inf = INT64_MAX;
+  /// Finite bounds live in [-MaxFinite, MaxFinite]; sums beyond MaxFinite
+  /// saturate to Inf (sound: weaker) and below -MaxFinite saturate to
+  /// -MaxFinite (also sound: a *larger* upper bound is weaker).
+  static constexpr int64_t MaxFinite = INT64_MAX / 4;
+
+  Octagon() = default;
+
+  /// Top element over Vars (no constraints). Vars must be distinct.
+  explicit Octagon(std::vector<smt::Term> Vars) : Vars(std::move(Vars)) {
+    B.assign(4 * this->Vars.size() * this->Vars.size(), Inf);
+    uint32_t N = numNodes();
+    for (uint32_t I = 0; I < N; ++I)
+      at(I, I) = 0;
+  }
+
+  const std::vector<smt::Term> &vars() const { return Vars; }
+  bool isEmpty() const { return Empty; }
+  void markEmpty() { Empty = true; }
+
+  /// Index of Var in the universe, or -1.
+  int indexOf(smt::Term Var) const {
+    for (size_t I = 0; I < Vars.size(); ++I)
+      if (Vars[I] == Var)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Saturating a + b for upper bounds (Inf absorbs; low side clamps up).
+  static int64_t satAdd(int64_t A, int64_t C) {
+    if (A == Inf || C == Inf)
+      return Inf;
+    __int128 S = static_cast<__int128>(A) + C;
+    if (S > MaxFinite)
+      return Inf;
+    if (S < -MaxFinite)
+      return -MaxFinite;
+    return static_cast<int64_t>(S);
+  }
+
+  /// Records S1*Vars[K1] + S2*Vars[K2] <= C (K1 != K2, S in {-1,+1}),
+  /// meeting with any existing bound. Mirror entry kept coherent.
+  void addBinary(int K1, int S1, int K2, int S2, int64_t C) {
+    if (Empty)
+      return;
+    // s1*x - (-s2*y) <= c: node(+s1*x) to node(-s2*y).
+    uint32_t I = node(K1, S1), J = node(K2, -S2);
+    meetEntry(I, J, clampC(C));
+  }
+
+  /// Records S*Vars[K] <= C.
+  void addUnary(int K, int S, int64_t C) {
+    if (Empty)
+      return;
+    uint32_t I = node(K, S);
+    meetEntry(I, I ^ 1u, clampC(satMul2(C)));
+  }
+
+  /// Upper bound of S*Vars[K] (Inf when unbounded). Exact after close().
+  int64_t unaryUpper(int K, int S) const {
+    uint32_t I = node(K, S);
+    int64_t Two = at(I, I ^ 1u);
+    return Two == Inf ? Inf : floorDiv(Two, 2);
+  }
+
+  /// Interval view of one universe variable (derived from unary bounds).
+  Interval intervalOf(int K) const {
+    Interval Out;
+    int64_t Hi = unaryUpper(K, +1);
+    if (Hi != Inf) {
+      Out.HasHi = true;
+      Out.Hi = Hi;
+    }
+    int64_t NegLo = unaryUpper(K, -1); // -x <= NegLo  ->  x >= -NegLo
+    if (NegLo != Inf) {
+      Out.HasLo = true;
+      Out.Lo = -NegLo;
+    }
+    return Out;
+  }
+
+  /// Interval environment of all unary bounds (for the shared refiners).
+  IntervalFact toIntervalFact() const {
+    IntervalFact F;
+    if (Empty)
+      return F;
+    for (size_t K = 0; K < Vars.size(); ++K) {
+      Interval I = intervalOf(static_cast<int>(K));
+      if (!I.isTop())
+        F[Vars[K]] = I;
+    }
+    return F;
+  }
+
+  /// Saturating range of a linear sum. Exact (DBM entry) for sums of at
+  /// most two unit-coefficient universe variables; otherwise interval
+  /// accumulation over the unary bounds (any non-universe variable is top).
+  Interval rangeOfSum(const smt::LinSum &Sum) const {
+    if (Empty)
+      return Interval::exact(0); // meaningless on bottom; callers guard
+    int K1 = -1, K2 = -1, S1 = 0, S2 = 0;
+    bool Units = true;
+    for (const auto &[Var, Coeff] : Sum.Terms) {
+      int K = indexOf(Var);
+      if (K < 0 || (Coeff != 1 && Coeff != -1)) {
+        Units = false;
+        break;
+      }
+      if (K1 < 0) {
+        K1 = K;
+        S1 = static_cast<int>(Coeff);
+      } else if (K2 < 0) {
+        K2 = K;
+        S2 = static_cast<int>(Coeff);
+      } else {
+        Units = false;
+        break;
+      }
+    }
+    if (Units && K1 >= 0) {
+      Interval Out;
+      int64_t Hi, NegLo;
+      if (K2 < 0) {
+        Hi = unaryUpper(K1, S1);
+        NegLo = unaryUpper(K1, -S1);
+      } else {
+        // upper(s1*x + s2*y) = B[node(s1,x)][node(-s2,y)].
+        Hi = at(node(K1, S1), node(K2, -S2));
+        NegLo = at(node(K1, -S1), node(K2, S2));
+      }
+      // Shift by the constant in 128-bit; out-of-range bounds are dropped
+      // rather than clamped (dropping is sound in both directions).
+      if (Hi != Inf) {
+        __int128 H = static_cast<__int128>(Hi) + Sum.Constant;
+        if (H >= INT64_MIN && H <= INT64_MAX) {
+          Out.HasHi = true;
+          Out.Hi = static_cast<int64_t>(H);
+        }
+      }
+      if (NegLo != Inf) {
+        __int128 L = static_cast<__int128>(-NegLo) + Sum.Constant;
+        if (L >= INT64_MIN && L <= INT64_MAX) {
+          Out.HasLo = true;
+          Out.Lo = static_cast<int64_t>(L);
+        }
+      }
+      return Out;
+    }
+    auto Lookup = [this](smt::Term Var) -> const Interval * {
+      int K = indexOf(Var);
+      if (K < 0)
+        return nullptr;
+      Scratch = intervalOf(K);
+      return Scratch.isTop() ? nullptr : &Scratch;
+    };
+    return intervalOfSum(Sum, Lookup);
+  }
+
+  /// Closure: integer tightening + all-pairs shortest paths + octagonal
+  /// strengthening. Returns false iff the element is unsatisfiable (the
+  /// octagon is then marked empty).
+  bool close() {
+    if (Empty)
+      return false;
+    uint32_t N = numNodes();
+    if (N == 0)
+      return true;
+    for (int Pass = 0; Pass < 2; ++Pass) {
+      // Integer tightening: unary entries encode 2c and must be even.
+      for (uint32_t I = 0; I < N; ++I) {
+        int64_t &U = at(I, I ^ 1u);
+        if (U != Inf)
+          U = 2 * floorDiv(U, 2);
+      }
+      // Floyd-Warshall.
+      for (uint32_t K = 0; K < N; ++K)
+        for (uint32_t I = 0; I < N; ++I) {
+          int64_t IK = at(I, K);
+          if (IK == Inf)
+            continue;
+          for (uint32_t J = 0; J < N; ++J) {
+            int64_t Via = satAdd(IK, at(K, J));
+            if (Via < at(I, J))
+              at(I, J) = Via;
+          }
+        }
+      // Strengthening through the unary bounds.
+      for (uint32_t I = 0; I < N; ++I) {
+        int64_t UI = at(I, I ^ 1u);
+        if (UI == Inf)
+          continue;
+        for (uint32_t J = 0; J < N; ++J) {
+          int64_t UJ = at(J ^ 1u, J);
+          if (UJ == Inf)
+            continue;
+          int64_t S = satAdd(floorDiv(UI, 2), floorDiv(UJ, 2));
+          if (S < at(I, J))
+            at(I, J) = S;
+        }
+      }
+    }
+    for (uint32_t I = 0; I < N; ++I) {
+      if (at(I, I) < 0) {
+        Empty = true;
+        return false;
+      }
+      // x <= a and x >= b with a < b (after integer tightening).
+      int64_t Up = at(I, I ^ 1u), Down = at(I ^ 1u, I);
+      if (Up != Inf && Down != Inf && satAdd(Up, Down) < 0) {
+        Empty = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Least upper bound (entrywise max). Both sides should be closed for
+  /// precision; the result of joining closed octagons is closed. Returns
+  /// true iff this changed. Joining with an empty octagon is identity.
+  bool joinWith(const Octagon &O) {
+    if (O.Empty)
+      return false;
+    if (Empty) {
+      *this = O;
+      return true;
+    }
+    bool Changed = false;
+    for (size_t I = 0; I < B.size(); ++I) {
+      int64_t M = std::max(B[I], O.B[I]);
+      if (M != B[I]) {
+        B[I] = M;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// Greatest lower bound (entrywise min); the caller should close()
+  /// afterwards. Returns false iff either side was already empty.
+  bool meetWith(const Octagon &O) {
+    if (Empty || O.Empty) {
+      Empty = true;
+      return false;
+    }
+    for (size_t I = 0; I < B.size(); ++I)
+      B[I] = std::min(B[I], O.B[I]);
+    return true;
+  }
+
+  /// Threshold widening: every finite bound jumps to the smallest cover
+  /// threshold >= it (or Inf). Repeated join-then-widen sequences therefore
+  /// move each entry through a finite chain, guaranteeing termination. Do
+  /// NOT close after widening — closure could undo the jump and restart the
+  /// chain (the classic octagon widening pitfall).
+  void widenToThresholds() {
+    if (Empty)
+      return;
+    for (int64_t &E : B)
+      if (E != Inf && E != 0)
+        E = thresholdAbove(E);
+  }
+
+  /// Drops every constraint mentioning Vars[K] (the variable becomes
+  /// unconstrained). Preserves closure.
+  void forget(int K) {
+    if (Empty)
+      return;
+    uint32_t N = numNodes();
+    uint32_t P0 = 2 * static_cast<uint32_t>(K), P1 = P0 + 1;
+    for (uint32_t I = 0; I < N; ++I) {
+      at(I, P0) = at(I, P1) = Inf;
+      at(P0, I) = at(P1, I) = Inf;
+    }
+    at(P0, P0) = at(P1, P1) = 0;
+  }
+
+  /// Exact abstract assignment Vars[K] := S*Vars[K] + C (S in {-1,+1}).
+  /// Every constraint is rewritten through the substitution; closure is
+  /// preserved.
+  void assignShift(int K, int S, int64_t C) {
+    if (Empty)
+      return;
+    uint32_t N = numNodes();
+    uint32_t P0 = 2 * static_cast<uint32_t>(K), P1 = P0 + 1;
+    if (S < 0) {
+      // x' = -x + c: swap the +x / -x rows and columns first.
+      for (uint32_t J = 0; J < N; ++J)
+        std::swap(at(P0, J), at(P1, J));
+      for (uint32_t I = 0; I < N; ++I)
+        std::swap(at(I, P0), at(I, P1));
+    }
+    // Shift: V'_{P0} = V_{P0} + c, V'_{P1} = V_{P1} - c.
+    auto D = [&](uint32_t I) -> int64_t {
+      return I == P0 ? C : I == P1 ? -C : 0;
+    };
+    for (uint32_t I = 0; I < N; ++I)
+      for (uint32_t J = 0; J < N; ++J) {
+        if (D(I) == 0 && D(J) == 0)
+          continue;
+        int64_t &E = at(I, J);
+        if (E != Inf)
+          E = satAdd(E, D(I) - D(J));
+      }
+  }
+
+  bool operator==(const Octagon &O) const {
+    return Empty == O.Empty && Vars == O.Vars && (Empty || B == O.B);
+  }
+
+  /// Raw DBM entry (upper bound on V_I - V_J).
+  int64_t entry(uint32_t I, uint32_t J) const { return at(I, J); }
+  uint32_t numNodes() const { return 2 * static_cast<uint32_t>(Vars.size()); }
+
+  /// Node for the literal S*Vars[K] (+x is the even node).
+  static uint32_t node(int K, int S) {
+    return 2 * static_cast<uint32_t>(K) + (S < 0 ? 1u : 0u);
+  }
+
+private:
+  int64_t &at(uint32_t I, uint32_t J) {
+    return B[I * numNodes() + J];
+  }
+  int64_t at(uint32_t I, uint32_t J) const {
+    return B[I * numNodes() + J];
+  }
+
+  void meetEntry(uint32_t I, uint32_t J, int64_t C) {
+    if (C < at(I, J)) {
+      at(I, J) = C;
+      at(J ^ 1u, I ^ 1u) = C;
+    }
+  }
+
+  static int64_t clampC(int64_t C) {
+    return C > MaxFinite ? Inf : C < -MaxFinite ? -MaxFinite : C;
+  }
+  static int64_t satMul2(int64_t C) {
+    if (C > MaxFinite / 2)
+      return Inf;
+    if (C < -MaxFinite / 2)
+      return -MaxFinite;
+    return 2 * C;
+  }
+
+  /// Finite widening cover: zero plus +/- powers spread over the ranges
+  /// the workloads use. Any finite superset works; this one keeps small
+  /// loop bounds representable after one widening step.
+  static int64_t thresholdAbove(int64_t V) {
+    static constexpr int64_t T[] = {-65536, -4096, -256, -64, -16, -8,
+                                    -4,     -2,    -1,   0,   1,   2,
+                                    4,      8,     16,   64,  256, 4096,
+                                    65536};
+    for (int64_t C : T)
+      if (V <= C)
+        return C;
+    return Inf;
+  }
+
+  std::vector<smt::Term> Vars;
+  std::vector<int64_t> B;
+  bool Empty = false;
+  mutable Interval Scratch; // lookup adapter storage for rangeOfSum
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_OCTAGON_H

@@ -1,0 +1,508 @@
+//===- analysis/OctagonProp.cpp - Thread-modular octagon propagation ------===//
+
+#include "analysis/OctagonProp.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/TermSet.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::prog::Action;
+using seqver::prog::Location;
+using seqver::prog::Prim;
+using seqver::smt::LinSum;
+using seqver::smt::Term;
+using seqver::smt::TermKind;
+
+namespace {
+
+/// Lookup adapter: boolean (and integer) variables through the octagon's
+/// unary bounds.
+struct OctEnv {
+  const Octagon &O;
+  mutable Interval Scratch;
+  const Interval *operator()(Term Var) const {
+    int K = O.indexOf(Var);
+    if (K < 0)
+      return nullptr;
+    Scratch = O.intervalOf(K);
+    return Scratch.isTop() ? nullptr : &Scratch;
+  }
+};
+
+/// True when Sum is a +/-1 combination of at most two universe variables
+/// (outputs in K1/S1, K2/S2; K2 == -1 for unary sums).
+bool asUnitPair(const Octagon &O, const LinSum &Sum, int &K1, int &S1,
+                int &K2, int &S2) {
+  K1 = K2 = -1;
+  S1 = S2 = 0;
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    if (Coeff != 1 && Coeff != -1)
+      return false;
+    int K = O.indexOf(Var);
+    if (K < 0)
+      return false;
+    if (K1 < 0) {
+      K1 = K;
+      S1 = static_cast<int>(Coeff);
+    } else if (K2 < 0) {
+      K2 = K;
+      S2 = static_cast<int>(Coeff);
+    } else {
+      return false;
+    }
+  }
+  return K1 >= 0;
+}
+
+/// Records Sum <= 0 into O: a direct octagon constraint when the sum is a
+/// unit pair, and residual-range unary refinement for every universe
+/// variable regardless (mirrors detail::refineLe over the relational
+/// ranges).
+void octagonAssumeLe(Octagon &O, const LinSum &Sum) {
+  int K1, S1, K2, S2;
+  if (asUnitPair(O, Sum, K1, S1, K2, S2)) {
+    // s1*x (+ s2*y) + c <= 0.
+    if (K2 < 0)
+      O.addUnary(K1, S1, -Sum.Constant);
+    else
+      O.addBinary(K1, S1, K2, S2, -Sum.Constant);
+    return;
+  }
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    int K = O.indexOf(Var);
+    if (K < 0)
+      continue;
+    LinSum Rest = detail::residualSum(Sum, Var);
+    Interval R = O.rangeOfSum(Rest);
+    if (!R.HasLo)
+      continue;
+    // Coeff * V <= -Rest <= -R.Lo.
+    if (Coeff > 0)
+      O.addUnary(K, +1, floorDiv(-R.Lo, Coeff));
+    else
+      O.addUnary(K, -1, -ceilDiv(-R.Lo, Coeff));
+  }
+}
+
+void octagonAssumeLiteral(Octagon &O, const smt::TermManager & /*TM*/,
+                          Term C) {
+  switch (C->kind()) {
+  case TermKind::BoolConst:
+    if (!C->boolValue())
+      O.markEmpty();
+    return;
+  case TermKind::BoolVar: {
+    int K = O.indexOf(C);
+    if (K >= 0) {
+      O.addUnary(K, +1, 1);
+      O.addUnary(K, -1, -1);
+    }
+    return;
+  }
+  case TermKind::Not: {
+    Term Inner = C->child(0);
+    if (Inner->kind() == TermKind::BoolVar) {
+      int K = O.indexOf(Inner);
+      if (K >= 0) {
+        O.addUnary(K, +1, 0);
+        O.addUnary(K, -1, 0);
+      }
+    } else if (Inner->kind() == TermKind::AtomEq) {
+      Interval R = O.rangeOfSum(Inner->sum());
+      if (R.isExact() && R.Lo == 0)
+        O.markEmpty();
+    }
+    return;
+  }
+  case TermKind::AtomLe:
+    octagonAssumeLe(O, C->sum());
+    return;
+  case TermKind::AtomEq:
+    octagonAssumeLe(O, C->sum());
+    octagonAssumeLe(O, smt::TermManager::sumScale(C->sum(), -1));
+    return;
+  default:
+    return; // disjunctive structure: left to the evaluator
+  }
+}
+
+} // namespace
+
+bool seqver::analysis::octagonAssume(Octagon &O, const smt::TermManager &TM,
+                                     Term Formula, int Rounds) {
+  const std::vector<Term> Single{Formula};
+  const std::vector<Term> &Conjuncts =
+      Formula->kind() == TermKind::And ? Formula->children() : Single;
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (Term C : Conjuncts)
+      octagonAssumeLiteral(O, TM, C);
+    if (!O.close())
+      return false;
+  }
+  return true;
+}
+
+Tri seqver::analysis::octagonEval(const smt::TermManager &TM,
+                                  const Octagon &O, Term Formula) {
+  if (O.isEmpty())
+    return Tri::Unknown; // callers treat empty as unreachable, not "false"
+  OctEnv Env{O, {}};
+  return evalTriOver(TM, Formula, Env, [&O](const LinSum &Sum) {
+    return O.rangeOfSum(Sum);
+  });
+}
+
+namespace {
+
+class OctagonDomain {
+public:
+  using Fact = Octagon;
+
+  OctagonDomain(const prog::ConcurrentProgram &P,
+                const std::vector<Term> &Trackable)
+      : P(P), TM(P.termManager()), Universe(Trackable) {}
+
+  Fact boundary() const {
+    Octagon O(Universe);
+    for (size_t K = 0; K < Universe.size(); ++K) {
+      Term Var = Universe[K];
+      if (Var->sort() == smt::Sort::Bool) {
+        // Booleans always live in [0,1].
+        O.addUnary(static_cast<int>(K), +1, 1);
+        O.addUnary(static_cast<int>(K), -1, 0);
+      }
+      if (!P.isGlobalConstrained(Var))
+        continue;
+      const smt::Assignment &Init = P.initialValues();
+      int64_t V = Var->sort() == smt::Sort::Int
+                      ? Init.intValue(Var)
+                      : (Init.boolValue(Var) ? 1 : 0);
+      O.addUnary(static_cast<int>(K), +1, V);
+      O.addUnary(static_cast<int>(K), -1, -V);
+    }
+    O.close();
+    return O;
+  }
+
+  bool join(Fact &Into, const Fact &From) const {
+    return Into.joinWith(From);
+  }
+
+  std::optional<Fact> transfer(const Action &A, const Fact &In) const {
+    if (In.isEmpty())
+      return std::nullopt;
+    Fact F = In;
+    for (const Prim &Pr : A.Prims) {
+      switch (Pr.K) {
+      case Prim::Kind::Assume:
+        if (octagonEval(TM, F, Pr.Guard) == Tri::False)
+          return std::nullopt;
+        if (!octagonAssume(F, TM, Pr.Guard))
+          return std::nullopt;
+        break;
+      case Prim::Kind::AssignInt:
+        transferAssignInt(F, Pr.Var, Pr.IntValue);
+        break;
+      case Prim::Kind::AssignBool: {
+        int K = F.indexOf(Pr.Var);
+        if (K < 0)
+          break;
+        switch (octagonEval(TM, F, Pr.BoolValue)) {
+        case Tri::True:
+          F.forget(K);
+          F.addUnary(K, +1, 1);
+          F.addUnary(K, -1, -1);
+          break;
+        case Tri::False:
+          F.forget(K);
+          F.addUnary(K, +1, 0);
+          F.addUnary(K, -1, 0);
+          break;
+        case Tri::Unknown:
+          F.forget(K);
+          F.addUnary(K, +1, 1);
+          F.addUnary(K, -1, 0);
+          break;
+        }
+        break;
+      }
+      case Prim::Kind::Havoc: {
+        int K = F.indexOf(Pr.Var);
+        if (K >= 0) {
+          F.forget(K);
+          if (Pr.Var->sort() == smt::Sort::Bool) {
+            F.addUnary(K, +1, 1);
+            F.addUnary(K, -1, 0);
+          }
+        }
+        break;
+      }
+      }
+    }
+    if (!F.close())
+      return std::nullopt;
+    return F;
+  }
+
+  void widen(Fact &F) const { F.widenToThresholds(); }
+
+private:
+  void transferAssignInt(Fact &F, Term Var, const LinSum &Value) const {
+    int K = F.indexOf(Var);
+    if (K < 0)
+      return;
+    const auto &Terms = Value.Terms;
+    constexpr int64_t SmallC = Octagon::MaxFinite / 2;
+    // Exact translation x := +/-x + c: rewrite all constraints in place.
+    if (Terms.size() == 1 && Terms[0].first == Var &&
+        (Terms[0].second == 1 || Terms[0].second == -1) &&
+        Value.Constant < SmallC && Value.Constant > -SmallC) {
+      F.assignShift(K, static_cast<int>(Terms[0].second), Value.Constant);
+      return;
+    }
+    // Exact equality x := +/-y + c: forget x, then pin x - (+/-y) = c.
+    if (Terms.size() == 1 && Terms[0].first != Var &&
+        (Terms[0].second == 1 || Terms[0].second == -1) &&
+        Value.Constant < SmallC && Value.Constant > -SmallC) {
+      int Ky = F.indexOf(Terms[0].first);
+      if (Ky >= 0) {
+        int S = static_cast<int>(Terms[0].second);
+        F.forget(K);
+        F.addBinary(K, +1, Ky, -S, Value.Constant);
+        F.addBinary(K, -1, Ky, S, -Value.Constant);
+        return;
+      }
+    }
+    // General right-hand side: take the unary range, plus a relational
+    // bound against every unit universe variable of the sum (the residual
+    // is evaluated on the pre-state; those variables are unchanged).
+    Interval R = F.rangeOfSum(Value);
+    struct RelBound {
+      int Ky;
+      int S;
+      Interval Residual;
+    };
+    std::vector<RelBound> Rels;
+    for (const auto &[Y, Coeff] : Terms) {
+      if (Y == Var || (Coeff != 1 && Coeff != -1))
+        continue;
+      int Ky = F.indexOf(Y);
+      if (Ky < 0)
+        continue;
+      LinSum Rest = detail::residualSum(Value, Y);
+      Rels.push_back({Ky, static_cast<int>(Coeff), F.rangeOfSum(Rest)});
+    }
+    F.forget(K);
+    if (R.HasHi)
+      F.addUnary(K, +1, R.Hi);
+    if (R.HasLo)
+      F.addUnary(K, -1, -R.Lo);
+    for (const RelBound &RB : Rels) {
+      // x_new = s*y + rest: x - s*y is bounded by rest's pre-state range.
+      if (RB.Residual.HasHi)
+        F.addBinary(K, +1, RB.Ky, -RB.S, RB.Residual.Hi);
+      if (RB.Residual.HasLo)
+        F.addBinary(K, -1, RB.Ky, RB.S, -RB.Residual.Lo);
+    }
+  }
+
+  const prog::ConcurrentProgram &P;
+  const smt::TermManager &TM;
+  const std::vector<Term> &Universe;
+};
+
+} // namespace
+
+OctagonAnalysis::OctagonAnalysis(const prog::ConcurrentProgram &P) : P(P) {
+  int N = P.numThreads();
+  Trackable = trackableVariables(P);
+
+  Facts.resize(static_cast<size_t>(N));
+  for (int T = 0; T < N; ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    OctagonDomain D(P, Trackable[static_cast<size_t>(T)]);
+    DataflowSolver<OctagonDomain> Solver(P, T, D, Direction::Forward);
+    Solver.run();
+    auto &PerLoc = Facts[static_cast<size_t>(T)];
+    PerLoc.assign(Cfg.numLocations(), std::nullopt);
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      if (const Octagon *F = Solver.at(L))
+        PerLoc[L] = *F;
+
+    // Bounded narrowing: two descending passes re-derive every location
+    // from its predecessors and meet with the ascending fixpoint. This
+    // recovers most threshold-widening overshoot (e.g. a loop counter
+    // widened past its bound snaps back to the guard's bound) and stays
+    // sound: transfers are monotone and we only ever shrink facts that
+    // started as a post-fixpoint.
+    std::vector<std::vector<std::pair<Location, automata::Letter>>> In(
+        Cfg.numLocations());
+    for (Location From = 0; From < Cfg.numLocations(); ++From)
+      for (const auto &[EdgeLetter, To] : Cfg.Edges[From])
+        In[To].emplace_back(From, EdgeLetter);
+    for (int Pass = 0; Pass < 2; ++Pass) {
+      for (Location L = 0; L < Cfg.numLocations(); ++L) {
+        std::optional<Octagon> New;
+        if (L == Cfg.InitialLoc)
+          New = D.boundary();
+        for (const auto &[From, EdgeLetter] : In[L]) {
+          if (!PerLoc[From])
+            continue;
+          std::optional<Octagon> Out =
+              D.transfer(P.action(EdgeLetter), *PerLoc[From]);
+          if (!Out)
+            continue;
+          if (!New)
+            New = std::move(Out);
+          else
+            New->joinWith(*Out);
+        }
+        if (!PerLoc[L])
+          continue;
+        if (!New) {
+          PerLoc[L] = std::nullopt; // no feasible way in: unreachable
+          continue;
+        }
+        PerLoc[L]->meetWith(*New);
+        if (!PerLoc[L]->close())
+          PerLoc[L] = std::nullopt;
+      }
+    }
+
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      for (const auto &[EdgeLetter, To] : Cfg.Edges[L]) {
+        (void)To;
+        bool IsDead =
+            !PerLoc[L] || !D.transfer(P.action(EdgeLetter), *PerLoc[L]);
+        if (IsDead)
+          Dead.push_back({T, L, EdgeLetter});
+      }
+  }
+}
+
+const Octagon *OctagonAnalysis::factAt(int ThreadId, Location Loc) const {
+  const auto &PerLoc = Facts[static_cast<size_t>(ThreadId)];
+  if (Loc >= PerLoc.size() || !PerLoc[Loc])
+    return nullptr;
+  return &*PerLoc[Loc];
+}
+
+bool OctagonAnalysis::reachable(int ThreadId, Location Loc) const {
+  return factAt(ThreadId, Loc) != nullptr;
+}
+
+Tri OctagonAnalysis::evalAt(int ThreadId, Location Loc, Term Formula) const {
+  const Octagon *F = factAt(ThreadId, Loc);
+  if (!F)
+    return Tri::Unknown;
+  return octagonEval(P.termManager(), *F, Formula);
+}
+
+std::vector<Term> OctagonAnalysis::invariantAtoms(int ThreadId,
+                                                  Location Loc) const {
+  std::vector<Term> Out;
+  const Octagon *O = factAt(ThreadId, Loc);
+  if (!O)
+    return Out;
+  smt::TermManager &TM = P.termManager();
+  const auto &Vars = O->vars();
+
+  for (size_t K = 0; K < Vars.size(); ++K) {
+    Term Var = Vars[K];
+    Interval I = O->intervalOf(static_cast<int>(K));
+    if (Var->sort() == smt::Sort::Bool) {
+      if (I.isExact())
+        Out.push_back(I.Lo != 0 ? Var : TM.mkNot(Var));
+      continue;
+    }
+    if (I.isExact()) {
+      Out.push_back(TM.mkEq(TM.sumOfVar(Var), TM.sumOfConst(I.Lo)));
+      continue;
+    }
+    if (I.HasHi)
+      Out.push_back(TM.mkLe(TM.sumOfVar(Var), TM.sumOfConst(I.Hi)));
+    if (I.HasLo)
+      Out.push_back(TM.mkGe(TM.sumOfVar(Var), TM.sumOfConst(I.Lo)));
+  }
+
+  // Relational atoms between integer variables, skipping entries already
+  // implied by the unary bounds.
+  for (size_t K1 = 0; K1 < Vars.size(); ++K1) {
+    if (Vars[K1]->sort() != smt::Sort::Int)
+      continue;
+    for (size_t K2 = K1 + 1; K2 < Vars.size(); ++K2) {
+      if (Vars[K2]->sort() != smt::Sort::Int)
+        continue;
+      for (int S1 : {+1, -1})
+        for (int S2 : {+1, -1}) {
+          int64_t C = O->entry(Octagon::node(static_cast<int>(K1), S1),
+                               Octagon::node(static_cast<int>(K2), -S2));
+          if (C == Octagon::Inf)
+            continue;
+          int64_t U1 = O->unaryUpper(static_cast<int>(K1), S1);
+          int64_t U2 = O->unaryUpper(static_cast<int>(K2), S2);
+          if (U1 != Octagon::Inf && U2 != Octagon::Inf &&
+              Octagon::satAdd(U1, U2) <= C)
+            continue; // implied by the unary bounds
+          LinSum Sum = smt::TermManager::sumAdd(
+              smt::TermManager::sumScale(TM.sumOfVar(Vars[K1]), S1),
+              smt::TermManager::sumScale(TM.sumOfVar(Vars[K2]), S2));
+          Out.push_back(TM.mkLe(Sum, TM.sumOfConst(C)));
+        }
+    }
+  }
+  return Out;
+}
+
+Term OctagonAnalysis::invariantAt(int ThreadId, Location Loc) const {
+  auto CacheKey = std::make_pair(ThreadId, Loc);
+  auto It = InvariantCache.find(CacheKey);
+  if (It != InvariantCache.end())
+    return It->second;
+  smt::TermManager &TM = P.termManager();
+  Term Result;
+  if (!factAt(ThreadId, Loc)) {
+    Result = TM.mkFalse(); // unreachable: the letter never executes
+  } else {
+    std::vector<Term> Atoms = invariantAtoms(ThreadId, Loc);
+    Result = Atoms.empty() ? TM.mkTrue() : TM.mkAnd(std::move(Atoms));
+  }
+  InvariantCache.emplace(CacheKey, Result);
+  return Result;
+}
+
+std::vector<Term> OctagonAnalysis::seedPredicates(size_t MaxSeeds) const {
+  std::vector<Term> Out;
+  std::set<Term> Seen;
+  for (int T = 0; T < P.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    for (Location L = 0; L < Cfg.numLocations(); ++L) {
+      for (Term Atom : invariantAtoms(T, L)) {
+        if (Out.size() >= MaxSeeds)
+          return Out;
+        if (Seen.insert(Atom).second)
+          Out.push_back(Atom);
+      }
+    }
+  }
+  return Out;
+}
+
+size_t OctagonAnalysis::numRelationalLocations() const {
+  size_t Count = 0;
+  for (int T = 0; T < P.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    for (Location L = 0; L < Cfg.numLocations(); ++L) {
+      for (Term Atom : invariantAtoms(T, L))
+        if (Atom->kind() == TermKind::AtomLe && Atom->sum().Terms.size() >= 2) {
+          ++Count;
+          break;
+        }
+    }
+  }
+  return Count;
+}

@@ -1,0 +1,102 @@
+//===- analysis/OctagonProp.h - Thread-modular octagon propagation --------===//
+///
+/// \file
+/// Relational invariant inference on the Dataflow framework: runs the
+/// octagon domain (analysis/Octagon.h) thread-modularly with the same
+/// interference abstraction as IntervalProp — per thread, only *trackable*
+/// variables (globals written by no other thread) enter the universe, so a
+/// fact attached to a location is an invariant of every product state in
+/// which the thread occupies that location.
+///
+/// Beyond IntervalProp the pass yields genuinely relational facts
+/// (`x - y <= c`, `x + y <= c`) and recovers widening losses with a
+/// bounded descending (narrowing) iteration. Three consumers:
+///
+///  - the static *conditional* commutativity tier strengthens a ~_phi b
+///    obligations with the invariants at the letters' source locations,
+///  - proof seeding initializes the round-0 Floyd/Hoare predicate pool
+///    with the per-location invariant atoms,
+///  - dead-edge pruning subsumes the interval-only entailment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_OCTAGONPROP_H
+#define SEQVER_ANALYSIS_OCTAGONPROP_H
+
+#include "analysis/IntervalProp.h"
+#include "analysis/Octagon.h"
+#include "program/Program.h"
+
+#include <map>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// Strengthens O with every literal conjunct of Formula: direct octagon
+/// constraints for unit two-variable atoms, residual interval refinement
+/// (shared with Refine.h) for everything else. Variables outside O's
+/// universe are treated as unconstrained. Returns false iff Formula is
+/// infeasible under O (O is then empty). Closes O.
+bool octagonAssume(Octagon &O, const smt::TermManager &TM,
+                   smt::Term Formula, int Rounds = 2);
+
+/// Tri-state truth of Formula under O's constraints (relational atom
+/// ranges; booleans through the [0,1] unary encoding).
+Tri octagonEval(const smt::TermManager &TM, const Octagon &O,
+                smt::Term Formula);
+
+class OctagonAnalysis {
+public:
+  explicit OctagonAnalysis(const prog::ConcurrentProgram &P);
+
+  /// Fixpoint octagon when ThreadId is at Loc; nullptr when unreachable.
+  const Octagon *factAt(int ThreadId, prog::Location Loc) const;
+
+  /// True if the abstraction reaches Loc.
+  bool reachable(int ThreadId, prog::Location Loc) const;
+
+  /// Tri-state truth of Formula as an invariant of "ThreadId at Loc".
+  Tri evalAt(int ThreadId, prog::Location Loc, smt::Term Formula) const;
+
+  /// Edges provably never taken; superset-or-equal of the interval pass's
+  /// in precision goal (both lists are computed independently).
+  const std::vector<DeadEdge> &deadEdges() const { return Dead; }
+
+  /// Variables trackable for ThreadId (shared with IntervalProp).
+  const std::vector<smt::Term> &trackable(int ThreadId) const {
+    return Trackable[static_cast<size_t>(ThreadId)];
+  }
+
+  /// The location invariant as one conjunction term: mkTrue when nothing
+  /// is known, mkFalse when the location is unreachable. Cached. Atoms
+  /// redundant with the unary bounds are skipped.
+  smt::Term invariantAt(int ThreadId, prog::Location Loc) const;
+
+  /// Atom terms of the invariant at one location (empty when top or
+  /// unreachable).
+  std::vector<smt::Term> invariantAtoms(int ThreadId,
+                                        prog::Location Loc) const;
+
+  /// Deduplicated invariant atoms over all locations of all threads, for
+  /// seeding the proof automaton's predicate pool. Capped at MaxSeeds
+  /// (closest-to-entry locations win; the cap bounds Hoare-query growth).
+  std::vector<smt::Term> seedPredicates(size_t MaxSeeds = 64) const;
+
+  /// Number of locations whose invariant has at least one genuinely
+  /// relational (two-variable) atom; used by the --analyze report.
+  size_t numRelationalLocations() const;
+
+private:
+  const prog::ConcurrentProgram &P;
+  std::vector<std::vector<smt::Term>> Trackable;
+  /// Facts[thread][loc]; nullopt = unreachable.
+  std::vector<std::vector<std::optional<Octagon>>> Facts;
+  std::vector<DeadEdge> Dead;
+  mutable std::map<std::pair<int, prog::Location>, smt::Term> InvariantCache;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_OCTAGONPROP_H

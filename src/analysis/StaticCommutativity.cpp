@@ -2,6 +2,7 @@
 
 #include "analysis/StaticCommutativity.h"
 
+#include "analysis/OctagonProp.h"
 #include "analysis/Refine.h"
 #include "program/Semantics.h"
 
@@ -45,7 +46,69 @@ bool seqver::analysis::staticallyUnsat(const TermManager &TM, Term Formula) {
   return evalTri(TM, Formula, FactEnv{Env}) == Tri::False;
 }
 
+bool seqver::analysis::staticallyUnsatRelational(const TermManager &TM,
+                                                 Term Formula) {
+  if (Formula->kind() == TermKind::BoolConst)
+    return !Formula->boolValue();
+  // A disjunction is unsat iff every branch is.
+  if (Formula->kind() == TermKind::Or) {
+    for (Term C : Formula->children())
+      if (!staticallyUnsatRelational(TM, C))
+        return false;
+    return true;
+  }
+  std::vector<Term> Vars;
+  TM.collectVars(Formula, Vars);
+  if (Vars.empty() || Vars.size() > RelationalVarCap)
+    return false;
+  Octagon O(std::move(Vars));
+  for (size_t K = 0; K < O.vars().size(); ++K)
+    if (O.vars()[K]->sort() == smt::Sort::Bool) {
+      O.addUnary(static_cast<int>(K), +1, 1);
+      O.addUnary(static_cast<int>(K), -1, 0);
+    }
+  if (!octagonAssume(O, TM, Formula, 3))
+    return true;
+  return octagonEval(TM, O, Formula) == Tri::False;
+}
+
 bool StaticCommutativity::provablyCommutes(Term Phi, Letter A, Letter B) {
+  return decideImpl(Phi, A, B, /*WithInvariants=*/false) !=
+         StaticTierVerdict::Unknown;
+}
+
+StaticTierVerdict StaticCommutativity::decide(Term Phi, Letter A, Letter B) {
+  return decideImpl(Phi, A, B, /*WithInvariants=*/true);
+}
+
+void StaticCommutativity::setOctagonContext(const OctagonAnalysis *Analysis) {
+  Oct = Analysis;
+  SrcOf.assign(P.numLetters(), std::nullopt);
+  if (!Oct)
+    return;
+  std::vector<int> EdgeCount(P.numLetters(), 0);
+  for (int T = 0; T < P.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    for (prog::Location L = 0; L < Cfg.numLocations(); ++L)
+      for (const auto &[EdgeLetter, To] : Cfg.Edges[L]) {
+        (void)To;
+        if (++EdgeCount[EdgeLetter] == 1)
+          SrcOf[EdgeLetter] = std::make_pair(T, L);
+        else
+          SrcOf[EdgeLetter] = std::nullopt; // ambiguous source location
+      }
+  }
+}
+
+Term StaticCommutativity::invariantFor(Letter L) const {
+  if (!Oct || L >= SrcOf.size() || !SrcOf[L])
+    return TM.mkTrue();
+  return Oct->invariantAt(SrcOf[L]->first, SrcOf[L]->second);
+}
+
+StaticTierVerdict StaticCommutativity::decideImpl(Term Phi, Letter A,
+                                                  Letter B,
+                                                  bool WithInvariants) {
   ++Queries;
   const Action &ActA = P.action(std::min(A, B));
   const Action &ActB = P.action(std::max(A, B));
@@ -62,9 +125,9 @@ bool StaticCommutativity::provablyCommutes(Term Phi, Letter A, Letter B) {
 
   Term Context = Phi ? Phi : TM.mkTrue();
 
+  std::vector<Term> Obligations;
   Term GuardsDiffer = TM.mkNot(TM.mkIff(AB.Guard, BA.Guard));
-  if (!staticallyUnsat(TM, TM.mkAnd(Context, GuardsDiffer)))
-    return false;
+  Obligations.push_back(TM.mkAnd(Context, GuardsDiffer));
 
   std::vector<Term> Written;
   Written.insert(Written.end(), ActA.Writes.begin(), ActA.Writes.end());
@@ -81,11 +144,40 @@ bool StaticCommutativity::provablyCommutes(Term Phi, Letter A, Letter B) {
     } else {
       ValuesDiffer = TM.mkNot(TM.mkIff(AB.boolValue(Var), BA.boolValue(Var)));
     }
-    if (!staticallyUnsat(TM, TM.mkAnd({Context, AB.Guard, ValuesDiffer})))
-      return false;
+    Obligations.push_back(TM.mkAnd({Context, AB.Guard, ValuesDiffer}));
   }
+
+  // Tier 1: plain interval reasoning over the obligations as-is. A proof
+  // here implies the semantic (SMT) answer for the same phi.
+  std::vector<Term> Open;
+  for (Term Ob : Obligations)
+    if (!staticallyUnsat(TM, Ob))
+      Open.push_back(Ob);
+  if (Open.empty()) {
+    ++Proofs;
+    return StaticTierVerdict::Interval;
+  }
+
+  // Tier 2: strengthen the open obligations with the octagon location
+  // invariants of both letters' source locations (see decide() for why
+  // this is sound) and retry, now with the relational decider as well.
+  if (!WithInvariants || !Oct)
+    return StaticTierVerdict::Unknown;
+  Term InvA = invariantFor(A);
+  Term InvB = invariantFor(B);
+  Term Inv = TM.mkAnd(InvA, InvB);
+  if (Inv == TM.mkTrue())
+    return StaticTierVerdict::Unknown; // nothing to strengthen with
+  ++OctQueries;
+  for (Term Ob : Open) {
+    Term Strengthened = TM.mkAnd(Ob, Inv);
+    if (!staticallyUnsat(TM, Strengthened) &&
+        !staticallyUnsatRelational(TM, Strengthened))
+      return StaticTierVerdict::Unknown;
+  }
+  ++OctProofs;
   ++Proofs;
-  return true;
+  return StaticTierVerdict::Octagon;
 }
 
 ConflictRelation StaticCommutativity::conflictRelation() {

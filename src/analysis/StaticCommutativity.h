@@ -30,15 +30,35 @@
 #include "program/Program.h"
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace seqver {
 namespace analysis {
 
+class OctagonAnalysis;
+
 /// Decides whether a ground formula is unsatisfiable by constant structure
 /// and interval propagation over its literal conjuncts. "true" is a proof;
 /// "false" means undecided. Exposed for tests and the conflict relation.
 bool staticallyUnsat(const smt::TermManager &TM, smt::Term Formula);
+
+/// Relational unsat decider: builds one octagon over the formula's
+/// variables and refines it with the literal conjuncts, so two-variable
+/// obligations (x - y <= c chains) close where plain intervals cannot.
+/// "true" is a proof; "false" means undecided. Formulas over more than
+/// RelationalVarCap variables are not attempted (the DBM is quadratic).
+bool staticallyUnsatRelational(const smt::TermManager &TM, smt::Term Formula);
+constexpr size_t RelationalVarCap = 24;
+
+/// Which tier settled a static commutativity query.
+enum class StaticTierVerdict : uint8_t {
+  Unknown,  ///< not provable statically; fall through to SMT
+  Interval, ///< plain obligations statically unsat (sound filter of SMT)
+  Octagon,  ///< obligations unsat only under the octagon location
+            ///< invariants (a genuine strengthening of phi; see decide())
+};
 
 /// Statically proven independence between letters, precomputed for all
 /// pairs: Algorithm 1's persistent-set construction consults this bitset
@@ -64,25 +84,63 @@ public:
   explicit StaticCommutativity(const prog::ConcurrentProgram &P)
       : P(P), TM(P.termManager()) {}
 
-  /// True iff a ~_phi b is provable without the solver. Phi == nullptr
+  /// True iff a ~_phi b is provable without the solver from phi alone (the
+  /// interval tier; never consults location invariants). Phi == nullptr
   /// means phi = true. Precondition: different threads (callers dispatch
   /// same-thread pairs before any tier runs).
   bool provablyCommutes(smt::Term Phi, automata::Letter A,
                         automata::Letter B);
 
+  /// Full static decision for a ~_phi b. First tries the plain interval
+  /// tier (a sound filter of the SMT answer). When that is inconclusive
+  /// and an octagon context is installed, retries the open obligations
+  /// under phi /\ Inv(src(a)) /\ Inv(src(b)), where Inv is the octagon
+  /// location invariant of the letter's source location.
+  ///
+  /// Soundness of the strengthening: commutativity is only ever applied to
+  /// *adjacent* occurrences of a and b along an execution, and in the state
+  /// from which the pair executes, thread(a) sits at src(a) and thread(b)
+  /// at src(b) — so that state satisfies both location invariants, and
+  /// conjoining them into every obligation context is sound. Unlike the
+  /// interval tier this is a genuine strengthening of phi: an Octagon
+  /// verdict may hold where SMT on the un-strengthened obligation would
+  /// not, i.e. the tier is a new source of reduction, not just a filter.
+  StaticTierVerdict decide(smt::Term Phi, automata::Letter A,
+                           automata::Letter B);
+
+  /// Installs (or clears, with nullptr) the octagon invariants consulted by
+  /// decide(). Letters whose source location is not unique in the thread
+  /// CFG get no invariant (conservative).
+  void setOctagonContext(const OctagonAnalysis *Analysis);
+
   /// All-pairs unconditional independence (syntactic disjointness or a
   /// static commutativity proof). Quadratic in the alphabet; computed once
-  /// per verification run when persistent sets are enabled.
+  /// per verification run when persistent sets are enabled. Deliberately
+  /// ignores the octagon context: the relation feeds the persistent-set
+  /// construction, which wants location-independent independence.
   ConflictRelation conflictRelation();
 
   uint64_t numQueries() const { return Queries; }
   uint64_t numProofs() const { return Proofs; }
+  /// Octagon-tier attempts (queries the interval tier left open while an
+  /// octagon context was installed) and successes.
+  uint64_t numOctQueries() const { return OctQueries; }
+  uint64_t numOctProofs() const { return OctProofs; }
 
 private:
+  StaticTierVerdict decideImpl(smt::Term Phi, automata::Letter A,
+                               automata::Letter B, bool WithInvariants);
+  smt::Term invariantFor(automata::Letter L) const;
+
   const prog::ConcurrentProgram &P;
   smt::TermManager &TM;
+  const OctagonAnalysis *Oct = nullptr;
+  /// Letter -> unique (thread, source location), when unambiguous.
+  std::vector<std::optional<std::pair<int, prog::Location>>> SrcOf;
   uint64_t Queries = 0;
   uint64_t Proofs = 0;
+  uint64_t OctQueries = 0;
+  uint64_t OctProofs = 0;
 };
 
 } // namespace analysis

@@ -29,6 +29,18 @@ uint32_t ProofAutomaton::addPredicate(Term Predicate) {
   return Id;
 }
 
+size_t ProofAutomaton::addSeedPredicates(const std::vector<Term> &Seeds) {
+  size_t Added = 0;
+  for (Term Seed : Seeds) {
+    if (Seed == TM.mkTrue() || Seed == TM.mkFalse())
+      continue;
+    size_t Before = Predicates.size();
+    addPredicate(Seed);
+    Added += Predicates.size() - Before;
+  }
+  return Added;
+}
+
 Term ProofAutomaton::conjunction(const PredSet &S) {
   auto It = ConjCache.find(S);
   if (It != ConjCache.end())

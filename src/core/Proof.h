@@ -45,6 +45,15 @@ public:
   /// "true" is a no-op returning an id that never helps coverage.
   uint32_t addPredicate(smt::Term Predicate);
 
+  /// Seeds the pool with externally inferred candidate invariants (e.g. the
+  /// octagon analysis's per-location atoms) before the first round; returns
+  /// how many were new. Soundness does not depend on the seeds being
+  /// correct: a predicate only ever enters an automaton state through
+  /// initialSet()/step(), both of which gate on SMT-checked implications
+  /// (a seed that is not inductive where needed simply never helps
+  /// coverage). Seeding only changes *which* proof is found and how fast.
+  size_t addSeedPredicates(const std::vector<smt::Term> &Seeds);
+
   size_t numPredicates() const { return Predicates.size(); }
   smt::Term predicate(uint32_t Id) const { return Predicates[Id]; }
 

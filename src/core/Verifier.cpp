@@ -2,6 +2,7 @@
 
 #include "core/Verifier.h"
 
+#include "analysis/OctagonProp.h"
 #include "core/Interpolation.h"
 
 #include "support/Bitset.h"
@@ -85,11 +86,30 @@ public:
     if (Config.UsePersistentSets) {
       // Precompute the static independence relation once so the persistent
       // set construction consults a bitset instead of re-deciding pairs.
+      // Runs before the octagon context is installed: the conflict relation
+      // must stay location-independent (a persistent-set membrane applies
+      // at every state, not just where the invariants hold).
       if (analysis::StaticCommutativity *Tier = Commut.staticTier())
         StaticIndep = Tier->conflictRelation();
       Persistent = std::make_unique<red::PersistentSetComputer>(
           P, Commut, Config.Order,
           StaticIndep.numLetters() ? &StaticIndep : nullptr);
+    }
+    // Relational invariants feed two optional consumers: the octagon
+    // commutativity sub-tier and proof seeding. One analysis run serves
+    // both.
+    bool WantOctagonTier =
+        Config.StaticTier && Config.OctagonTier &&
+        Config.CommutMode != red::CommutativityChecker::Mode::Full;
+    if (WantOctagonTier || Config.SeedProof) {
+      Oct = std::make_unique<analysis::OctagonAnalysis>(P);
+      if (WantOctagonTier)
+        Commut.setOctagonContext(Oct.get());
+      if (Config.SeedProof) {
+        size_t Seeded = Proof.addSeedPredicates(
+            Oct->seedPredicates(Config.MaxSeedPredicates));
+        Stats.add("seeded_predicates", static_cast<int64_t>(Seeded));
+      }
     }
     assert((Config.Order || !Config.UseSleepSets) &&
            "sleep sets require a preference order");
@@ -149,6 +169,7 @@ private:
   prog::FreshVarSource Fresh;
   red::CommutativityChecker Commut;
   ProofAutomaton Proof;
+  std::unique_ptr<analysis::OctagonAnalysis> Oct;
   analysis::ConflictRelation StaticIndep;
   std::unique_ptr<red::PersistentSetComputer> Persistent;
 
@@ -440,6 +461,17 @@ VerificationResult Verifier::Impl::run() {
   Stats.add("smt_queries", static_cast<int64_t>(QE.numQueries()));
   Stats.add("semantic_commut_checks",
             static_cast<int64_t>(Commut.numSemanticChecks()));
+  // Export the static tier's internal counters as statistics entries so
+  // they merge through per-worker sinks into the portfolio hub (the
+  // tier object itself dies with this verifier).
+  if (const analysis::StaticCommutativity *Tier = Commut.staticTier()) {
+    Stats.add("static_tier_queries", static_cast<int64_t>(Tier->numQueries()));
+    Stats.add("static_tier_proofs", static_cast<int64_t>(Tier->numProofs()));
+    Stats.add("octagon_tier_queries",
+              static_cast<int64_t>(Tier->numOctQueries()));
+    Stats.add("octagon_tier_proofs",
+              static_cast<int64_t>(Tier->numOctProofs()));
+  }
   Result.Stats = Stats;
   return Result;
 }

@@ -80,6 +80,22 @@ struct VerifierConfig {
   /// same obligations the SMT tier would check, so disabling it can only
   /// cost time, never change a verdict.
   bool StaticTier = true;
+  /// Octagon sub-tier of the static tier: run the relational invariant
+  /// analysis once and let static commutativity strengthen its obligations
+  /// with the letters' source-location invariants (conditional
+  /// commutativity modulo location invariants; sound because adjacent-swap
+  /// pre-states satisfy both invariants — see StaticCommutativity::decide).
+  /// Only consulted when StaticTier is on and CommutMode is not Full.
+  bool OctagonTier = true;
+  /// Seed the proof automaton's predicate pool with the octagon analysis's
+  /// per-location invariant atoms before round 1. Sound regardless of seed
+  /// quality (predicates enter automaton states only through SMT-checked
+  /// Hoare triples); typically saves refinement rounds on loop-heavy
+  /// programs. Off by default to keep round counts comparable with the
+  /// paper's unseeded refinement loop.
+  bool SeedProof = false;
+  /// Cap on seeded predicates (bounds per-step Hoare query growth).
+  size_t MaxSeedPredicates = 64;
   int MaxRounds = 500;
   /// Per-run deadline; mapped onto the cancellation mechanism (the verifier
   /// arms an internal runtime::CancellationToken deadline and polls it at

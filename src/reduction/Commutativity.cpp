@@ -38,11 +38,22 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
   }
 
   // Solver-free middle tier: proves the same obligations the semantic tier
-  // would hand to SMT, so a positive answer short-circuits identically.
-  if (Static && Static->provablyCommutes(Phi, A, B)) {
-    count("commut_static");
-    Cache.emplace(Key, true);
-    return true;
+  // would hand to SMT (interval sub-tier), or proves them strengthened by
+  // octagon location invariants (octagon sub-tier) — counted separately
+  // because the latter is a genuine extension, not just an SMT filter.
+  if (Static) {
+    switch (Static->decide(Phi, A, B)) {
+    case analysis::StaticTierVerdict::Interval:
+      count("commut_static");
+      Cache.emplace(Key, true);
+      return true;
+    case analysis::StaticTierVerdict::Octagon:
+      count("commut_octagon");
+      Cache.emplace(Key, true);
+      return true;
+    case analysis::StaticTierVerdict::Unknown:
+      break;
+    }
   }
   if (M == Mode::Static) {
     // No solver available: undecided pairs are conservatively dependent.

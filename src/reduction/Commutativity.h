@@ -75,6 +75,16 @@ public:
   void disableStaticTier() { Static.reset(); }
   analysis::StaticCommutativity *staticTier() { return Static.get(); }
 
+  /// Installs octagon location invariants on the static tier, enabling its
+  /// conditional (octagon) sub-tier: obligations the interval pass leaves
+  /// open are retried under the invariants of both letters' source
+  /// locations. See StaticCommutativity::decide for the soundness argument.
+  /// No-op when the static tier is disabled; nullptr clears.
+  void setOctagonContext(const analysis::OctagonAnalysis *Analysis) {
+    if (Static)
+      Static->setOctagonContext(Analysis);
+  }
+
   /// Unconditional commutativity a ~ b.
   bool commutes(automata::Letter A, automata::Letter B) {
     return commutesUnder(nullptr, A, B);

@@ -34,6 +34,7 @@ namespace {
 VerificationResult verifyOneOrder(const std::string &Source,
                                   const VerifierConfig &Base,
                                   size_t OrderIdx, bool Prune,
+                                  bool OctagonPrune,
                                   const CancellationToken *Race,
                                   Statistics *Sink) {
   smt::TermManager TM;
@@ -44,7 +45,7 @@ VerificationResult verifyOneOrder(const std::string &Source,
     return R;
   }
   if (Prune)
-    analysis::pruneDeadEdges(*Build.Program);
+    analysis::pruneDeadEdges(*Build.Program, OctagonPrune);
 
   auto Orders = red::makePortfolioOrders(*Build.Program, Base.RandOrders,
                                          Base.RandSeedBase);
@@ -101,10 +102,11 @@ ParallelPortfolioResult seqver::runtime::runPortfolioParallel(
     Executor Pool(Jobs);
     for (size_t I = 0; I < NumOrders; ++I) {
       Futures.push_back(Pool.submit(
-          [&Source, &Base, I, Prune = PC.PruneDeadEdges, Race,
+          [&Source, &Base, I, Prune = PC.PruneDeadEdges,
+           OctPrune = PC.OctagonPrune, Race,
            Sink = Sinks[I]]() -> VerificationResult {
-            VerificationResult R = verifyOneOrder(Source, Base, I, Prune,
-                                                  Race.get(), Sink);
+            VerificationResult R = verifyOneOrder(
+                Source, Base, I, Prune, OctPrune, Race.get(), Sink);
             // First decisive verdict stops the race; calling this for
             // every decisive finisher is idempotent.
             if (core::isDecisive(R.V))

@@ -44,6 +44,10 @@ struct ParallelConfig {
   /// CLI's default preprocessing; must match the sequential path when
   /// comparing verdicts).
   bool PruneDeadEdges = false;
+  /// Use octagon invariants in addition to intervals when pruning (only
+  /// meaningful with PruneDeadEdges; must match the sequential path's
+  /// --octagon setting when comparing verdicts).
+  bool OctagonPrune = false;
 };
 
 struct ParallelPortfolioResult {

@@ -292,3 +292,66 @@ std::vector<WorkloadInstance> seqver::workloads::weaverLikeSuite() {
   Add("parallel_sum_4x2", parallelSumSource(4, 2), "parallel_sum");
   return Out;
 }
+
+std::string seqver::workloads::loopSumSource(int N, bool WithBug) {
+  int Bound = WithBug ? N - 1 : N;
+  std::string Out = "var int i := 0;\nvar int total := 0;\n";
+  Out += "thread worker {\n"
+         "  while (i < " + std::to_string(N) + ") {\n"
+         "    total := total + 1;\n"
+         "    i := i + 1;\n"
+         "  }\n"
+         "}\n";
+  Out += "thread checker { assert total <= " + std::to_string(Bound) +
+         "; }\n";
+  return Out;
+}
+
+std::string seqver::workloads::chaseSource(bool WithBug) {
+  std::string Out = "var int a := 0;\nvar int b := 0;\n";
+  Out += "thread stepper {\n"
+         "  while (*) {\n"
+         "    a := a + 1;\n"
+         "    b := b + 1;\n"
+         "  }\n"
+         "}\n";
+  // a runs at most one step ahead of b; the bug variant denies even that.
+  Out += std::string("thread checker { assert a - b <= ") +
+         (WithBug ? "0" : "1") + "; }\n";
+  return Out;
+}
+
+std::string seqver::workloads::nestedLoopSource(int M, bool WithBug) {
+  int Bound = WithBug ? M - 1 : M;
+  std::string Out = "var int i := 0;\nvar int j := 0;\n";
+  Out += "thread worker {\n"
+         "  while (i < " + std::to_string(M) + ") {\n"
+         "    j := 0;\n"
+         "    while (j < " + std::to_string(M) + ") {\n"
+         "      j := j + 1;\n"
+         "    }\n"
+         "    i := i + 1;\n"
+         "  }\n"
+         "}\n";
+  Out += "thread checker { assert j <= " + std::to_string(Bound) + "; }\n";
+  return Out;
+}
+
+std::vector<WorkloadInstance> seqver::workloads::loopHeavySuite() {
+  std::vector<WorkloadInstance> Out;
+  auto Add = [&Out](std::string Name, std::string Source, bool Correct) {
+    Out.push_back({std::move(Name), std::move(Source), Correct,
+                   "loop_heavy"});
+  };
+  // Bounds deliberately off the widening thresholds (5, 6) so that the
+  // ascending phase overshoots and the narrowing passes must recover.
+  Add("loop_sum_safe_5", loopSumSource(5, false), true);
+  Add("loop_sum_bug_5", loopSumSource(5, true), false);
+  Add("loop_sum_safe_6", loopSumSource(6, false), true);
+  Add("loop_sum_bug_6", loopSumSource(6, true), false);
+  Add("chase_safe", chaseSource(false), true);
+  Add("chase_bug", chaseSource(true), false);
+  Add("nested_safe_3", nestedLoopSource(3, false), true);
+  Add("nested_bug_3", nestedLoopSource(3, true), false);
+  return Out;
+}

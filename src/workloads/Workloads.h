@@ -42,6 +42,27 @@ std::vector<WorkloadInstance> svcompLikeSuite();
 /// Weaver-like suite: correct programs whose unreduced proofs count threads.
 std::vector<WorkloadInstance> weaverLikeSuite();
 
+/// Bounded counting loop: a worker increments `total` alongside its loop
+/// counter up to N while a checker asserts `total <= N` (the bug variant
+/// claims N-1). The needed invariant `total == i /\ i <= N` is relational,
+/// beyond interval propagation — the octagon analysis's home turf.
+std::string loopSumSource(int N, bool WithBug = false);
+
+/// One thread advances two counters in lockstep inside a nondeterministic
+/// loop; a checker asserts `a - b <= 1` (bug variant: `<= 0`, violated
+/// between the two increments). The proof is a pure octagon fact.
+std::string chaseSource(bool WithBug = false);
+
+/// Nested bounded loops; the checker asserts the inner counter's bound.
+/// Exercises widening/narrowing convergence on nested cycles.
+std::string nestedLoopSource(int M, bool WithBug = false);
+
+/// Loop-heavy suite: programs whose proofs hinge on relational loop
+/// invariants. The octagon tier and proof seeding are expected to cut SMT
+/// commutativity queries and refinement rounds here; interval-only
+/// configurations still verify them, just more slowly.
+std::vector<WorkloadInstance> loopHeavySuite();
+
 } // namespace workloads
 } // namespace seqver
 

@@ -12,8 +12,10 @@
 
 #include "analysis/Analysis.h"
 #include "analysis/Dataflow.h"
+#include "analysis/OctagonProp.h"
 #include "analysis/StaticCommutativity.h"
 #include "core/Portfolio.h"
+#include "core/Proof.h"
 #include "program/CfgBuilder.h"
 #include "workloads/Workloads.h"
 
@@ -516,6 +518,280 @@ TEST(StaticCommut, ConflictRelationSeparatesDisjointFromConflicting) {
 //===----------------------------------------------------------------------===//
 // End-to-end: the tier inside the verifier
 //===----------------------------------------------------------------------===//
+
+//===----------------------------------------------------------------------===//
+// Octagon domain
+//===----------------------------------------------------------------------===//
+
+class OctagonDbm : public ::testing::Test {
+protected:
+  smt::TermManager TM;
+  smt::Term X = TM.mkVar("ox", smt::Sort::Int);
+  smt::Term Y = TM.mkVar("oy", smt::Sort::Int);
+  Octagon O{std::vector<smt::Term>{X, Y}};
+  int KX = O.indexOf(X);
+  int KY = O.indexOf(Y);
+
+  smt::LinSum diffXY() {
+    return smt::TermManager::sumAdd(
+        TM.sumOfVar(X), smt::TermManager::sumScale(TM.sumOfVar(Y), -1));
+  }
+};
+
+TEST_F(OctagonDbm, ClosurePropagatesThroughDifferences) {
+  // x - y <= 2 and y <= 3 entail x <= 5 only after closure.
+  O.addBinary(KX, 1, KY, -1, 2);
+  O.addUnary(KY, 1, 3);
+  ASSERT_TRUE(O.close());
+  Interval IX = O.intervalOf(KX);
+  ASSERT_TRUE(IX.HasHi);
+  EXPECT_EQ(IX.Hi, 5);
+  EXPECT_FALSE(IX.HasLo); // nothing bounds x from below
+}
+
+TEST_F(OctagonDbm, ContradictoryDifferencesCloseToEmpty) {
+  // x - y <= -1 and y - x <= -1 sum to 0 <= -2.
+  O.addBinary(KX, 1, KY, -1, -1);
+  O.addBinary(KY, 1, KX, -1, -1);
+  EXPECT_FALSE(O.close());
+  EXPECT_TRUE(O.isEmpty());
+}
+
+TEST_F(OctagonDbm, JoinIsTheIntervalHull) {
+  O.addUnary(KX, 1, 1);
+  O.addUnary(KX, -1, -1); // x == 1
+  ASSERT_TRUE(O.close());
+  Octagon Other(std::vector<smt::Term>{X, Y});
+  Other.addUnary(Other.indexOf(X), 1, 3);
+  Other.addUnary(Other.indexOf(X), -1, -3); // x == 3
+  ASSERT_TRUE(Other.close());
+  O.joinWith(Other);
+  Interval IX = O.intervalOf(KX);
+  ASSERT_TRUE(IX.HasLo && IX.HasHi);
+  EXPECT_EQ(IX.Lo, 1);
+  EXPECT_EQ(IX.Hi, 3);
+}
+
+TEST_F(OctagonDbm, ShiftAssignmentTranslatesRelations) {
+  // From x - y <= 0, the exact transfer of x := x + 5 is x - y <= 5.
+  O.addBinary(KX, 1, KY, -1, 0);
+  ASSERT_TRUE(O.close());
+  O.assignShift(KX, 1, 5);
+  Interval Diff = O.rangeOfSum(diffXY());
+  ASSERT_TRUE(Diff.HasHi);
+  EXPECT_EQ(Diff.Hi, 5);
+}
+
+TEST_F(OctagonDbm, AssumeAndEvalRoundTrip) {
+  smt::Term Formula =
+      TM.mkAnd(TM.mkLe(diffXY(), TM.sumOfConst(2)),
+               TM.mkLe(TM.sumOfVar(Y), TM.sumOfConst(3)));
+  ASSERT_TRUE(octagonAssume(O, TM, Formula));
+  EXPECT_EQ(octagonEval(TM, O,
+                        TM.mkLe(TM.sumOfVar(X), TM.sumOfConst(5))),
+            Tri::True);
+  EXPECT_EQ(octagonEval(TM, O,
+                        TM.mkLe(TM.sumOfVar(X), TM.sumOfConst(4))),
+            Tri::Unknown);
+  EXPECT_EQ(octagonEval(TM, O,
+                        TM.mkGe(TM.sumOfVar(X), TM.sumOfConst(6))),
+            Tri::False);
+}
+
+//===----------------------------------------------------------------------===//
+// Octagon propagation (thread-modular)
+//===----------------------------------------------------------------------===//
+
+TEST(OctagonProp, NarrowingRecoversNestedLoopBounds) {
+  smt::TermManager TM;
+  // Loop bound 3 is off the widening threshold chain (…, 2, 4, …): the
+  // ascending pass overshoots the loop counters and only the descending
+  // (narrowing) pass recovers i == 3 at the exit.
+  auto P = build("var int i := 0;\nvar int j := 0;\n"
+                 "thread t {\n"
+                 "  while (i < 3) {\n"
+                 "    j := 0;\n"
+                 "    while (j < 3) { j := j + 1; }\n"
+                 "    i := i + 1;\n"
+                 "  }\n"
+                 "}\n",
+                 TM);
+  OctagonAnalysis Oct(*P);
+  smt::Term I = TM.lookupVar("i");
+  smt::Term EqThree = TM.mkEq(TM.sumOfVar(I), TM.sumOfConst(3));
+  const prog::ThreadCfg &Cfg = P->thread(0);
+  bool CheckedTerminal = false;
+  for (prog::Location L = 0; L < Cfg.numLocations(); ++L)
+    if (Cfg.isTerminal(L) && Oct.reachable(0, L)) {
+      EXPECT_EQ(Oct.evalAt(0, L, EqThree), Tri::True);
+      CheckedTerminal = true;
+    }
+  EXPECT_TRUE(CheckedTerminal);
+}
+
+TEST(OctagonProp, RelationalLoopInvariantOnLoopSum) {
+  smt::TermManager TM;
+  auto P = build(workloads::loopSumSource(5), TM);
+  OctagonAnalysis Oct(*P);
+  // `total == i` is invariant at the worker's loop head; intervals lose
+  // both variables to widening, octagons keep the difference at 0.
+  smt::Term Total = TM.lookupVar("total");
+  smt::Term I = TM.lookupVar("i");
+  smt::Term Eq = TM.mkEq(TM.sumOfVar(Total), TM.sumOfVar(I));
+  const prog::ThreadCfg &Cfg = P->thread(0);
+  EXPECT_EQ(Oct.evalAt(0, Cfg.InitialLoc, Eq), Tri::True);
+  EXPECT_GT(Oct.numRelationalLocations(), 0u);
+}
+
+TEST(OctagonProp, FindsDeadEdgesBeyondIntervals) {
+  smt::TermManager TM;
+  // x - y == 0 is invariant through the lockstep loop; `assume x - y >= 1`
+  // is relationally dead but interval-feasible (both vars are [0, +inf)).
+  auto P = build("var int x := 0;\nvar int y := 0;\n"
+                 "thread t {\n"
+                 "  while (*) { x := x + 1; y := y + 1; }\n"
+                 "  assume x - y >= 1;\n"
+                 "  x := 42;\n"
+                 "}\n",
+                 TM);
+  IntervalAnalysis Intervals(*P);
+  EXPECT_TRUE(Intervals.deadEdges().empty());
+  OctagonAnalysis Oct(*P);
+  EXPECT_FALSE(Oct.deadEdges().empty());
+  // The merged pruning removes what only the octagons can justify.
+  uint32_t Removed = pruneDeadEdges(*P, Intervals, &Oct);
+  EXPECT_GE(Removed, 1u);
+}
+
+TEST(OctagonProp, SeedPredicatesAreDeduplicatedAndCapped) {
+  smt::TermManager TM;
+  auto P = build(workloads::loopSumSource(5), TM);
+  OctagonAnalysis Oct(*P);
+  std::vector<smt::Term> Seeds = Oct.seedPredicates(/*MaxSeeds=*/4);
+  EXPECT_FALSE(Seeds.empty());
+  EXPECT_LE(Seeds.size(), 4u);
+  std::set<smt::Term> Unique(Seeds.begin(), Seeds.end());
+  EXPECT_EQ(Unique.size(), Seeds.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Relational solver-free decider and the conditional tier
+//===----------------------------------------------------------------------===//
+
+TEST(StaticUnsatRelational, RefutesDifferenceConflicts) {
+  smt::TermManager TM;
+  smt::Term X = TM.mkVar("rx", smt::Sort::Int);
+  smt::Term Y = TM.mkVar("ry", smt::Sort::Int);
+  smt::LinSum Diff = smt::TermManager::sumAdd(
+      TM.sumOfVar(X), smt::TermManager::sumScale(TM.sumOfVar(Y), -1));
+  // (x - y <= -1) /\ (y - x <= -1) is relationally infeasible but has no
+  // single-variable witness, so the interval decider cannot see it.
+  smt::Term Conflict =
+      TM.mkAnd(TM.mkLe(Diff, TM.sumOfConst(-1)),
+               TM.mkLe(smt::TermManager::sumScale(Diff, -1),
+                       TM.sumOfConst(-1)));
+  EXPECT_FALSE(staticallyUnsat(TM, Conflict));
+  EXPECT_TRUE(staticallyUnsatRelational(TM, Conflict));
+
+  smt::Term Feasible = TM.mkLe(Diff, TM.sumOfConst(-1));
+  EXPECT_FALSE(staticallyUnsatRelational(TM, Feasible));
+}
+
+TEST(StaticCommut, OctagonContextDischargesConditionalPairs) {
+  smt::TermManager TM;
+  // x := x + u vs x := 0 commute exactly when u == 0; the invariant u == 0
+  // holds at the source of thread a's x-write, so the conditional tier
+  // settles the pair that the location-free tier cannot.
+  auto P = build("var int x := 0;\nvar int u := 5;\n"
+                 "thread a { u := 0; x := x + u; }\n"
+                 "thread b { x := 0; }\n",
+                 TM);
+  StaticCommutativity Tier(*P);
+  Letter A = letterWriting(*P, 0, "x");
+  Letter B = letterWriting(*P, 1, "x");
+  EXPECT_EQ(Tier.decide(nullptr, A, B), StaticTierVerdict::Unknown);
+
+  OctagonAnalysis Oct(*P);
+  Tier.setOctagonContext(&Oct);
+  EXPECT_EQ(Tier.decide(nullptr, A, B), StaticTierVerdict::Octagon);
+  EXPECT_GE(Tier.numOctProofs(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Proof seeding
+//===----------------------------------------------------------------------===//
+
+TEST(ProofSeeding, NonInductiveSeedNeverEntersTheAutomaton) {
+  smt::TermManager TM;
+  prog::BuildResult B =
+      prog::buildFromSource("var int x := 0; thread t { x := x + 1; }", TM);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  smt::QueryEngine QE(TM);
+  prog::FreshVarSource Fresh(TM);
+  core::ProofAutomaton Proof(TM, QE, Fresh, *B.Program);
+
+  smt::Term X = TM.lookupVar("x");
+  smt::Term LeZero = TM.mkLe(TM.sumOfVar(X), TM.sumOfConst(0));
+  // mkTrue and mkFalse seeds are dropped; only x <= 0 is new.
+  size_t Added =
+      Proof.addSeedPredicates({TM.mkTrue(), LeZero, TM.mkFalse(), LeZero});
+  EXPECT_EQ(Added, 1u);
+
+  // x <= 0 holds initially (x == 0) but is not inductive under x := x + 1:
+  // the Hoare gate drops it from the post-state, so a bad seed can never
+  // certify anything.
+  core::PredSet Init = Proof.initialSet();
+  uint32_t Id = Proof.addPredicate(LeZero); // dedup lookup
+  EXPECT_TRUE(std::count(Init.begin(), Init.end(), Id));
+  const core::PredSet &Next = Proof.step(Init, 0);
+  EXPECT_FALSE(std::count(Next.begin(), Next.end(), Id));
+}
+
+TEST(ProofSeeding, SeededVerifierStaysSoundOnBuggyLoops) {
+  core::VerifierConfig Config;
+  Config.TimeoutSeconds = 30;
+  Config.SeedProof = true;
+  {
+    smt::TermManager TM;
+    auto P = build(workloads::loopSumSource(4, /*WithBug=*/true), TM);
+    EXPECT_EQ(core::runSingleOrder(*P, Config, "seq").V,
+              core::Verdict::Incorrect);
+  }
+  {
+    smt::TermManager TM;
+    auto P = build(workloads::chaseSource(/*WithBug=*/true), TM);
+    EXPECT_EQ(core::runSingleOrder(*P, Config, "seq").V,
+              core::Verdict::Incorrect);
+  }
+}
+
+TEST(ProofSeeding, SeededVerifierProvesLoopSumWithoutExtraRounds) {
+  core::VerifierConfig Seeded;
+  Seeded.TimeoutSeconds = 30;
+  Seeded.SeedProof = true;
+  core::VerifierConfig Unseeded;
+  Unseeded.TimeoutSeconds = 30;
+
+  smt::TermManager TM1;
+  auto P1 = build(workloads::loopSumSource(4), TM1);
+  core::VerificationResult S = core::runSingleOrder(*P1, Seeded, "seq");
+  smt::TermManager TM2;
+  auto P2 = build(workloads::loopSumSource(4), TM2);
+  core::VerificationResult U = core::runSingleOrder(*P2, Unseeded, "seq");
+
+  EXPECT_EQ(S.V, core::Verdict::Correct);
+  EXPECT_EQ(U.V, core::Verdict::Correct);
+  // Seeding hands round 0 the loop invariant; it must never cost rounds.
+  EXPECT_LE(S.Rounds, U.Rounds);
+}
+
+TEST(Workloads, LoopHeavySuiteBuildsClean) {
+  for (const workloads::WorkloadInstance &W : workloads::loopHeavySuite()) {
+    smt::TermManager TM;
+    prog::BuildResult B = prog::buildFromSource(W.Source, TM);
+    EXPECT_TRUE(B.ok()) << W.Name << ": " << B.Error;
+  }
+}
 
 TEST(StaticTier, SettlesQueriesWithoutChangingTheVerdict) {
   smt::TermManager TM;

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (profile: .clang-tidy — bugprone-*, performance-*,
+# concurrency-*) over the library, tool, and bench sources using the build
+# tree's compile_commands.json. Exits 0 with a notice when clang-tidy is
+# not installed so the ctest target stays green on minimal images.
+#
+# Usage: tools/run_tidy.sh [build-dir]
+#   build-dir  defaults to ./build (must contain compile_commands.json;
+#              configure with CMake >= this repo's top-level lists, which
+#              sets CMAKE_EXPORT_COMPILE_COMMANDS)
+set -eu
+
+BUILD_DIR=${1:-build}
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+TIDY=$(command -v clang-tidy || true)
+if [ -z "$TIDY" ]; then
+  echo "clang-tidy not installed; skipping lint (install clang-tidy to enable)"
+  exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing (re-run cmake -B $BUILD_DIR -S .)" >&2
+  exit 2
+fi
+
+# Library + entry-point sources; tests are excluded (gtest macros trip
+# several bugprone checks with no actionable signal).
+FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/bench" -name '*.cpp' | sort)
+
+STATUS=0
+for f in $FILES; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS

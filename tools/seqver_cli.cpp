@@ -25,9 +25,17 @@
 ///   --no-persistent       disable persistent set reduction
 ///   --no-proof-sensitive  disable conditional commutativity (Def. 7.3)
 ///   --no-static           disable the solver-free commutativity tier
+///   --no-octagon          disable the octagon sub-tier and relational
+///                         dead-edge pruning (--octagon re-enables; on by
+///                         default)
+///   --seed-proof          seed the proof automaton with octagon invariant
+///                         atoms before round 1 (--no-seed restores the
+///                         default unseeded refinement)
 ///   --no-prune            keep statically dead CFG edges
-///   --check-tiers[=quick] verify the workload suites with the static tier
-///                         on and off; fail if any verdict changes
+///   --check-tiers[=quick] verify the workload suites across four static
+///                         configurations (full tier stack, no static tier,
+///                         octagon + proof seeding, interval-only); fail if
+///                         any verdict changes
 ///   --check-parallel[=quick]
 ///                         verify the workload suites with the sequential
 ///                         and the parallel portfolio; fail on any verdict
@@ -74,6 +82,8 @@ struct CliOptions {
   bool NoPersistent = false;
   bool NoProofSensitive = false;
   bool NoStatic = false;
+  bool NoOctagon = false;
+  bool SeedProof = false;
   bool NoPrune = false;
   bool CheckTiers = false;
   bool CheckTiersQuick = false;
@@ -95,7 +105,8 @@ void printUsage() {
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
       "  --portfolio=<sequential|parallel> --jobs=<n> --rand-seed=<n>\n"
       "  --analyze --no-sleep --no-persistent --no-proof-sensitive\n"
-      "  --no-static --no-prune --minimize\n"
+      "  --no-static --no-octagon --seed-proof --no-seed --no-prune\n"
+      "  --minimize\n"
       "  --source=<wp|interp|both>\n"
       "  --timeout=<seconds> --witness --proof --stats\n");
 }
@@ -135,6 +146,14 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.NoProofSensitive = true;
     } else if (Arg == "--no-static") {
       Opts.NoStatic = true;
+    } else if (Arg == "--no-octagon") {
+      Opts.NoOctagon = true;
+    } else if (Arg == "--octagon") {
+      Opts.NoOctagon = false;
+    } else if (Arg == "--seed-proof") {
+      Opts.SeedProof = true;
+    } else if (Arg == "--no-seed") {
+      Opts.SeedProof = false;
     } else if (Arg == "--no-prune") {
       Opts.NoPrune = true;
     } else if (Arg == "--check-tiers") {
@@ -202,14 +221,23 @@ void report(const core::VerificationResult &R,
     std::printf("stats: %s\n", R.Stats.str().c_str());
 }
 
-/// Runs every workload twice — static tier on / off — and reports verdict
-/// agreement and SMT savings. Returns the process exit code.
+/// Runs every workload under four static configurations and reports verdict
+/// agreement and per-tier savings. The arms:
+///   full:    interval + octagon commutativity tiers (the default stack)
+///   no-stat: no static tier at all — every query goes to the SMT solver
+///   seeded:  full stack plus octagon proof seeding (--seed-proof)
+///   no-oct:  interval tier only, unseeded — the rounds baseline for seeded
+/// All four are sound, so any verdict disagreement is a bug. Returns the
+/// process exit code.
 int runCheckTiers(const CliOptions &Opts) {
   std::vector<workloads::WorkloadInstance> Suite =
       workloads::svcompLikeSuite();
   std::vector<workloads::WorkloadInstance> Weaver =
       workloads::weaverLikeSuite();
   Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  std::vector<workloads::WorkloadInstance> LoopHeavy =
+      workloads::loopHeavySuite();
+  Suite.insert(Suite.end(), LoopHeavy.begin(), LoopHeavy.end());
   if (Opts.CheckTiersQuick) {
     // Every third workload still covers each family.
     std::vector<workloads::WorkloadInstance> Sample;
@@ -220,10 +248,12 @@ int runCheckTiers(const CliOptions &Opts) {
 
   double Timeout = Opts.TimeoutSet ? Opts.Timeout : 10;
   int Mismatches = 0;
-  int64_t StaticSettled = 0, SemWith = 0, SemWithout = 0;
+  int64_t StaticSettled = 0, OctagonSettled = 0, SemWith = 0, SemWithout = 0;
+  int64_t RoundsSeeded = 0, RoundsBaseline = 0;
 
-  std::printf("%-22s %-10s %-10s %8s %8s\n", "workload", "static-on",
-              "static-off", "sem-on", "sem-off");
+  std::printf("%-22s %-9s %-9s %-9s %-9s %7s %7s %4s %4s\n", "workload",
+              "full", "no-stat", "seeded", "no-oct", "sem-on", "sem-off",
+              "rd-s", "rd-b");
   for (const auto &W : Suite) {
     smt::TermManager TM;
     prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
@@ -234,31 +264,52 @@ int runCheckTiers(const CliOptions &Opts) {
     core::VerifierConfig Config;
     Config.TimeoutSeconds = Timeout;
 
-    Config.StaticTier = true;
-    core::VerificationResult On =
+    // Arm 1: the full static stack (interval + octagon tiers).
+    core::VerificationResult Full =
         core::runSingleOrder(*Build.Program, Config, "seq");
+    // Arm 2: no static tier — the pure-SMT baseline.
     Config.StaticTier = false;
-    core::VerificationResult Off =
+    core::VerificationResult NoStat =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+    // Arm 3: full stack plus proof seeding from octagon invariants.
+    Config.StaticTier = true;
+    Config.SeedProof = true;
+    core::VerificationResult Seeded =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+    // Arm 4: interval tier only, unseeded — the rounds baseline for arm 3.
+    Config.SeedProof = false;
+    Config.OctagonTier = false;
+    core::VerificationResult NoOct =
         core::runSingleOrder(*Build.Program, Config, "seq");
 
-    bool Agree = On.V == Off.V;
+    bool Agree = Full.V == NoStat.V && Full.V == Seeded.V &&
+                 Full.V == NoOct.V;
     if (!Agree)
       ++Mismatches;
-    StaticSettled += On.Stats.get("commut_static");
-    SemWith += On.Stats.get("semantic_commut_checks");
-    SemWithout += Off.Stats.get("semantic_commut_checks");
-    std::printf("%-22s %-10s %-10s %8lld %8lld%s\n", W.Name.c_str(),
-                core::verdictName(On.V).c_str(),
-                core::verdictName(Off.V).c_str(),
+    StaticSettled += Full.Stats.get("commut_static") +
+                     Full.Stats.get("commut_octagon");
+    OctagonSettled += Full.Stats.get("commut_octagon");
+    SemWith += Full.Stats.get("semantic_commut_checks");
+    SemWithout += NoStat.Stats.get("semantic_commut_checks");
+    RoundsSeeded += Seeded.Rounds;
+    RoundsBaseline += NoOct.Rounds;
+    std::printf("%-22s %-9s %-9s %-9s %-9s %7lld %7lld %4d %4d%s\n",
+                W.Name.c_str(), core::verdictName(Full.V).c_str(),
+                core::verdictName(NoStat.V).c_str(),
+                core::verdictName(Seeded.V).c_str(),
+                core::verdictName(NoOct.V).c_str(),
                 static_cast<long long>(
-                    On.Stats.get("semantic_commut_checks")),
+                    Full.Stats.get("semantic_commut_checks")),
                 static_cast<long long>(
-                    Off.Stats.get("semantic_commut_checks")),
+                    NoStat.Stats.get("semantic_commut_checks")),
+                Seeded.Rounds, NoOct.Rounds,
                 Agree ? "" : "  << VERDICT MISMATCH");
   }
 
-  std::printf("\nstatically settled queries: %lld\n",
-              static_cast<long long>(StaticSettled));
+  std::printf("\nstatically settled queries: %lld (%lld by the octagon "
+              "tier)\n",
+              static_cast<long long>(StaticSettled),
+              static_cast<long long>(OctagonSettled));
   std::printf("semantic checks: %lld with static tier, %lld without",
               static_cast<long long>(SemWith),
               static_cast<long long>(SemWithout));
@@ -266,7 +317,10 @@ int runCheckTiers(const CliOptions &Opts) {
     std::printf(" (%.1f%% saved)",
                 100.0 * static_cast<double>(SemWithout - SemWith) /
                     static_cast<double>(SemWithout));
-  std::printf("\n");
+  std::printf("\nrefinement rounds: %lld seeded, %lld interval-only "
+              "baseline\n",
+              static_cast<long long>(RoundsSeeded),
+              static_cast<long long>(RoundsBaseline));
   if (Mismatches > 0) {
     std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
     return 1;
@@ -379,7 +433,8 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.NoPrune) {
-    uint32_t Pruned = analysis::pruneDeadEdges(P);
+    uint32_t Pruned =
+        analysis::pruneDeadEdges(P, /*WithOctagons=*/!Opts.NoOctagon);
     if (Pruned > 0)
       std::printf("pruned %u statically dead edge(s)\n", Pruned);
   }
@@ -405,6 +460,8 @@ int main(int argc, char **argv) {
   Config.UsePersistentSets = !Opts.NoPersistent;
   Config.ProofSensitive = !Opts.NoProofSensitive && !Opts.NoSleep;
   Config.StaticTier = !Opts.NoStatic;
+  Config.OctagonTier = !Opts.NoOctagon;
+  Config.SeedProof = Opts.SeedProof;
   Config.MinimizeProof = Opts.Minimize;
   Config.Source = Opts.Source == "interp"
                       ? core::PredicateSource::Interpolation
@@ -428,6 +485,7 @@ int main(int argc, char **argv) {
     PC.Jobs = Opts.Jobs;
     // Workers rebuild from source; replicate this process's preprocessing.
     PC.PruneDeadEdges = !Opts.NoPrune;
+    PC.OctagonPrune = !Opts.NoOctagon;
     runtime::ParallelPortfolioResult R =
         runtime::runPortfolioParallel(Buffer.str(), Config, PC);
     report(R.Best, P, Opts, R.BestOrder);
