@@ -43,6 +43,11 @@ RunRecord toRecord(const workloads::WorkloadInstance &W,
   Out.SemanticChecks = R.Stats.get("semantic_commut_checks");
   Out.SmtQueries = R.Stats.get("smt_queries");
   Out.SeededPredicates = R.Stats.get("seeded_predicates");
+  Out.InternHits = R.Stats.get("intern_hits");
+  Out.InternMisses = R.Stats.get("intern_misses");
+  Out.PeakInternedSets = R.Stats.get("peak_interned_sets");
+  Out.SleepsetInlineSets = R.Stats.get("sleepset_inline_sets");
+  Out.SleepsetSpillSets = R.Stats.get("sleepset_spill_sets");
   Out.BestOrder = BestOrder;
   return Out;
 }
@@ -124,6 +129,11 @@ RunRecord seqver::bench::runTool(const workloads::WorkloadInstance &W,
     Out.SemanticChecks = R.Merged.get("semantic_commut_checks");
     Out.SmtQueries = R.Merged.get("smt_queries");
     Out.SeededPredicates = R.Merged.get("seeded_predicates");
+    Out.InternHits = R.Merged.get("intern_hits");
+    Out.InternMisses = R.Merged.get("intern_misses");
+    Out.PeakInternedSets = R.Merged.get("peak_interned_sets");
+    Out.SleepsetInlineSets = R.Merged.get("sleepset_inline_sets");
+    Out.SleepsetSpillSets = R.Merged.get("sleepset_spill_sets");
     return Out;
   }
   if (Tool == "gemcutter-oct")
@@ -231,6 +241,11 @@ SuiteAggregate seqver::bench::aggregate(const std::vector<RunRecord> &Records,
     Out.TotalSemanticChecks += R.SemanticChecks;
     Out.TotalSmtQueries += R.SmtQueries;
     Out.TotalSeededPredicates += R.SeededPredicates;
+    Out.TotalInternHits += R.InternHits;
+    Out.TotalInternMisses += R.InternMisses;
+    Out.TotalPeakInternedSets += R.PeakInternedSets;
+    Out.TotalSleepsetInlineSets += R.SleepsetInlineSets;
+    Out.TotalSleepsetSpillSets += R.SleepsetSpillSets;
   }
   return Out;
 }

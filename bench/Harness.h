@@ -44,6 +44,16 @@ struct RunRecord {
   /// Proof predicates contributed by octagon seeding (0 unless the tool
   /// enables SeedProof).
   int64_t SeededPredicates = 0;
+  /// Interning telemetry of the hot-path state tables (docs/PERF.md):
+  /// probe hits/misses summed over the per-verifier interners (hub-merged
+  /// across workers for gemcutter-par), the largest sleep-set table, and
+  /// how many distinct sleep sets used the inline 64/128-bit representation
+  /// vs the spilled multi-word one.
+  int64_t InternHits = 0;
+  int64_t InternMisses = 0;
+  int64_t PeakInternedSets = 0;
+  int64_t SleepsetInlineSets = 0;
+  int64_t SleepsetSpillSets = 0;
   /// Portfolio only: name of the winning order.
   std::string BestOrder;
   /// Parallel portfolio only: real wall-clock of the whole race (Seconds
@@ -109,6 +119,26 @@ struct SuiteAggregate {
   int64_t TotalSemanticChecks = 0;
   int64_t TotalSmtQueries = 0;
   int64_t TotalSeededPredicates = 0;
+  int64_t TotalInternHits = 0;
+  int64_t TotalInternMisses = 0;
+  int64_t TotalPeakInternedSets = 0;
+  int64_t TotalSleepsetInlineSets = 0;
+  int64_t TotalSleepsetSpillSets = 0;
+
+  /// Intern-probe hit rate in percent (0 when no probes were recorded).
+  double internHitRatePct() const {
+    int64_t Probes = TotalInternHits + TotalInternMisses;
+    return Probes == 0 ? 0.0
+                       : 100.0 * static_cast<double>(TotalInternHits) /
+                             static_cast<double>(Probes);
+  }
+  /// Share of distinct sleep sets in the inline 64/128-bit representation.
+  double sleepsetBitsetPct() const {
+    int64_t Sets = TotalSleepsetInlineSets + TotalSleepsetSpillSets;
+    return Sets == 0 ? 0.0
+                     : 100.0 * static_cast<double>(TotalSleepsetInlineSets) /
+                           static_cast<double>(Sets);
+  }
 };
 
 /// Aggregate over records, optionally restricted to expected-correct or

@@ -1,0 +1,293 @@
+//===- bench/bench_hotpath.cpp - Hot-path interning microbenchmark --------===//
+///
+/// Measures the state-index hot path before and after the interning
+/// overhaul (docs/PERF.md): the generic sleep-set construction and the
+/// program-reduction construction are timed against the pre-change ordered
+/// std::map index (kept behind materializeOrdered / LegacyIndex), and the
+/// verifier's DFS is profiled over the tier-1 suites under the "seq" order.
+///
+/// Writes a flat BENCH_hotpath.json (path in argv[1], default
+/// BENCH_hotpath.json in the working directory) that tools/check_perf.sh
+/// diffs against the checked-in baseline at the repo root; a wall-time
+/// regression beyond the tolerance fails the gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "program/CfgBuilder.h"
+#include "reduction/SleepSet.h"
+#include "smt/Solver.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace seqver;
+using namespace seqver::bench;
+using seqver::automata::Dfa;
+using seqver::automata::Letter;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Part 1: generic sleep-set construction, hashed vs ordered index
+//===----------------------------------------------------------------------===//
+
+/// Non-positional order preferring smaller letter indices; the generic
+/// construction needs no program to exist.
+struct IdentityOrder final : red::PreferenceOrder {
+  bool less(Context, Letter A, Letter B) const override { return A < B; }
+  bool isPositional() const override { return false; }
+  std::string name() const override { return "identity"; }
+};
+
+/// Deterministic pseudo-random complete DFA: every letter enabled in every
+/// state. The sleep-set unrolling of this automaton fans out into tens of
+/// thousands of (state, sleep set) pairs — exactly the index-dominated
+/// workload the interning targets.
+Dfa syntheticDfa(uint32_t NumStates, uint32_t NumLetters) {
+  Dfa D(NumLetters);
+  for (uint32_t S = 0; S < NumStates; ++S)
+    D.addState(S % 7 == 0);
+  D.setInitial(0);
+  for (uint32_t S = 0; S < NumStates; ++S)
+    for (Letter L = 0; L < NumLetters; ++L)
+      D.addTransition(S, L, (S * 31 + (L + 1) * 17) % NumStates);
+  return D;
+}
+
+struct TimedStates {
+  uint32_t States = 0;
+  double Seconds = 0;
+
+  double statesPerSec() const {
+    return Seconds > 0 ? static_cast<double>(States) / Seconds : 0;
+  }
+};
+
+TimedStates runSynthetic(bool LegacyIndex) {
+  constexpr uint32_t kBaseStates = 512;
+  constexpr uint32_t kLetters = 12;
+  constexpr uint32_t kCap = 40000;
+  constexpr int kReps = 5;
+  Dfa Base = syntheticDfa(kBaseStates, kLetters);
+  IdentityOrder Order;
+  // Half the letter pairs commute (same parity): rich, varied sleep sets.
+  auto Commutes = [](Letter A, Letter B) { return ((A ^ B) & 1) == 0; };
+
+  TimedStates Out;
+  for (int Rep = 0; Rep < kReps; ++Rep) {
+    Timer T;
+    bool Overflow = false;
+    Dfa R = red::sleepSetAutomaton(Base, Order, Commutes, kCap, &Overflow,
+                                   LegacyIndex);
+    Out.Seconds += T.seconds();
+    Out.States = R.numStates();
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Part 2: program-reduction construction, hashed vs ordered index
+//===----------------------------------------------------------------------===//
+
+struct ReductionResultPair {
+  TimedStates Hashed;
+  TimedStates Legacy;
+  Statistics Stats; // counters of the hashed builds
+};
+
+/// Times buildReduction over a set of tier-1 sources with both indices. The
+/// commutativity cache is warmed by one untimed build first, so both
+/// variants pay identical (zero) commutativity cost and the measurement
+/// isolates the state index.
+ReductionResultPair runReductionBench() {
+  std::vector<std::string> Sources;
+  for (const auto &W : workloads::svcompLikeSuite())
+    Sources.push_back(W.Source);
+  Sources.push_back(workloads::bluetoothSource(3));
+  Sources.push_back(workloads::bluetoothSource(4));
+
+  constexpr int kReps = 3;
+  ReductionResultPair Out;
+  for (const std::string &Source : Sources) {
+    smt::TermManager TM;
+    prog::BuildResult B = prog::buildFromSource(Source, TM);
+    if (!B.ok())
+      continue;
+    smt::QueryEngine QE(TM);
+    red::CommutativityChecker Commut(
+        *B.Program, QE, red::CommutativityChecker::Mode::Static);
+    red::SequentialOrder Order(*B.Program);
+
+    red::ReductionConfig Warm;
+    Warm.LegacyIndex = false;
+    Warm.Stats = &Out.Stats;
+    red::buildReduction(*B.Program, &Order, Commut, Warm); // warm cache
+
+    for (int Rep = 0; Rep < kReps; ++Rep) {
+      red::ReductionConfig Legacy;
+      Legacy.LegacyIndex = true;
+      Timer TL;
+      auto RL = red::buildReduction(*B.Program, &Order, Commut, Legacy);
+      Out.Legacy.Seconds += TL.seconds();
+      Out.Legacy.States += RL.Automaton.numStates();
+
+      red::ReductionConfig Hashed;
+      Hashed.LegacyIndex = false;
+      Timer TH;
+      auto RH = red::buildReduction(*B.Program, &Order, Commut, Hashed);
+      Out.Hashed.Seconds += TH.seconds();
+      Out.Hashed.States += RH.Automaton.numStates();
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON output
+//===----------------------------------------------------------------------===//
+
+struct JsonWriter {
+  std::FILE *F;
+  bool First = true;
+
+  void field(const char *Name, double Value) {
+    std::fprintf(F, "%s  \"%s\": %.6g", First ? "" : ",\n", Name, Value);
+    First = false;
+  }
+  void field(const char *Name, int64_t Value) {
+    std::fprintf(F, "%s  \"%s\": %lld", First ? "" : ",\n", Name,
+                 static_cast<long long>(Value));
+    First = false;
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+
+  std::printf("== Hot-path interning microbenchmark ==\n");
+  std::printf("(per-instance timeout %.0fs; legacy = pre-interning ordered "
+              "std::map state index)\n\n",
+              benchTimeout());
+
+  // Part 1: synthetic sleep-set construction. Legacy first so the hashed
+  // run cannot benefit from warmer caches.
+  TimedStates SynLegacy = runSynthetic(/*LegacyIndex=*/true);
+  TimedStates SynHashed = runSynthetic(/*LegacyIndex=*/false);
+  double SynSpeedup = SynLegacy.Seconds > 0 && SynHashed.Seconds > 0
+                          ? SynLegacy.Seconds / SynHashed.Seconds
+                          : 0;
+  std::printf("-- generic sleep-set automaton (synthetic, %u states) --\n",
+              SynHashed.States);
+  std::vector<int> W1 = {10, 10, 12, 14};
+  printTableHeader({"index", "wall(s)", "states", "states/s"}, W1);
+  printTableRow({"legacy", formatDouble(SynLegacy.Seconds, 3),
+                 std::to_string(SynLegacy.States),
+                 formatDouble(SynLegacy.statesPerSec(), 0)},
+                W1);
+  printTableRow({"hashed", formatDouble(SynHashed.Seconds, 3),
+                 std::to_string(SynHashed.States),
+                 formatDouble(SynHashed.statesPerSec(), 0)},
+                W1);
+  std::printf("speedup (hashed over legacy): %.2fx\n\n", SynSpeedup);
+  if (SynLegacy.States != SynHashed.States)
+    std::printf("WARNING: index paths disagree on state count!\n");
+
+  // Part 2: program-reduction construction over tier-1 sources.
+  ReductionResultPair Red = runReductionBench();
+  double RedSpeedup = Red.Legacy.Seconds > 0 && Red.Hashed.Seconds > 0
+                          ? Red.Legacy.Seconds / Red.Hashed.Seconds
+                          : 0;
+  std::printf("-- program reduction construction (tier-1 sources, summed) "
+              "--\n");
+  printTableHeader({"index", "wall(s)", "states", "states/s"}, W1);
+  printTableRow({"legacy", formatDouble(Red.Legacy.Seconds, 3),
+                 std::to_string(Red.Legacy.States),
+                 formatDouble(Red.Legacy.statesPerSec(), 0)},
+                W1);
+  printTableRow({"hashed", formatDouble(Red.Hashed.Seconds, 3),
+                 std::to_string(Red.Hashed.States),
+                 formatDouble(Red.Hashed.statesPerSec(), 0)},
+                W1);
+  std::printf("speedup (hashed over legacy): %.2fx\n\n", RedSpeedup);
+
+  // Part 3: full verifier DFS over the tier-1 suites ("seq" order: a single
+  // deterministic configuration, so wall time is comparable run-to-run).
+  Timer SuiteTimer;
+  auto Suite = workloads::svcompLikeSuite();
+  for (const auto &Inst : workloads::weaverLikeSuite())
+    Suite.push_back(Inst);
+  auto Records = runSuite(Suite, "seq");
+  double SuiteWall = SuiteTimer.seconds();
+  SuiteAggregate A = aggregate(Records);
+  double WallPerRound =
+      A.TotalRounds > 0 ? A.TotalSeconds / static_cast<double>(A.TotalRounds)
+                        : 0;
+  double DfsStatesPerSec =
+      A.TotalSeconds > 0
+          ? static_cast<double>(A.TotalPeakVisited) / A.TotalSeconds
+          : 0;
+  std::printf("-- verifier DFS, tier-1 suites, seq order --\n");
+  std::printf("instances=%zu successful=%d wall=%.2fs verify=%.2fs "
+              "rounds=%lld\n",
+              Suite.size(), A.Successful, SuiteWall, A.TotalSeconds,
+              static_cast<long long>(A.TotalRounds));
+  std::printf("wall_s_per_round=%.4f dfs_states_per_sec=%.0f\n", WallPerRound,
+              DfsStatesPerSec);
+  std::printf("intern_hit_rate=%.1f%% peak_interned_sets=%lld "
+              "sleepset_bitset=%.1f%%\n",
+              A.internHitRatePct(),
+              static_cast<long long>(A.TotalPeakInternedSets),
+              A.sleepsetBitsetPct());
+
+  std::FILE *F = std::fopen(OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(F, "{\n");
+  JsonWriter J{F};
+  J.field("schema_version", static_cast<int64_t>(1));
+  J.field("synthetic_states", static_cast<int64_t>(SynHashed.States));
+  J.field("synthetic_wall_s_hashed", SynHashed.Seconds);
+  J.field("synthetic_wall_s_legacy", SynLegacy.Seconds);
+  J.field("synthetic_states_per_sec_hashed", SynHashed.statesPerSec());
+  J.field("synthetic_states_per_sec_legacy", SynLegacy.statesPerSec());
+  J.field("synthetic_speedup", SynSpeedup);
+  J.field("reduction_states", static_cast<int64_t>(Red.Hashed.States));
+  J.field("reduction_wall_s_hashed", Red.Hashed.Seconds);
+  J.field("reduction_wall_s_legacy", Red.Legacy.Seconds);
+  J.field("reduction_states_per_sec_hashed", Red.Hashed.statesPerSec());
+  J.field("reduction_states_per_sec_legacy", Red.Legacy.statesPerSec());
+  J.field("reduction_speedup", RedSpeedup);
+  J.field("suite_instances", static_cast<int64_t>(Suite.size()));
+  J.field("suite_successful", static_cast<int64_t>(A.Successful));
+  J.field("suite_wall_s", SuiteWall);
+  J.field("suite_verify_s", A.TotalSeconds);
+  J.field("suite_rounds", A.TotalRounds);
+  J.field("wall_s_per_round", WallPerRound);
+  J.field("dfs_states_per_sec", DfsStatesPerSec);
+  J.field("intern_hits", A.TotalInternHits);
+  J.field("intern_misses", A.TotalInternMisses);
+  J.field("intern_hit_rate_pct", A.internHitRatePct());
+  J.field("peak_interned_sets", A.TotalPeakInternedSets);
+  J.field("sleepset_bitset_pct", A.sleepsetBitsetPct());
+  std::fprintf(F, "\n}\n");
+  std::fclose(F);
+  std::printf("\nwrote %s\n", OutPath.c_str());
+
+  // Differential sanity: both indices must build identical automata.
+  if (SynLegacy.States != SynHashed.States ||
+      Red.Legacy.States != Red.Hashed.States) {
+    std::fprintf(stderr, "FAIL: legacy and hashed state counts differ\n");
+    return 1;
+  }
+  return 0;
+}

@@ -92,12 +92,15 @@ void BM_SuitePortfolioParallel(benchmark::State &State) {
   auto Suite = workloads::weaverLikeSuite();
   Suite.resize(4); // bluetooth 1..4
   double ParallelWall = 0, SequentialSum = 0, AsIfParallel = 0;
+  std::vector<RunRecord> ParRecords;
   for (auto _ : State) {
     ParallelWall = SequentialSum = AsIfParallel = 0;
+    ParRecords.clear();
     for (const auto &W : Suite) {
       RunRecord Par = runTool(W, "gemcutter-par");
       ParallelWall += Par.WallSeconds;
       AsIfParallel += Par.Seconds;
+      ParRecords.push_back(Par);
       // Sequential portfolio: every order runs to completion; its cost is
       // the sum over orders (what the emulation actually pays).
       smt::TermManager TM;
@@ -117,6 +120,16 @@ void BM_SuitePortfolioParallel(benchmark::State &State) {
   State.counters["as_if_parallel_s"] = AsIfParallel;
   State.counters["portfolio_speedup"] =
       ParallelWall > 0 ? SequentialSum / ParallelWall : 0;
+  // Hub-merged interning telemetry: every racing worker's private tables
+  // contribute (docs/PERF.md), not just the winner's.
+  SuiteAggregate Par = aggregate(ParRecords);
+  State.counters["intern_hits"] = static_cast<double>(Par.TotalInternHits);
+  State.counters["intern_misses"] =
+      static_cast<double>(Par.TotalInternMisses);
+  State.counters["intern_hit_rate_pct"] = Par.internHitRatePct();
+  State.counters["peak_interned_sets"] =
+      static_cast<double>(Par.TotalPeakInternedSets);
+  State.counters["sleepset_bitset_pct"] = Par.sleepsetBitsetPct();
 }
 BENCHMARK(BM_SuitePortfolioParallel)
     ->Unit(benchmark::kMillisecond)

@@ -8,11 +8,24 @@
 /// sleep set, etc.); this template does the interning and bookkeeping once.
 ///
 /// The implicit automaton is described by a class exposing:
-///   using StateType = ...;            // value type with operator<
+///   using StateType = ...;            // value type with operator==
 ///   StateType initialState();
 ///   bool isAccepting(const StateType &);
 ///   /// Successors in increasing letter order.
 ///   std::vector<std::pair<Letter, StateType>> successors(const StateType &);
+///
+/// States are indexed by an open-addressing InternTable keyed by hash +
+/// equality (docs/PERF.md): a lookup costs one hash of the structured value
+/// and O(1) probes instead of the O(log n) deep lexicographic compares of
+/// the pre-interning std::map index. StateType hashes via
+/// DefaultInternHash — integral types, vectors of integrals, or a
+/// `uint64_t hash() const` member; state structs interning their heavy
+/// components (sleep sets) down to ids get constant-time hashing.
+///
+/// materializeOrdered keeps the pre-change std::map index (StateType with
+/// operator<). It exists for the SEQVER_LEGACY_INDEX differential path and
+/// the bench_hotpath before/after comparison only; both paths add states in
+/// identical BFS discovery order, so they build identical automata.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +33,7 @@
 #define SEQVER_AUTOMATA_EXPLORE_H
 
 #include "automata/Dfa.h"
+#include "support/InternTable.h"
 
 #include <deque>
 #include <map>
@@ -38,11 +52,70 @@ template <typename ImplicitAutomaton> struct Materialized {
 
 /// Breadth-first materialization. MaxStates guards against accidental
 /// state-space blowups (0 = unlimited); exceeding it aborts via the returned
-/// Overflow flag so that callers can fall back or report.
+/// Overflow flag so that callers can fall back or report. ReserveHint
+/// pre-sizes the state index and worklist for callers that can estimate the
+/// final state count (e.g. re-materialization after a refinement round).
 template <typename ImplicitAutomaton>
 Materialized<ImplicitAutomaton>
 materialize(ImplicitAutomaton &Impl, uint32_t NumLetters,
-            uint32_t MaxStates = 0, bool *Overflow = nullptr) {
+            uint32_t MaxStates = 0, bool *Overflow = nullptr,
+            uint32_t ReserveHint = 0) {
+  using StateType = typename ImplicitAutomaton::StateType;
+  Materialized<ImplicitAutomaton> Result;
+  Result.Automaton = Dfa(NumLetters);
+  if (Overflow)
+    *Overflow = false;
+
+  // The intern arena doubles as the discovery-ordered state vector; ids are
+  // Dfa state indices by construction.
+  InternTable<StateType> Index;
+  std::deque<State> Worklist;
+  if (ReserveHint != 0)
+    Index.reserve(ReserveHint);
+
+  auto GetState = [&](const StateType &S) -> State {
+    bool Inserted = false;
+    uint32_t Id = Index.intern(S, &Inserted);
+    if (Inserted) {
+      State Added = Result.Automaton.addState(Impl.isAccepting(S));
+      assert(Added == Id && "intern ids must track Dfa state ids");
+      (void)Added;
+      Worklist.push_back(Id);
+    }
+    return Id;
+  };
+
+  Result.Automaton.setInitial(GetState(Impl.initialState()));
+  while (!Worklist.empty()) {
+    State Id = Worklist.front();
+    Worklist.pop_front();
+    // Index[Id] stays valid through the successors() call; GetState (which
+    // can grow the arena and invalidate references) only runs afterwards,
+    // on the materialized successor list.
+    auto Successors = Impl.successors(Index[Id]);
+    for (auto &[L, Next] : Successors) {
+      if (MaxStates != 0 && Result.Automaton.numStates() >= MaxStates &&
+          Index.lookup(Next) == InternTable<StateType>::NotFound) {
+        if (Overflow)
+          *Overflow = true;
+        Result.States = Index.takeValues();
+        return Result;
+      }
+      Result.Automaton.addTransition(Id, L, GetState(Next));
+    }
+  }
+  Result.States = Index.takeValues();
+  return Result;
+}
+
+/// Pre-change ordered-map materialization (StateType with operator<); the
+/// SEQVER_LEGACY_INDEX differential-test path. Behaviorally identical to
+/// materialize() — both discover states in the same BFS order — just with
+/// the old O(log n) deep-compare index and per-pop state copy.
+template <typename ImplicitAutomaton>
+Materialized<ImplicitAutomaton>
+materializeOrdered(ImplicitAutomaton &Impl, uint32_t NumLetters,
+                   uint32_t MaxStates = 0, bool *Overflow = nullptr) {
   using StateType = typename ImplicitAutomaton::StateType;
   Materialized<ImplicitAutomaton> Result;
   Result.Automaton = Dfa(NumLetters);
@@ -67,7 +140,7 @@ materialize(ImplicitAutomaton &Impl, uint32_t NumLetters,
   while (!Worklist.empty()) {
     State Id = Worklist.front();
     Worklist.pop_front();
-    // Copy: successors() may grow Result.States.
+    // Copy: successors() interleaves with GetState growing Result.States.
     StateType Current = Result.States[Id];
     for (auto &[L, Next] : Impl.successors(Current)) {
       if (MaxStates != 0 && Result.Automaton.numStates() >= MaxStates &&

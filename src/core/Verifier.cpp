@@ -6,11 +6,11 @@
 #include "core/Interpolation.h"
 
 #include "support/Bitset.h"
+#include "support/InternTable.h"
 
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <tuple>
+#include <unordered_map>
 
 using namespace seqver;
 using namespace seqver::core;
@@ -74,7 +74,8 @@ class Verifier::Impl {
 public:
   Impl(const prog::ConcurrentProgram &P, const VerifierConfig &Config)
       : P(P), Config(Config), TM(P.termManager()), QE(TM), Fresh(TM),
-        Commut(P, QE, Config.CommutMode), Proof(TM, QE, Fresh, P) {
+        Commut(P, QE, Config.CommutMode), Proof(TM, QE, Fresh, P),
+        SleepIntern(P.numLetters()) {
     if (!Config.StaticTier)
       Commut.disableStaticTier();
     Commut.setStatistics(&Stats);
@@ -119,16 +120,21 @@ public:
 
 private:
   /// The DFS node identity: product state, order context, sleep set, proof
-  /// assertion set.
+  /// assertion set. Every structured component is interned to a dense id in
+  /// the per-verifier tables below, so a key is four integers: hashing,
+  /// comparing, and copying a DFS node is O(1) regardless of thread count,
+  /// alphabet size, or proof size (the per-state constant-factor half of the
+  /// paper's linear-size-reduction argument; see docs/PERF.md).
   struct Key {
-    ProductState Q;
-    PreferenceOrder::Context Ctx;
-    Bitset Sleep;
-    PredSet Phi;
+    uint32_t Q = 0;                ///< Interned ProductState id.
+    PreferenceOrder::Context Ctx = PreferenceOrder::InitialContext;
+    SleepSetId Sleep = SleepSetInterner::EmptySetId;
+    uint32_t Phi = 0;              ///< Interned PredSet id.
 
-    bool operator<(const Key &Other) const {
-      return std::tie(Q, Ctx, Sleep, Phi) <
-             std::tie(Other.Q, Other.Ctx, Other.Sleep, Other.Phi);
+    bool operator==(const Key &) const = default;
+    uint64_t hash() const {
+      return hashCombine(hashCombine(hashCombine(hashMix(Q), Ctx), Sleep),
+                         Phi);
     }
   };
 
@@ -145,7 +151,7 @@ private:
   };
 
   RoundResult checkProofRound();
-  std::vector<std::pair<Letter, Key>> expand(const Key &Node);
+  void expand(const Key &Node, std::vector<std::pair<Letter, Key>> &Out);
   bool isKnownUseless(const Key &Node);
   void markUseless(const Key &Node);
   size_t minimizeProof();
@@ -173,12 +179,50 @@ private:
   analysis::ConflictRelation StaticIndep;
   std::unique_ptr<red::PersistentSetComputer> Persistent;
 
-  /// Cross-round useless-state cache: (Q, Ctx, Sleep) -> assertions under
-  /// which the node was counterexample-free.
-  std::map<std::tuple<ProductState, PreferenceOrder::Context, Bitset>,
-           std::vector<PredSet>>
+  /// Per-verifier interners. They persist across refinement rounds (and
+  /// through proof minimization), so sleep sets, product states, and
+  /// predicate sets recurring between rounds hash straight to their old
+  /// ids — and the keys of the cross-round useless cache stay valid. Never
+  /// shared across portfolio workers: each worker's verifier owns its
+  /// tables, keeping the hot path lock-free (docs/RUNTIME.md).
+  SleepSetInterner SleepIntern;
+  InternTable<ProductState> StateIntern;
+  InternTable<PredSet> PhiIntern;
+
+  /// Cross-round useless-state cache: (Q, Ctx, Sleep) -> interned ids of
+  /// assertion sets under which the node was counterexample-free.
+  struct UselessKey {
+    uint32_t Q;
+    PreferenceOrder::Context Ctx;
+    SleepSetId Sleep;
+    bool operator==(const UselessKey &) const = default;
+  };
+  struct UselessKeyHash {
+    size_t operator()(const UselessKey &K) const {
+      return static_cast<size_t>(
+          hashCombine(hashCombine(hashMix(K.Q), K.Ctx), K.Sleep));
+    }
+  };
+  std::unordered_map<UselessKey, std::vector<uint32_t>, UselessKeyHash>
       UselessCache;
   static constexpr size_t MaxUselessEntriesPerNode = 8;
+
+  /// Per-round DFS state, kept as members so refinement rounds reuse the
+  /// allocations: the visited index (hashed, interning Keys to dense ids
+  /// aligned with VisitStatus), the frame stack, and a pool of successor
+  /// vectors recycled on frame pop.
+  InternTable<Key> Visited;
+  std::vector<NodeStatus> VisitStatus;
+  struct Frame {
+    Key Node;
+    Letter InLetter = 0;
+    uint32_t VisitedId = 0;
+    std::vector<std::pair<Letter, Key>> Succs;
+    size_t NextIndex = 0;
+    bool TouchedUnknown = false;
+  };
+  std::vector<Frame> Stack;
+  std::vector<std::vector<std::pair<Letter, Key>>> SuccPool;
 
   /// Config.TimeoutSeconds mapped onto the cancellation mechanism.
   runtime::CancellationToken OwnDeadline;
@@ -188,11 +232,12 @@ private:
 bool Verifier::Impl::isKnownUseless(const Key &Node) {
   if (!Config.UselessStateCache)
     return false;
-  auto It = UselessCache.find(std::make_tuple(Node.Q, Node.Ctx, Node.Sleep));
+  auto It = UselessCache.find({Node.Q, Node.Ctx, Node.Sleep});
   if (It == UselessCache.end())
     return false;
-  for (const PredSet &Recorded : It->second)
-    if (isSubset(Recorded, Node.Phi)) {
+  const PredSet &Phi = PhiIntern[Node.Phi];
+  for (uint32_t Recorded : It->second)
+    if (Recorded == Node.Phi || isSubset(PhiIntern[Recorded], Phi)) {
       Stats.add("useless_cache_hits");
       return true;
     }
@@ -202,28 +247,30 @@ bool Verifier::Impl::isKnownUseless(const Key &Node) {
 void Verifier::Impl::markUseless(const Key &Node) {
   if (!Config.UselessStateCache)
     return;
-  auto &Entries =
-      UselessCache[std::make_tuple(Node.Q, Node.Ctx, Node.Sleep)];
-  for (const PredSet &Recorded : Entries)
-    if (isSubset(Recorded, Node.Phi))
+  auto &Entries = UselessCache[{Node.Q, Node.Ctx, Node.Sleep}];
+  const PredSet &Phi = PhiIntern[Node.Phi];
+  for (uint32_t Recorded : Entries)
+    if (Recorded == Node.Phi || isSubset(PhiIntern[Recorded], Phi))
       return; // already subsumed
   if (Entries.size() < MaxUselessEntriesPerNode)
     Entries.push_back(Node.Phi);
 }
 
-std::vector<std::pair<Letter, Verifier::Impl::Key>>
-Verifier::Impl::expand(const Key &Node) {
-  std::vector<std::pair<Letter, Key>> Out;
-  if (Proof.isFalse(Node.Phi))
-    return Out; // covered by the proof
+void Verifier::Impl::expand(const Key &Node,
+                            std::vector<std::pair<Letter, Key>> &Out) {
+  Out.clear();
+  if (Proof.isFalse(PhiIntern[Node.Phi]))
+    return; // covered by the proof
 
-  auto Successors = P.successors(Node.Q); // empty at error states
+  // References into the intern arenas are refetched after any intern()
+  // below: interning a successor component may grow an arena and move it.
+  auto Successors = P.successors(StateIntern[Node.Q]); // empty at errors
   if (Successors.empty())
-    return Out;
+    return;
 
   const Bitset *Membrane = nullptr;
   if (Persistent)
-    Membrane = &Persistent->compute(Node.Q, Node.Ctx);
+    Membrane = &Persistent->compute(StateIntern[Node.Q], Node.Ctx);
 
   std::vector<Letter> Enabled;
   Enabled.reserve(Successors.size());
@@ -232,10 +279,12 @@ Verifier::Impl::expand(const Key &Node) {
     Enabled.push_back(L);
   }
 
-  Term Phi = Config.ProofSensitive ? Proof.conjunction(Node.Phi) : nullptr;
+  Term Phi =
+      Config.ProofSensitive ? Proof.conjunction(PhiIntern[Node.Phi]) : nullptr;
 
-  for (const auto &[L, NextQ] : Successors) {
-    if (Config.UseSleepSets && Node.Sleep.test(L)) {
+  Out.reserve(Successors.size());
+  for (auto &[L, NextQ] : Successors) {
+    if (Config.UseSleepSets && SleepIntern.test(Node.Sleep, L)) {
       Stats.add("sleep_pruned");
       continue;
     }
@@ -244,27 +293,29 @@ Verifier::Impl::expand(const Key &Node) {
       continue;
     }
     Key Next;
-    Next.Q = NextQ;
+    Next.Q = StateIntern.intern(NextQ);
     Next.Ctx = Config.Order ? Config.Order->advance(Node.Ctx, L)
                             : PreferenceOrder::InitialContext;
-    Next.Sleep = Bitset(P.numLetters());
+    Next.Sleep = SleepSetInterner::EmptySetId;
     if (Config.UseSleepSets) {
+      SleepIntern.scratchClear();
       for (Letter B : Enabled) {
         if (B == L)
           continue;
-        bool Candidate =
-            Node.Sleep.test(B) || Config.Order->less(Node.Ctx, B, L);
+        bool Candidate = SleepIntern.test(Node.Sleep, B) ||
+                         Config.Order->less(Node.Ctx, B, L);
         if (!Candidate)
           continue;
         bool Commutes = Config.ProofSensitive
                             ? Commut.commutesUnder(Phi, L, B)
                             : Commut.commutes(L, B);
         if (Commutes)
-          Next.Sleep.set(B);
+          SleepIntern.scratchSet(B);
       }
+      Next.Sleep = SleepIntern.internScratch();
     }
-    Next.Phi = Proof.step(Node.Phi, L);
-    Out.emplace_back(L, std::move(Next));
+    Next.Phi = PhiIntern.intern(Proof.step(PhiIntern[Node.Phi], L));
+    Out.emplace_back(L, Next);
   }
 
   // Explore most-preferred letters first: minimal counterexamples surface
@@ -275,37 +326,43 @@ Verifier::Impl::expand(const Key &Node) {
                        return Config.Order->less(Node.Ctx, A.first, B.first);
                      });
   }
-  return Out;
 }
 
 Verifier::Impl::RoundResult Verifier::Impl::checkProofRound() {
-  struct Frame {
-    Key Node;
-    Letter InLetter = 0;
-    std::vector<std::pair<Letter, Key>> Succs;
-    size_t NextIndex = 0;
-    bool TouchedUnknown = false;
-  };
-
-  std::map<Key, NodeStatus> Visited;
-  std::vector<Frame> Stack;
+  // Per-round structures are members: clear() drops entries but keeps the
+  // arena, index, stack, and successor-vector allocations of the previous
+  // round (and pools keep capacity across rounds), so a refinement round
+  // does not re-malloc its DFS scaffolding.
+  Visited.clear();
+  VisitStatus.clear();
+  Stack.clear();
   uint64_t Steps = 0;
   bool ExitCtex = false;
   const bool CheckPost = P.hasPostCondition();
   Term Post = P.postCondition();
 
-  Key Init;
-  Init.Q = P.initialProductState();
-  Init.Ctx = PreferenceOrder::InitialContext;
-  Init.Sleep = Bitset(P.numLetters());
-  Init.Phi = Proof.initialSet();
+  auto AcquireSuccs = [&]() -> std::vector<std::pair<Letter, Key>> {
+    if (SuccPool.empty())
+      return {};
+    auto Out = std::move(SuccPool.back());
+    SuccPool.pop_back();
+    return Out;
+  };
 
-  auto Push = [&](Key Node, Letter InLetter) -> bool {
+  Key Init;
+  Init.Q = StateIntern.intern(P.initialProductState());
+  Init.Ctx = PreferenceOrder::InitialContext;
+  Init.Sleep = SleepSetInterner::EmptySetId;
+  Init.Phi = PhiIntern.intern(Proof.initialSet());
+
+  auto Push = [&](const Key &Node, Letter InLetter) -> bool {
     // Returns false if the node produced a counterexample.
-    if (P.isErrorState(Node.Q) && !Proof.isFalse(Node.Phi))
+    if (P.isErrorState(StateIntern[Node.Q]) &&
+        !Proof.isFalse(PhiIntern[Node.Phi]))
       return false;
-    if (CheckPost && P.isAllExitState(Node.Q) && !Proof.isFalse(Node.Phi) &&
-        !QE.implies(Proof.conjunction(Node.Phi), Post)) {
+    if (CheckPost && P.isAllExitState(StateIntern[Node.Q]) &&
+        !Proof.isFalse(PhiIntern[Node.Phi]) &&
+        !QE.implies(Proof.conjunction(PhiIntern[Node.Phi]), Post)) {
       ExitCtex = true;
       return false;
     }
@@ -313,18 +370,21 @@ Verifier::Impl::RoundResult Verifier::Impl::checkProofRound() {
       // Counts as a useless (done) node: nothing to propagate.
       return true;
     }
-    auto It = Visited.find(Node);
-    if (It != Visited.end()) {
+    bool Inserted = false;
+    uint32_t VId = Visited.intern(Node, &Inserted);
+    if (!Inserted) {
       // Gray or non-useless black nodes taint the parent's subtree.
-      if (It->second != NodeStatus::DoneUseless && !Stack.empty())
+      if (VisitStatus[VId] != NodeStatus::DoneUseless && !Stack.empty())
         Stack.back().TouchedUnknown = true;
       return true;
     }
-    Visited.emplace(Node, NodeStatus::OnStack);
+    VisitStatus.push_back(NodeStatus::OnStack);
     Frame F;
-    F.Succs = expand(Node);
-    F.Node = std::move(Node);
+    F.Succs = AcquireSuccs();
+    expand(Node, F.Succs);
+    F.Node = Node;
     F.InLetter = InLetter;
+    F.VisitedId = VId;
     Stack.push_back(std::move(F));
     return true;
   };
@@ -345,7 +405,7 @@ Verifier::Impl::RoundResult Verifier::Impl::checkProofRound() {
     Frame &Top = Stack.back();
     if (Top.NextIndex < Top.Succs.size()) {
       auto &[L, Next] = Top.Succs[Top.NextIndex++];
-      if (!Push(std::move(Next), L)) {
+      if (!Push(Next, L)) {
         // Counterexample: the path of in-letters plus this letter.
         std::vector<Letter> Trace;
         for (size_t I = 1; I < Stack.size(); ++I)
@@ -359,11 +419,13 @@ Verifier::Impl::RoundResult Verifier::Impl::checkProofRound() {
     }
     // Pop.
     bool Useless = !Top.TouchedUnknown;
-    Visited[Top.Node] =
+    VisitStatus[Top.VisitedId] =
         Useless ? NodeStatus::DoneUseless : NodeStatus::DoneUnknown;
     if (Useless)
       markUseless(Top.Node);
     bool Propagate = Top.TouchedUnknown;
+    SuccPool.push_back(std::move(Top.Succs));
+    SuccPool.back().clear();
     Stack.pop_back();
     if (Propagate && !Stack.empty())
       Stack.back().TouchedUnknown = true;
@@ -456,6 +518,23 @@ VerificationResult Verifier::Impl::run() {
       if (Proof.predicateEnabled(Id)) // full pool unless minimized
         Result.ProofAssertions.push_back(TM.str(Proof.predicate(Id)));
   Stats.add("rounds", Result.Rounds);
+  // Interning telemetry (docs/PERF.md): hits/misses aggregate the three
+  // persistent per-verifier tables; the sleep-set counters additionally
+  // drive the bench harness's hit-rate and representation reporting. All of
+  // these merge additively through the portfolio statistics hub.
+  Stats.add("intern_hits",
+            static_cast<int64_t>(SleepIntern.hits() + StateIntern.hits() +
+                                 PhiIntern.hits()));
+  Stats.add("intern_misses",
+            static_cast<int64_t>(SleepIntern.misses() + StateIntern.misses() +
+                                 PhiIntern.misses()));
+  Stats.setMax("peak_interned_sets", static_cast<int64_t>(SleepIntern.size()));
+  Stats.add("sleepset_intern_hits", static_cast<int64_t>(SleepIntern.hits()));
+  Stats.add("sleepset_intern_misses",
+            static_cast<int64_t>(SleepIntern.misses()));
+  Stats.add(SleepIntern.inlineWords() ? "sleepset_inline_sets"
+                                      : "sleepset_spill_sets",
+            static_cast<int64_t>(SleepIntern.size()));
   Stats.add("hoare_queries",
             static_cast<int64_t>(Proof.numHoareQueries()));
   Stats.add("smt_queries", static_cast<int64_t>(QE.numQueries()));

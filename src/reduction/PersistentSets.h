@@ -22,8 +22,9 @@
 #include "reduction/Commutativity.h"
 #include "reduction/PreferenceOrder.h"
 #include "support/Bitset.h"
+#include "support/InternTable.h"
 
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace seqver {
@@ -71,7 +72,20 @@ private:
   /// Threads containing assert statements (error locations).
   std::vector<bool> HasAssert;
 
-  std::map<std::pair<prog::ProductState, PreferenceOrder::Context>, Bitset>
+  /// (product state, order context) -> membrane, hashed: the computer is
+  /// consulted once per DFS expansion, so the pre-change ordered-map lookup
+  /// (O(log n) location-vector compares per probe) was hot-path cost.
+  /// unordered_map keeps references to values stable across inserts, which
+  /// compute()'s by-reference return relies on.
+  struct CacheKeyHash {
+    size_t operator()(const std::pair<prog::ProductState,
+                                      PreferenceOrder::Context> &K) const {
+      return static_cast<size_t>(
+          hashCombine(DefaultInternHash{}(K.first), K.second));
+    }
+  };
+  std::unordered_map<std::pair<prog::ProductState, PreferenceOrder::Context>,
+                     Bitset, CacheKeyHash>
       Cache;
   uint64_t CacheHits = 0;
 };

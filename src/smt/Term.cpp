@@ -406,7 +406,8 @@ private:
 
   TermManager &TM;
   const Substitution &Subst;
-  std::map<Term, Term> Memo;
+  // Keyed by interned pointer: identity hashing, no ordering needed.
+  std::unordered_map<Term, Term> Memo;
 };
 
 } // namespace

@@ -20,8 +20,9 @@
 #ifndef SEQVER_SMT_TERM_H
 #define SEQVER_SMT_TERM_H
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -93,13 +94,68 @@ private:
   std::vector<Term> Children;
 };
 
+/// Sorted small-vector map from variables to replacement values. Almost
+/// every substitution binds a handful of variables (one per assignment
+/// primitive), so a contiguous vector sorted by term id beats a node-based
+/// std::map on every application: lookups are a branchless-friendly binary
+/// search over one cache line and construction performs a single
+/// allocation. Substitution application sits inside every weakest
+/// precondition and semantic commutativity query, which makes this one of
+/// the verifier's hottest small structures (docs/PERF.md).
+template <typename V> class TermVarMap {
+  struct IdLess {
+    bool operator()(const std::pair<Term, V> &Entry, Term Key) const {
+      return Entry.first->id() < Key->id();
+    }
+  };
+
+public:
+  using value_type = std::pair<Term, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  const_iterator begin() const { return Entries.begin(); }
+  const_iterator end() const { return Entries.end(); }
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+
+  const_iterator find(Term Key) const {
+    auto It = lowerBound(Key);
+    return (It != Entries.end() && It->first == Key) ? It : Entries.end();
+  }
+
+  /// Inserts Key with a default value if absent; returns the mapped value.
+  V &operator[](Term Key) {
+    auto It = lowerBound(Key);
+    if (It != Entries.end() && It->first == Key)
+      return It->second;
+    return Entries.insert(It, {Key, V{}})->second;
+  }
+
+  const V &at(Term Key) const {
+    auto It = find(Key);
+    assert(It != Entries.end() && "key not bound");
+    return It->second;
+  }
+
+private:
+  // Iterator flavors: mutation needs the non-const position.
+  typename std::vector<value_type>::iterator lowerBound(Term Key) {
+    return std::lower_bound(Entries.begin(), Entries.end(), Key, IdLess{});
+  }
+  const_iterator lowerBound(Term Key) const {
+    return std::lower_bound(Entries.begin(), Entries.end(), Key, IdLess{});
+  }
+
+  std::vector<value_type> Entries;
+};
+
 /// Maps variables to replacement values; used by weakest preconditions and
 /// by the commutativity checker's state renamings.
 struct Substitution {
   /// Integer variable -> linear sum replacement.
-  std::map<Term, LinSum> IntMap;
+  TermVarMap<LinSum> IntMap;
   /// Boolean variable -> formula replacement.
-  std::map<Term, Term> BoolMap;
+  TermVarMap<Term> BoolMap;
 
   bool empty() const { return IntMap.empty() && BoolMap.empty(); }
 };

@@ -1,0 +1,98 @@
+#!/usr/bin/env sh
+# Perf-regression gate: runs the bench_hotpath microbenchmark (generic
+# sleep-set construction and program-reduction construction against the
+# pre-interning std::map index, plus the verifier DFS over the tier-1
+# suites), writes BENCH_hotpath.json into the build directory, and compares
+# the suite wall time against the checked-in baseline at the repo root.
+# Fails when the measured wall time regresses by more than the tolerance
+# (default 15%, override with SEQVER_PERF_TOLERANCE_PCT). A single retry
+# absorbs scheduler noise before declaring a regression.
+#
+# Usage: tools/check_perf.sh [build-dir] [--update]
+#   build-dir  defaults to ./build
+#   --update   rewrite the repo-root baseline from this run and exit green
+set -eu
+
+TOOLS_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+REPO_DIR=$(dirname -- "$TOOLS_DIR")
+
+BUILD_DIR=build
+UPDATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+BENCH="$BUILD_DIR/bench/bench_hotpath"
+BASELINE="$REPO_DIR/BENCH_hotpath.json"
+CURRENT="$BUILD_DIR/BENCH_hotpath.json"
+TOLERANCE="${SEQVER_PERF_TOLERANCE_PCT:-15}"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+# Extracts a numeric field from the flat one-field-per-line JSON that
+# bench_hotpath writes (no python/jq dependency).
+json_field() {
+  awk -F': ' -v key="\"$2\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2 }' \
+    "$1"
+}
+
+run_bench() {
+  "$BENCH" "$CURRENT" || {
+    echo "error: bench_hotpath failed" >&2
+    exit 2
+  }
+}
+
+run_bench
+
+if [ "$UPDATE" = 1 ]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "baseline updated: $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "error: no baseline at $BASELINE (run tools/check_perf.sh --update)" >&2
+  exit 2
+fi
+
+check_wall() {
+  BASE_WALL=$(json_field "$BASELINE" suite_wall_s)
+  CURR_WALL=$(json_field "$CURRENT" suite_wall_s)
+  if [ -z "$BASE_WALL" ] || [ -z "$CURR_WALL" ]; then
+    echo "error: suite_wall_s missing from baseline or current JSON" >&2
+    exit 2
+  fi
+  awk -v base="$BASE_WALL" -v curr="$CURR_WALL" -v tol="$TOLERANCE" '
+    BEGIN {
+      limit = base * (1 + tol / 100)
+      pct = base > 0 ? 100 * (curr - base) / base : 0
+      printf "suite wall time: baseline=%.2fs current=%.2fs (%+.1f%%, tolerance %s%%)\n", \
+             base, curr, pct, tol
+      exit curr > limit ? 1 : 0
+    }'
+}
+
+if check_wall; then
+  :
+else
+  echo "over tolerance; retrying once to rule out scheduler noise..."
+  run_bench
+  if ! check_wall; then
+    echo "FAIL: suite wall time regressed beyond ${TOLERANCE}% of baseline" >&2
+    exit 1
+  fi
+fi
+
+# Informational: the interning speedups this run measured (the baseline
+# acceptance bar was >= 1.5x on the reduction construction).
+SYN=$(json_field "$CURRENT" synthetic_speedup)
+RED=$(json_field "$CURRENT" reduction_speedup)
+echo "interning speedups: synthetic=${SYN}x reduction=${RED}x"
+echo "OK: no perf regression beyond ${TOLERANCE}%"
