@@ -40,9 +40,11 @@ RunRecord toRecord(const workloads::WorkloadInstance &W,
   Out.CommutSyntactic = R.Stats.get("commut_syntactic");
   Out.CommutStatic = R.Stats.get("commut_static");
   Out.CommutOctagon = R.Stats.get("commut_octagon");
+  Out.CommutKarr = R.Stats.get("commut_karr");
   Out.SemanticChecks = R.Stats.get("semantic_commut_checks");
   Out.SmtQueries = R.Stats.get("smt_queries");
   Out.SeededPredicates = R.Stats.get("seeded_predicates");
+  Out.KarrSeeded = R.Stats.get("karr_seeded");
   Out.InternHits = R.Stats.get("intern_hits");
   Out.InternMisses = R.Stats.get("intern_misses");
   Out.PeakInternedSets = R.Stats.get("peak_interned_sets");
@@ -126,9 +128,11 @@ RunRecord seqver::bench::runTool(const workloads::WorkloadInstance &W,
     Out.CommutSyntactic = R.Merged.get("commut_syntactic");
     Out.CommutStatic = R.Merged.get("commut_static");
     Out.CommutOctagon = R.Merged.get("commut_octagon");
+    Out.CommutKarr = R.Merged.get("commut_karr");
     Out.SemanticChecks = R.Merged.get("semantic_commut_checks");
     Out.SmtQueries = R.Merged.get("smt_queries");
     Out.SeededPredicates = R.Merged.get("seeded_predicates");
+    Out.KarrSeeded = R.Merged.get("karr_seeded");
     Out.InternHits = R.Merged.get("intern_hits");
     Out.InternMisses = R.Merged.get("intern_misses");
     Out.PeakInternedSets = R.Merged.get("peak_interned_sets");
@@ -143,7 +147,17 @@ RunRecord seqver::bench::runTool(const workloads::WorkloadInstance &W,
   if (Tool == "gemcutter-nooct")
     return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
       C.OctagonTier = false;
+      C.KarrTier = false;
       C.SeedProof = false;
+    });
+  if (Tool == "gemcutter-karr")
+    return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
+      C.SeedProof = true;
+    });
+  if (Tool == "gemcutter-nokarr")
+    return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
+      C.KarrTier = false;
+      C.SeedProof = true;
     });
   if (Tool == "sleep")
     return runPortfolioVariant(W, Tool, [](VerifierConfig &C) {
@@ -238,9 +252,11 @@ SuiteAggregate seqver::bench::aggregate(const std::vector<RunRecord> &Records,
     Out.TotalCommutQueries += R.CommutQueries;
     Out.TotalCommutStatic += R.CommutStatic;
     Out.TotalCommutOctagon += R.CommutOctagon;
+    Out.TotalCommutKarr += R.CommutKarr;
     Out.TotalSemanticChecks += R.SemanticChecks;
     Out.TotalSmtQueries += R.SmtQueries;
     Out.TotalSeededPredicates += R.SeededPredicates;
+    Out.TotalKarrSeeded += R.KarrSeeded;
     Out.TotalInternHits += R.InternHits;
     Out.TotalInternMisses += R.InternMisses;
     Out.TotalPeakInternedSets += R.PeakInternedSets;

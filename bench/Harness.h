@@ -39,11 +39,13 @@ struct RunRecord {
   int64_t CommutSyntactic = 0;
   int64_t CommutStatic = 0;
   int64_t CommutOctagon = 0;
+  int64_t CommutKarr = 0;
   int64_t SemanticChecks = 0;
   int64_t SmtQueries = 0;
   /// Proof predicates contributed by octagon seeding (0 unless the tool
-  /// enables SeedProof).
+  /// enables SeedProof), and the Karr analysis's additional contribution.
   int64_t SeededPredicates = 0;
+  int64_t KarrSeeded = 0;
   /// Interning telemetry of the hot-path state tables (docs/PERF.md):
   /// probe hits/misses summed over the per-verifier interners (hub-merged
   /// across workers for gemcutter-par), the largest sleep-set table, and
@@ -86,7 +88,13 @@ double benchTimeout();
 ///   gemcutter-oct        portfolio with octagon proof seeding on top of
 ///                        the full static tier stack
 ///   gemcutter-nooct      portfolio with the octagon tier and seeding off —
-///                        interval tier only (ablation baseline)
+///                        interval tier only (the Karr tier is off too;
+///                        ablation baseline)
+///   gemcutter-karr       portfolio with proof seeding (octagon + Karr
+///                        atoms) on top of the full static tier stack
+///   gemcutter-nokarr     portfolio with the Karr tier and its seeding off
+///                        but the octagon tier on (isolates the affine
+///                        contribution)
 ///   seq | lockstep | rand(1) | rand(2) | rand(3)
 ///                        single preference order, full reduction
 ///   sleep                portfolio, sleep sets only
@@ -116,9 +124,11 @@ struct SuiteAggregate {
   int64_t TotalCommutQueries = 0;
   int64_t TotalCommutStatic = 0;
   int64_t TotalCommutOctagon = 0;
+  int64_t TotalCommutKarr = 0;
   int64_t TotalSemanticChecks = 0;
   int64_t TotalSmtQueries = 0;
   int64_t TotalSeededPredicates = 0;
+  int64_t TotalKarrSeeded = 0;
   int64_t TotalInternHits = 0;
   int64_t TotalInternMisses = 0;
   int64_t TotalPeakInternedSets = 0;

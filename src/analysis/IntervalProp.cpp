@@ -149,7 +149,8 @@ seqver::analysis::trackableVariables(const prog::ConcurrentProgram &P) {
   return Trackable;
 }
 
-IntervalAnalysis::IntervalAnalysis(const prog::ConcurrentProgram &P) : P(P) {
+IntervalAnalysis::IntervalAnalysis(const prog::ConcurrentProgram &P)
+    : InvariantSource(P) {
   int N = P.numThreads();
   Trackable = trackableVariables(P);
 
@@ -202,7 +203,32 @@ Tri IntervalAnalysis::evalAt(int ThreadId, Location Loc,
   const IntervalFact *F = factAt(ThreadId, Loc);
   if (!F)
     return Tri::Unknown;
-  return evalTri(P.termManager(), Formula, FactEnv{*F});
+  return evalTri(Prog.termManager(), Formula, FactEnv{*F});
+}
+
+std::vector<Term> IntervalAnalysis::invariantAtoms(int ThreadId,
+                                                   Location Loc) const {
+  std::vector<Term> Out;
+  const IntervalFact *F = factAt(ThreadId, Loc);
+  if (!F)
+    return Out;
+  smt::TermManager &TM = Prog.termManager();
+  for (const auto &[Var, I] : *F) {
+    if (Var->sort() == smt::Sort::Bool) {
+      if (I.isExact())
+        Out.push_back(I.Lo != 0 ? Var : TM.mkNot(Var));
+      continue;
+    }
+    if (I.isExact()) {
+      Out.push_back(TM.mkEq(TM.sumOfVar(Var), TM.sumOfConst(I.Lo)));
+      continue;
+    }
+    if (I.HasHi)
+      Out.push_back(TM.mkLe(TM.sumOfVar(Var), TM.sumOfConst(I.Hi)));
+    if (I.HasLo)
+      Out.push_back(TM.mkGe(TM.sumOfVar(Var), TM.sumOfConst(I.Lo)));
+  }
+  return Out;
 }
 
 const std::vector<Term> &IntervalAnalysis::trackable(int ThreadId) const {

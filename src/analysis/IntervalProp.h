@@ -25,6 +25,7 @@
 #define SEQVER_ANALYSIS_INTERVALPROP_H
 
 #include "analysis/Interval.h"
+#include "analysis/InvariantSource.h"
 #include "program/Program.h"
 
 #include <map>
@@ -32,13 +33,6 @@
 
 namespace seqver {
 namespace analysis {
-
-/// A prunable CFG edge, identified by thread, source location and letter.
-struct DeadEdge {
-  int ThreadId;
-  prog::Location From;
-  automata::Letter EdgeLetter;
-};
 
 /// Per-thread trackable variables: globals written by no thread other than
 /// the given one (id-sorted). Shared by every thread-modular value analysis
@@ -48,9 +42,11 @@ struct DeadEdge {
 std::vector<std::vector<smt::Term>>
 trackableVariables(const prog::ConcurrentProgram &P);
 
-class IntervalAnalysis {
+class IntervalAnalysis : public InvariantSource {
 public:
   explicit IntervalAnalysis(const prog::ConcurrentProgram &P);
+
+  const char *name() const override { return "interval"; }
 
   /// The interval known for Var when ThreadId is at Loc, or nullptr if
   /// nothing is known (untracked variable or unreachable location).
@@ -61,19 +57,24 @@ public:
   const IntervalFact *factAt(int ThreadId, prog::Location Loc) const;
 
   /// True if the abstraction reaches Loc (initial locations always are).
-  bool reachable(int ThreadId, prog::Location Loc) const;
+  bool reachable(int ThreadId, prog::Location Loc) const override;
 
   /// Tri-state truth of Formula as an invariant of "ThreadId at Loc".
-  Tri evalAt(int ThreadId, prog::Location Loc, smt::Term Formula) const;
+  Tri evalAt(int ThreadId, prog::Location Loc,
+             smt::Term Formula) const override;
 
   /// Edges provably never taken; sorted by (thread, location, letter).
-  const std::vector<DeadEdge> &deadEdges() const { return Dead; }
+  const std::vector<DeadEdge> &deadEdges() const override { return Dead; }
+
+  /// Unary bound atoms of the location fact (exact booleans as literals,
+  /// exact integers as equalities, one-sided bounds as inequalities).
+  std::vector<smt::Term> invariantAtoms(int ThreadId,
+                                        prog::Location Loc) const override;
 
   /// Variables trackable for ThreadId (written by no other thread).
   const std::vector<smt::Term> &trackable(int ThreadId) const;
 
 private:
-  const prog::ConcurrentProgram &P;
   std::vector<std::vector<smt::Term>> Trackable;
   /// Facts[thread][loc]; nullopt = unreachable.
   std::vector<std::vector<std::optional<IntervalFact>>> Facts;

@@ -1,0 +1,44 @@
+//===- analysis/InvariantSource.cpp - Abstract-domain registry interface --===//
+
+#include "analysis/InvariantSource.h"
+
+#include <set>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::prog::Location;
+using seqver::smt::Term;
+
+Term InvariantSource::invariantAt(int ThreadId, Location Loc) const {
+  auto CacheKey = std::make_pair(ThreadId, Loc);
+  auto It = InvariantCache.find(CacheKey);
+  if (It != InvariantCache.end())
+    return It->second;
+  smt::TermManager &TM = Prog.termManager();
+  Term Result;
+  if (!reachable(ThreadId, Loc)) {
+    Result = TM.mkFalse(); // unreachable: the letter never executes
+  } else {
+    std::vector<Term> Atoms = invariantAtoms(ThreadId, Loc);
+    Result = Atoms.empty() ? TM.mkTrue() : TM.mkAnd(std::move(Atoms));
+  }
+  InvariantCache.emplace(CacheKey, Result);
+  return Result;
+}
+
+std::vector<Term> InvariantSource::seedPredicates(size_t MaxSeeds) const {
+  std::vector<Term> Out;
+  std::set<Term> Seen;
+  for (int T = 0; T < Prog.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = Prog.thread(T);
+    for (Location L = 0; L < Cfg.numLocations(); ++L) {
+      for (Term Atom : invariantAtoms(T, L)) {
+        if (Out.size() >= MaxSeeds)
+          return Out;
+        if (Seen.insert(Atom).second)
+          Out.push_back(Atom);
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,89 @@
+//===- analysis/InvariantSource.h - Abstract-domain registry interface ----===//
+///
+/// \file
+/// The pluggable interface every thread-modular invariant analysis
+/// implements (intervals, octagons, Karr affine equalities). The three
+/// consumer seams are domain-agnostic and consume this interface only:
+///
+///  - the static conditional-commutativity tier strengthens a ~_phi b
+///    obligations with invariantAt() of both letters' source locations,
+///  - proof seeding feeds seedPredicates() into the proof automaton's
+///    predicate pool (behind the Hoare gate, so seeds are sound by
+///    construction),
+///  - dead-edge pruning merges deadEdges() across every registered domain.
+///
+/// Soundness contract: every fact reported for (thread, location) must be
+/// an invariant of *all* product states in which the thread occupies that
+/// location, under arbitrary interleaving. The standard way to satisfy
+/// this is to constrain only trackable variables (trackableVariables()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_INVARIANTSOURCE_H
+#define SEQVER_ANALYSIS_INVARIANTSOURCE_H
+
+#include "analysis/Interval.h"
+#include "program/Program.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// A prunable CFG edge, identified by thread, source location and letter.
+struct DeadEdge {
+  int ThreadId;
+  prog::Location From;
+  automata::Letter EdgeLetter;
+};
+
+class InvariantSource {
+public:
+  explicit InvariantSource(const prog::ConcurrentProgram &P) : Prog(P) {}
+  virtual ~InvariantSource() = default;
+
+  InvariantSource(const InvariantSource &) = delete;
+  InvariantSource &operator=(const InvariantSource &) = delete;
+
+  /// Registry key ("interval", "octagon", "karr"); also the prefix of the
+  /// per-domain statistics counters.
+  virtual const char *name() const = 0;
+
+  /// True if the abstraction reaches Loc. A location any registered domain
+  /// proves unreachable is unreachable (each domain over-approximates).
+  virtual bool reachable(int ThreadId, prog::Location Loc) const = 0;
+
+  /// Tri-state truth of Formula as an invariant of "ThreadId at Loc".
+  virtual Tri evalAt(int ThreadId, prog::Location Loc,
+                     smt::Term Formula) const = 0;
+
+  /// Edges provably never taken in any interleaving.
+  virtual const std::vector<DeadEdge> &deadEdges() const = 0;
+
+  /// Atom terms of the invariant at one location (empty when top or
+  /// unreachable). Each atom on its own must be a sound invariant.
+  virtual std::vector<smt::Term> invariantAtoms(int ThreadId,
+                                                prog::Location Loc) const = 0;
+
+  /// The location invariant as one conjunction term: mkTrue when nothing
+  /// is known, mkFalse when the location is unreachable. Cached.
+  smt::Term invariantAt(int ThreadId, prog::Location Loc) const;
+
+  /// Deduplicated invariant atoms over all locations of all threads, for
+  /// seeding the proof automaton's predicate pool. Capped at MaxSeeds
+  /// (closest-to-entry locations win; the cap bounds Hoare-query growth).
+  std::vector<smt::Term> seedPredicates(size_t MaxSeeds = 64) const;
+
+protected:
+  const prog::ConcurrentProgram &Prog;
+
+private:
+  mutable std::map<std::pair<int, prog::Location>, smt::Term> InvariantCache;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_INVARIANTSOURCE_H

@@ -1,0 +1,491 @@
+//===- analysis/Karr.h - Affine-equality systems (Karr's domain) ----------===//
+///
+/// \file
+/// Karr's classic affine-equality domain: an abstract value is the set of
+/// affine equalities sum_k c_k * x_k == b (rational coefficients) valid at
+/// a program point, kept as a matrix in reduced row-echelon form. The
+/// canonical form makes equality of abstract values syntactic, so the
+/// dataflow solver's change detection is exact.
+///
+///  - join is the affine hull: the equalities valid over the union of two
+///    nonempty solution sets are exactly the intersection of the two
+///    augmented rowspaces, computed with the Zassenhaus block-matrix
+///    reduction;
+///  - transfer handles invertible assignments by back-substitution,
+///    non-invertible ones and havoc by projection, and assume of affine
+///    (dis)equalities by row insertion / implication checks;
+///  - no widening is needed: every proper join strictly drops the rowspace
+///    dimension, so ascending chains have length at most numVars() + 2.
+///
+/// Unlike the octagon DBM this representation is exact over the rationals
+/// and supports arbitrary coefficients (`total == 2*i`), which is what the
+/// counting-proof workloads need. Coefficients use exact support/Rational
+/// arithmetic; to stay clear of its overflow abort, every row operation is
+/// magnitude-guarded and *drops the target row* when entries would grow
+/// past the guard — always a sound weakening (fewer equalities describe a
+/// larger state set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_KARR_H
+#define SEQVER_ANALYSIS_KARR_H
+
+#include "smt/Term.h"
+#include "support/Rational.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+namespace karr_detail {
+
+/// Magnitude guard under which one elimination step (r -= f * p over
+/// guarded operands) provably cannot trip Rational's overflow abort: with
+/// |num|, den <= 2^20 on every operand, the unreduced result of the
+/// two-operation sequence stays below 2 * 2^60 < 2^63.
+constexpr int64_t SmallMagnitude = int64_t(1) << 20;
+
+inline bool fitsGuard(const Rational &R) {
+  return R.num() <= SmallMagnitude && R.num() >= -SmallMagnitude &&
+         R.den() <= SmallMagnitude;
+}
+
+} // namespace karr_detail
+
+/// One affine equality sum_k Coeffs[k] * var_k == Rhs over a fixed,
+/// id-sorted variable universe.
+struct AffineRow {
+  std::vector<Rational> Coeffs;
+  Rational Rhs;
+
+  bool operator==(const AffineRow &O) const {
+    return Coeffs == O.Coeffs && Rhs == O.Rhs;
+  }
+
+  /// Index of the leading (pivot) column; Coeffs.size() when zero.
+  size_t pivot() const {
+    for (size_t K = 0; K < Coeffs.size(); ++K)
+      if (!Coeffs[K].isZero())
+        return K;
+    return Coeffs.size();
+  }
+
+  bool allSmall() const {
+    for (const Rational &C : Coeffs)
+      if (!karr_detail::fitsGuard(C))
+        return false;
+    return karr_detail::fitsGuard(Rhs);
+  }
+};
+
+/// A conjunction of affine equalities over a fixed universe, in canonical
+/// reduced row-echelon form (pivot 1, pivots strictly increasing, pivot
+/// columns zero in every other row). Empty == bottom; no rows == top.
+class AffineSystem {
+public:
+  AffineSystem() = default;
+  explicit AffineSystem(std::vector<smt::Term> Universe)
+      : Vars(std::move(Universe)) {
+    std::sort(Vars.begin(), Vars.end(), [](smt::Term A, smt::Term B) {
+      return A->id() < B->id();
+    });
+    Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  }
+
+  const std::vector<smt::Term> &vars() const { return Vars; }
+  const std::vector<AffineRow> &rows() const { return Rows; }
+  size_t numVars() const { return Vars.size(); }
+
+  bool isEmpty() const { return Empty; }
+  bool isTop() const { return !Empty && Rows.empty(); }
+  void markEmpty() {
+    Empty = true;
+    Rows.clear();
+  }
+
+  int indexOf(smt::Term Var) const {
+    auto It = std::lower_bound(Vars.begin(), Vars.end(), Var,
+                               [](smt::Term A, smt::Term B) {
+                                 return A->id() < B->id();
+                               });
+    if (It == Vars.end() || *It != Var)
+      return -1;
+    return static_cast<int>(It - Vars.begin());
+  }
+
+  bool operator==(const AffineSystem &O) const {
+    return Empty == O.Empty && Rows == O.Rows; // canonical form
+  }
+  bool operator!=(const AffineSystem &O) const { return !(*this == O); }
+
+  /// Inserts the equality sum_k Coeffs[k] * x_k == Rhs. Returns false iff
+  /// the system becomes inconsistent (it is then empty). A row whose
+  /// entries outgrow the magnitude guard is dropped instead of inserted
+  /// (sound weakening).
+  bool addEquality(std::vector<Rational> Coeffs, Rational Rhs) {
+    if (Empty)
+      return false;
+    AffineRow Row{std::move(Coeffs), Rhs};
+    if (!reduceRow(Row))
+      return true; // guard trip: conservatively forget the equality
+    if (Row.pivot() == numVars()) {
+      if (!Row.Rhs.isZero()) {
+        markEmpty(); // 0 == c with c != 0
+        return false;
+      }
+      return true; // redundant row
+    }
+    insertRow(std::move(Row));
+    return true;
+  }
+
+  /// Builds the coefficient vector of a LinSum over this universe; returns
+  /// false when a variable with nonzero coefficient is outside it, or a
+  /// magnitude is past the guard.
+  bool vectorOfSum(const smt::LinSum &Sum, std::vector<Rational> &Coeffs,
+                   Rational &Constant) const {
+    Coeffs.assign(numVars(), Rational(0));
+    for (const auto &[Var, Coeff] : Sum.Terms) {
+      int K = indexOf(Var);
+      if (K < 0 || Coeff > karr_detail::SmallMagnitude ||
+          Coeff < -karr_detail::SmallMagnitude)
+        return false;
+      Coeffs[static_cast<size_t>(K)] = Rational(Coeff);
+    }
+    if (Sum.Constant > karr_detail::SmallMagnitude ||
+        Sum.Constant < -karr_detail::SmallMagnitude)
+      return false;
+    Constant = Rational(Sum.Constant);
+    return true;
+  }
+
+  /// The value the system pins Sum's variable part + constant to, if any:
+  /// nullopt unless sum_k c_k x_k is constant on the whole solution set.
+  std::optional<Rational> valueOfSum(const smt::LinSum &Sum) const {
+    if (Empty)
+      return std::nullopt; // callers treat empty as unreachable
+    std::vector<Rational> Coeffs;
+    Rational Constant;
+    if (!vectorOfSum(Sum, Coeffs, Constant))
+      return std::nullopt;
+    // Reduce (Coeffs | acc) against the rows; if the coefficients vanish,
+    // the accumulated right-hand side is the pinned value of the variable
+    // part.
+    Rational Acc(0);
+    AffineRow Probe{std::move(Coeffs), Rational(0)};
+    for (const AffineRow &Row : Rows) {
+      size_t P = Row.pivot();
+      Rational F = Probe.Coeffs[P];
+      if (F.isZero())
+        continue;
+      if (!axpyRow(Probe, F, Row))
+        return std::nullopt;
+      // After eliminating the pivot, the implied constant of the probe's
+      // sum grows by f * row.Rhs; guarded like every other row operation.
+      if (!karr_detail::fitsGuard(Acc))
+        return std::nullopt;
+      Acc += F * Row.Rhs;
+      if (!karr_detail::fitsGuard(Acc))
+        return std::nullopt;
+    }
+    for (const Rational &C : Probe.Coeffs)
+      if (!C.isZero())
+        return std::nullopt;
+    return Acc + Constant;
+  }
+
+  /// Tri-ish implication check for Sum == 0 (the sum includes its
+  /// constant): +1 implied, -1 contradicted (the system pins the sum to a
+  /// nonzero value), 0 unknown.
+  int impliesEqZero(const smt::LinSum &Sum) const {
+    std::optional<Rational> V = valueOfSum(Sum);
+    if (!V)
+      return 0;
+    return V->isZero() ? +1 : -1;
+  }
+
+  /// Existentially projects variable K out (havoc): eliminates it from
+  /// every row using one pivot row, which is then dropped.
+  void forget(int K) {
+    if (Empty || K < 0)
+      return;
+    size_t Col = static_cast<size_t>(K);
+    // Prefer the row whose own pivot is K (no other row mentions K then,
+    // by reduced echelon form).
+    size_t PivotRow = Rows.size();
+    for (size_t R = 0; R < Rows.size(); ++R)
+      if (!Rows[R].Coeffs[Col].isZero()) {
+        PivotRow = R;
+        break;
+      }
+    if (PivotRow == Rows.size())
+      return; // unconstrained already
+    AffineRow Pivot = std::move(Rows[PivotRow]);
+    Rows.erase(Rows.begin() + static_cast<long>(PivotRow));
+    // Normalize the pivot row on column K, then eliminate K elsewhere.
+    if (!scaleRow(Pivot, Pivot.Coeffs[Col])) {
+      // Guard trip while normalizing: fall back to dropping every row that
+      // still mentions K (strictly weaker, still sound).
+      dropRowsMentioning(Col);
+      return;
+    }
+    for (size_t R = 0; R < Rows.size();) {
+      Rational F = Rows[R].Coeffs[Col];
+      if (F.isZero() || axpyRow(Rows[R], F, Pivot)) {
+        ++R;
+        continue;
+      }
+      Rows.erase(Rows.begin() + static_cast<long>(R)); // guard trip
+    }
+    canonicalize();
+  }
+
+  /// Assignment x_K := Sum (which may mention x_K). Unrepresentable
+  /// right-hand sides degrade to havoc of x_K.
+  void assign(int K, const smt::LinSum &Sum) {
+    if (Empty || K < 0)
+      return;
+    size_t Col = static_cast<size_t>(K);
+    std::vector<Rational> E;
+    Rational E0;
+    if (!vectorOfSum(Sum, E, E0)) {
+      forget(K);
+      return;
+    }
+    Rational A = E[Col];
+    if (A.isZero()) {
+      // Non-invertible: project the old value, then pin the new one.
+      forget(K);
+      std::vector<Rational> Row(numVars(), Rational(0));
+      Row[Col] = Rational(1);
+      for (size_t J = 0; J < numVars(); ++J)
+        if (J != Col)
+          Row[J] = -E[J];
+      addEquality(std::move(Row), E0);
+      return;
+    }
+    // Invertible x' = A*x + g: substitute x = (x' - g) / A in every row,
+    //   c_x*x + rest == r  ->  (c_x/A)*x' + (rest - (c_x/A)*g) == r + (c_x/A)*g0.
+    Rational InvA = Rational(1) / A;
+    if (!karr_detail::fitsGuard(InvA)) {
+      forget(K);
+      return;
+    }
+    for (size_t R = 0; R < Rows.size();) {
+      AffineRow &Row = Rows[R];
+      Rational Cx = Row.Coeffs[Col];
+      if (Cx.isZero()) {
+        ++R;
+        continue;
+      }
+      Rational F = Cx * InvA; // both guarded
+      bool Ok = karr_detail::fitsGuard(F);
+      if (Ok) {
+        AffineRow New = Row;
+        New.Coeffs[Col] = F;
+        for (size_t J = 0; J < numVars() && Ok; ++J)
+          if (J != Col && !E[J].isZero())
+            Ok = mulSubInPlace(New.Coeffs[J], F, E[J]);
+        if (Ok)
+          Ok = mulSubInPlace(New.Rhs, F, -E0);
+        if (Ok && New.allSmall()) {
+          Row = std::move(New);
+          ++R;
+          continue;
+        }
+      }
+      Rows.erase(Rows.begin() + static_cast<long>(R)); // guard trip
+    }
+    canonicalize();
+  }
+
+  /// Affine-hull join (Zassenhaus rowspace intersection on the augmented
+  /// matrices). Returns true iff *this changed. Empty sides are identities.
+  bool joinWith(const AffineSystem &From) {
+    if (From.Empty)
+      return false;
+    if (Empty) {
+      *this = From; // bottom joined with any nonempty side changes
+      return true;
+    }
+    if (Rows == From.Rows)
+      return false;
+    size_t M = numVars() + 1; // augmented width
+    // Block rows [u | u] for our rowspace, [v | 0] for theirs; rows of the
+    // reduced block matrix with zero left half carry the intersection basis
+    // in their right half.
+    std::vector<AffineRow> Block;
+    Block.reserve(Rows.size() + From.Rows.size());
+    auto Widen = [M](const AffineRow &Row, bool Mirror) {
+      AffineRow Out;
+      Out.Coeffs.assign(2 * M, Rational(0));
+      for (size_t J = 0; J + 1 < M; ++J)
+        Out.Coeffs[J] = Row.Coeffs[J];
+      Out.Coeffs[M - 1] = Row.Rhs;
+      if (Mirror)
+        for (size_t J = 0; J < M; ++J)
+          Out.Coeffs[M + J] = Out.Coeffs[J];
+      return Out;
+    };
+    for (const AffineRow &Row : Rows)
+      Block.push_back(Widen(Row, /*Mirror=*/true));
+    for (const AffineRow &Row : From.Rows)
+      Block.push_back(Widen(Row, /*Mirror=*/false));
+    gaussReduce(Block);
+
+    AffineSystem Joined(Vars);
+    for (const AffineRow &Row : Block) {
+      bool LeftZero = true;
+      for (size_t J = 0; J < M && LeftZero; ++J)
+        LeftZero = Row.Coeffs[J].isZero();
+      if (!LeftZero)
+        continue;
+      std::vector<Rational> Coeffs(Row.Coeffs.begin() +
+                                       static_cast<long>(M),
+                                   Row.Coeffs.begin() +
+                                       static_cast<long>(2 * M - 1));
+      Rational Rhs = Row.Coeffs[2 * M - 1];
+      Joined.addEquality(std::move(Coeffs), Rhs);
+    }
+    if (*this == Joined)
+      return false;
+    *this = std::move(Joined);
+    return true;
+  }
+
+private:
+  /// Dst -= F * Src (coefficients and Rhs); false on a guard trip, in
+  /// which case Dst is unspecified and must be discarded by the caller.
+  static bool axpyRow(AffineRow &Dst, const Rational &F,
+                      const AffineRow &Src) {
+    if (!karr_detail::fitsGuard(F) || !Dst.allSmall() || !Src.allSmall())
+      return false;
+    for (size_t J = 0; J < Dst.Coeffs.size(); ++J)
+      Dst.Coeffs[J] -= F * Src.Coeffs[J];
+    Dst.Rhs -= F * Src.Rhs;
+    return Dst.allSmall();
+  }
+
+  /// A -= F * B for scalars, pre-guarded; false on a guard trip.
+  static bool mulSubInPlace(Rational &A, const Rational &F,
+                            const Rational &B) {
+    if (!karr_detail::fitsGuard(A) || !karr_detail::fitsGuard(F) ||
+        !karr_detail::fitsGuard(B))
+      return false;
+    A -= F * B;
+    return karr_detail::fitsGuard(A);
+  }
+
+  /// Divides the row by Lead (making that entry 1); false on a guard trip.
+  static bool scaleRow(AffineRow &Row, const Rational &Lead) {
+    Rational Inv = Rational(1) / Lead;
+    if (!karr_detail::fitsGuard(Inv) || !Row.allSmall())
+      return false;
+    for (Rational &C : Row.Coeffs)
+      C *= Inv;
+    Row.Rhs *= Inv;
+    return Row.allSmall();
+  }
+
+  void dropRowsMentioning(size_t Col) {
+    Rows.erase(std::remove_if(Rows.begin(), Rows.end(),
+                              [Col](const AffineRow &Row) {
+                                return !Row.Coeffs[Col].isZero();
+                              }),
+               Rows.end());
+  }
+
+  /// Reduces Row against the current echelon rows; false on a guard trip.
+  bool reduceRow(AffineRow &Row) const {
+    for (const AffineRow &Existing : Rows) {
+      size_t P = Existing.pivot();
+      Rational F = Row.Coeffs[P];
+      if (F.isZero())
+        continue;
+      if (!axpyRow(Row, F, Existing))
+        return false;
+    }
+    size_t P = Row.pivot();
+    if (P < Row.Coeffs.size() && !scaleRow(Row, Row.Coeffs[P]))
+      return false;
+    return true;
+  }
+
+  /// Inserts a reduced, normalized row, eliminating its pivot from the
+  /// other rows and keeping rows sorted by pivot column.
+  void insertRow(AffineRow Row) {
+    size_t P = Row.pivot();
+    for (size_t R = 0; R < Rows.size();) {
+      Rational F = Rows[R].Coeffs[P];
+      if (F.isZero() || axpyRow(Rows[R], F, Row)) {
+        ++R;
+        continue;
+      }
+      Rows.erase(Rows.begin() + static_cast<long>(R)); // guard trip
+    }
+    auto At = std::lower_bound(Rows.begin(), Rows.end(), P,
+                               [](const AffineRow &R, size_t Pivot) {
+                                 return R.pivot() < Pivot;
+                               });
+    Rows.insert(At, std::move(Row));
+  }
+
+  /// Re-establishes reduced row echelon form after in-place edits.
+  void canonicalize() {
+    std::vector<AffineRow> Old = std::move(Rows);
+    Rows.clear();
+    for (AffineRow &Row : Old)
+      if (!addEquality(std::move(Row.Coeffs), Row.Rhs))
+        return; // became empty
+  }
+
+  /// Plain Gaussian elimination to row echelon form (not reduced; enough
+  /// for the Zassenhaus zero-left-half test). Guard trips drop rows.
+  static void gaussReduce(std::vector<AffineRow> &M) {
+    size_t Width = M.empty() ? 0 : M[0].Coeffs.size();
+    size_t Top = 0;
+    for (size_t Col = 0; Col < Width && Top < M.size(); ++Col) {
+      size_t Sel = M.size();
+      for (size_t R = Top; R < M.size(); ++R)
+        if (!M[R].Coeffs[Col].isZero()) {
+          Sel = R;
+          break;
+        }
+      if (Sel == M.size())
+        continue;
+      std::swap(M[Top], M[Sel]);
+      if (!scaleRow(M[Top], M[Top].Coeffs[Col])) {
+        M.erase(M.begin() + static_cast<long>(Top));
+        --Col; // retry the column without the dropped row
+        continue;
+      }
+      for (size_t R = 0; R < M.size();) {
+        if (R == Top || M[R].Coeffs[Col].isZero()) {
+          ++R;
+          continue;
+        }
+        Rational F = M[R].Coeffs[Col];
+        if (axpyRow(M[R], F, M[Top])) {
+          ++R;
+          continue;
+        }
+        M.erase(M.begin() + static_cast<long>(R));
+        if (R < Top)
+          --Top;
+      }
+      ++Top;
+    }
+  }
+
+  std::vector<smt::Term> Vars;
+  std::vector<AffineRow> Rows;
+  bool Empty = false;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_KARR_H

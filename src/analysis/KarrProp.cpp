@@ -1,0 +1,373 @@
+//===- analysis/KarrProp.cpp - Thread-modular affine-equality propagation -===//
+
+#include "analysis/KarrProp.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/IntervalProp.h"
+
+#include <algorithm>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::prog::Action;
+using seqver::prog::Location;
+using seqver::prog::Prim;
+using seqver::smt::LinSum;
+using seqver::smt::Term;
+using seqver::smt::TermKind;
+
+namespace {
+
+/// Lookup adapter: a variable's value when the system pins it to an
+/// integer; top otherwise (booleans included, via the [0,1] encoding).
+struct KarrEnv {
+  const AffineSystem &S;
+  mutable Interval Scratch;
+  const Interval *operator()(Term Var) const {
+    // Unit probe built by hand: TermManager::sumOfVar is int-only, but
+    // booleans sit in the universe through the [0,1] encoding.
+    LinSum Probe;
+    Probe.Terms.emplace_back(Var, 1);
+    std::optional<Rational> V = S.valueOfSum(Probe);
+    if (!V || !V->isIntegral())
+      return nullptr;
+    Scratch = Interval::exact(V->num());
+    return &Scratch;
+  }
+};
+
+/// The interval of a sum under an equality system: exact when the system
+/// pins the sum, the integral hull [floor, ceil] when it pins it to a
+/// non-integer (sound: no integer state attains it), top otherwise.
+Interval rangeOfPinned(const AffineSystem &S, const LinSum &Sum) {
+  std::optional<Rational> V = S.valueOfSum(Sum);
+  if (!V)
+    return Interval::top();
+  Interval Out;
+  Out.HasLo = Out.HasHi = true;
+  Out.Lo = V->floor();
+  Out.Hi = V->ceil();
+  return Out;
+}
+
+/// Inserts the equality "Sum == 0" (constant included); true unless the
+/// system became inconsistent. Sums over variables outside the universe
+/// are skipped (a sound weakening of the assume).
+bool assumeEqSum(AffineSystem &S, const LinSum &Sum) {
+  std::vector<Rational> Coeffs;
+  Rational Constant;
+  if (!S.vectorOfSum(Sum, Coeffs, Constant))
+    return true;
+  return S.addEquality(std::move(Coeffs), -Constant);
+}
+
+/// Pins variable K to the constant Value (forgetting its old value).
+void pinVar(AffineSystem &S, int K, int64_t Value) {
+  if (K < 0)
+    return;
+  S.forget(K);
+  std::vector<Rational> Row(S.numVars(), Rational(0));
+  Row[static_cast<size_t>(K)] = Rational(1);
+  S.addEquality(std::move(Row), Rational(Value));
+}
+
+void karrAssumeLiteral(AffineSystem &S, const smt::TermManager &TM, Term C,
+                       bool &Feasible) {
+  switch (C->kind()) {
+  case TermKind::BoolConst:
+    if (!C->boolValue()) {
+      S.markEmpty();
+      Feasible = false;
+    }
+    return;
+  case TermKind::BoolVar: {
+    int K = S.indexOf(C);
+    if (K >= 0) {
+      std::vector<Rational> Row(S.numVars(), Rational(0));
+      Row[static_cast<size_t>(K)] = Rational(1);
+      if (!S.addEquality(std::move(Row), Rational(1)))
+        Feasible = false;
+    }
+    return;
+  }
+  case TermKind::Not: {
+    Term Inner = C->child(0);
+    if (Inner->kind() == TermKind::BoolVar) {
+      int K = S.indexOf(Inner);
+      if (K >= 0) {
+        std::vector<Rational> Row(S.numVars(), Rational(0));
+        Row[static_cast<size_t>(K)] = Rational(1);
+        if (!S.addEquality(std::move(Row), Rational(0)))
+          Feasible = false;
+      }
+    } else if (Inner->kind() == TermKind::AtomEq) {
+      // Affine disequality: infeasible exactly when the system already
+      // implies the equality.
+      if (S.impliesEqZero(Inner->sum()) > 0) {
+        S.markEmpty();
+        Feasible = false;
+      }
+    }
+    return;
+  }
+  case TermKind::AtomEq:
+    if (!assumeEqSum(S, C->sum()))
+      Feasible = false;
+    return;
+  case TermKind::AtomLe: {
+    // Inequalities are not representable; still catch a pinned violation.
+    std::optional<Rational> V = S.valueOfSum(C->sum());
+    if (V && V->isPositive()) {
+      S.markEmpty();
+      Feasible = false;
+    }
+    return;
+  }
+  default:
+    (void)TM;
+    return; // disjunctive structure: left to the evaluator
+  }
+}
+
+} // namespace
+
+bool seqver::analysis::karrAssume(AffineSystem &S,
+                                  const smt::TermManager &TM, Term Formula) {
+  const std::vector<Term> Single{Formula};
+  const std::vector<Term> &Conjuncts =
+      Formula->kind() == TermKind::And ? Formula->children() : Single;
+  bool Feasible = true;
+  // Two rounds let an equality pinned by a later conjunct feed an earlier
+  // disequality/inequality check; precision only, soundness is per-literal.
+  for (int Round = 0; Round < 2 && Feasible; ++Round)
+    for (Term C : Conjuncts) {
+      karrAssumeLiteral(S, TM, C, Feasible);
+      if (!Feasible)
+        return false;
+    }
+  return Feasible;
+}
+
+Tri seqver::analysis::karrEval(const smt::TermManager &TM,
+                               const AffineSystem &S, Term Formula) {
+  if (S.isEmpty())
+    return Tri::Unknown; // callers treat empty as unreachable, not "false"
+  KarrEnv Env{S, {}};
+  return evalTriOver(TM, Formula, Env, [&S](const LinSum &Sum) {
+    return rangeOfPinned(S, Sum);
+  });
+}
+
+namespace {
+
+class KarrDomain {
+public:
+  using Fact = AffineSystem;
+
+  KarrDomain(const prog::ConcurrentProgram &P,
+             const std::vector<Term> &Trackable)
+      : P(P), TM(P.termManager()), Universe(Trackable) {}
+
+  Fact boundary() const {
+    AffineSystem S(Universe);
+    for (size_t K = 0; K < S.numVars(); ++K) {
+      Term Var = S.vars()[K];
+      if (!P.isGlobalConstrained(Var))
+        continue;
+      const smt::Assignment &Init = P.initialValues();
+      int64_t V = Var->sort() == smt::Sort::Int
+                      ? Init.intValue(Var)
+                      : (Init.boolValue(Var) ? 1 : 0);
+      pinVar(S, static_cast<int>(K), V);
+    }
+    return S;
+  }
+
+  bool join(Fact &Into, const Fact &From) const {
+    return Into.joinWith(From);
+  }
+
+  std::optional<Fact> transfer(const Action &A, const Fact &In) const {
+    if (In.isEmpty())
+      return std::nullopt;
+    Fact F = In;
+    for (const Prim &Pr : A.Prims) {
+      switch (Pr.K) {
+      case Prim::Kind::Assume:
+        if (karrEval(TM, F, Pr.Guard) == Tri::False)
+          return std::nullopt;
+        if (!karrAssume(F, TM, Pr.Guard))
+          return std::nullopt;
+        break;
+      case Prim::Kind::AssignInt:
+        F.assign(F.indexOf(Pr.Var), Pr.IntValue);
+        break;
+      case Prim::Kind::AssignBool: {
+        int K = F.indexOf(Pr.Var);
+        if (K < 0)
+          break;
+        switch (karrEval(TM, F, Pr.BoolValue)) {
+        case Tri::True:
+          pinVar(F, K, 1);
+          break;
+        case Tri::False:
+          pinVar(F, K, 0);
+          break;
+        case Tri::Unknown:
+          F.forget(K);
+          break;
+        }
+        break;
+      }
+      case Prim::Kind::Havoc:
+        F.forget(F.indexOf(Pr.Var));
+        break;
+      }
+      if (F.isEmpty())
+        return std::nullopt;
+    }
+    return F;
+  }
+
+  /// No widening: ascending chains are bounded by the universe size (every
+  /// proper join strictly drops the rowspace dimension).
+  void widen(Fact &) const {}
+
+private:
+  const prog::ConcurrentProgram &P;
+  const smt::TermManager &TM;
+  const std::vector<Term> &Universe;
+};
+
+} // namespace
+
+KarrAnalysis::KarrAnalysis(const prog::ConcurrentProgram &P)
+    : InvariantSource(P) {
+  int N = P.numThreads();
+  Trackable = trackableVariables(P);
+
+  Facts.resize(static_cast<size_t>(N));
+  for (int T = 0; T < N; ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    KarrDomain D(P, Trackable[static_cast<size_t>(T)]);
+    DataflowSolver<KarrDomain> Solver(P, T, D, Direction::Forward);
+    Solver.run();
+    auto &PerLoc = Facts[static_cast<size_t>(T)];
+    PerLoc.assign(Cfg.numLocations(), std::nullopt);
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      if (const AffineSystem *F = Solver.at(L))
+        PerLoc[L] = *F;
+
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      for (const auto &[EdgeLetter, To] : Cfg.Edges[L]) {
+        (void)To;
+        bool IsDead =
+            !PerLoc[L] || !D.transfer(P.action(EdgeLetter), *PerLoc[L]);
+        if (IsDead)
+          Dead.push_back({T, L, EdgeLetter});
+      }
+  }
+}
+
+const AffineSystem *KarrAnalysis::factAt(int ThreadId, Location Loc) const {
+  const auto &PerLoc = Facts[static_cast<size_t>(ThreadId)];
+  if (Loc >= PerLoc.size() || !PerLoc[Loc])
+    return nullptr;
+  return &*PerLoc[Loc];
+}
+
+bool KarrAnalysis::reachable(int ThreadId, Location Loc) const {
+  return factAt(ThreadId, Loc) != nullptr;
+}
+
+Tri KarrAnalysis::evalAt(int ThreadId, Location Loc, Term Formula) const {
+  const AffineSystem *F = factAt(ThreadId, Loc);
+  if (!F)
+    return Tri::Unknown;
+  return karrEval(Prog.termManager(), *F, Formula);
+}
+
+std::vector<Term> KarrAnalysis::invariantAtoms(int ThreadId,
+                                               Location Loc) const {
+  std::vector<Term> Out;
+  const AffineSystem *S = factAt(ThreadId, Loc);
+  if (!S)
+    return Out;
+  smt::TermManager &TM = Prog.termManager();
+  const auto &Vars = S->vars();
+
+  for (const AffineRow &Row : S->rows()) {
+    // Clear denominators: multiply through by the lcm, capped so the
+    // resulting int64 coefficients cannot overflow.
+    constexpr int64_t LcmCap = int64_t(1) << 40;
+    int64_t Lcm = Row.Rhs.den();
+    bool Ok = true;
+    size_t NumVarsInRow = 0;
+    for (size_t K = 0; K < Row.Coeffs.size() && Ok; ++K) {
+      if (Row.Coeffs[K].isZero())
+        continue;
+      ++NumVarsInRow;
+      int64_t Den = Row.Coeffs[K].den();
+      Lcm = Lcm / gcd64(Lcm, Den) * Den;
+      Ok = Lcm <= LcmCap;
+    }
+    if (!Ok || NumVarsInRow == 0)
+      continue;
+
+    // A single pinned boolean reads better (and Hoare-gates cheaper) as a
+    // literal; a non-0/1 pin means the location is concretely infeasible,
+    // so the atom is skipped rather than emitted ill-sorted.
+    if (NumVarsInRow == 1 && Lcm == 1) {
+      size_t K = Row.pivot();
+      if (Vars[K]->sort() == smt::Sort::Bool) {
+        if (Row.Rhs == Rational(1))
+          Out.push_back(Vars[K]);
+        else if (Row.Rhs == Rational(0))
+          Out.push_back(TM.mkNot(Vars[K]));
+        continue;
+      }
+    }
+
+    bool AllIntSorted = true;
+    LinSum Lhs = TM.sumOfConst(0);
+    for (size_t K = 0; K < Row.Coeffs.size() && AllIntSorted; ++K) {
+      if (Row.Coeffs[K].isZero())
+        continue;
+      if (Vars[K]->sort() != smt::Sort::Int) {
+        AllIntSorted = false; // mixed bool/int rows: not a clean atom
+        break;
+      }
+      int64_t C = Row.Coeffs[K].num() * (Lcm / Row.Coeffs[K].den());
+      Lhs = smt::TermManager::sumAdd(
+          Lhs, smt::TermManager::sumScale(TM.sumOfVar(Vars[K]), C));
+    }
+    if (!AllIntSorted)
+      continue;
+    int64_t Rhs = Row.Rhs.num() * (Lcm / Row.Rhs.den());
+    Out.push_back(TM.mkEq(Lhs, TM.sumOfConst(Rhs)));
+  }
+  return Out;
+}
+
+size_t KarrAnalysis::numAffineLocations() const {
+  size_t Count = 0;
+  for (int T = 0; T < Prog.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = Prog.thread(T);
+    for (Location L = 0; L < Cfg.numLocations(); ++L) {
+      const AffineSystem *S = factAt(T, L);
+      if (!S)
+        continue;
+      for (const AffineRow &Row : S->rows()) {
+        size_t NumVarsInRow = 0;
+        for (const Rational &C : Row.Coeffs)
+          if (!C.isZero())
+            ++NumVarsInRow;
+        if (NumVarsInRow >= 2) {
+          ++Count;
+          break;
+        }
+      }
+    }
+  }
+  return Count;
+}

@@ -1,0 +1,83 @@
+//===- analysis/KarrProp.h - Thread-modular affine-equality propagation ---===//
+///
+/// \file
+/// Karr's affine-equality domain (analysis/Karr.h) run thread-modularly on
+/// the Dataflow framework, with the same interference abstraction as
+/// IntervalProp and OctagonProp: per thread, only *trackable* variables
+/// (globals written by no other thread) enter the universe, so per-location
+/// equality systems are invariants of every product state in which the
+/// thread occupies that location.
+///
+/// The pass is the third registered InvariantSource. It contributes what
+/// the octagons' unit-coefficient fragment cannot: non-unit affine facts
+/// like `total == 2*i` or `j == 2*i`, which the counting-proof workloads'
+/// proofs hinge on. No widening is involved — the domain's ascending
+/// chains are bounded by the universe size — so there is no narrowing
+/// phase either; the ascending fixpoint is already the best one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_KARRPROP_H
+#define SEQVER_ANALYSIS_KARRPROP_H
+
+#include "analysis/InvariantSource.h"
+#include "analysis/Karr.h"
+
+#include <optional>
+#include <vector>
+
+namespace seqver {
+namespace analysis {
+
+/// Strengthens S with every affine-equality conjunct of Formula (boolean
+/// variable literals pin the [0,1] encoding; other atoms are ignored).
+/// Returns false iff Formula is infeasible under S — either an inserted
+/// equality is inconsistent, or a (dis)equality/inequality conjunct
+/// evaluates to false on S's pinned values. S is empty on false.
+bool karrAssume(AffineSystem &S, const smt::TermManager &TM,
+                smt::Term Formula);
+
+/// Tri-state truth of Formula under S's equalities (atom sums ranged by
+/// the pinned values; booleans through the [0,1] unary encoding).
+Tri karrEval(const smt::TermManager &TM, const AffineSystem &S,
+             smt::Term Formula);
+
+class KarrAnalysis : public InvariantSource {
+public:
+  explicit KarrAnalysis(const prog::ConcurrentProgram &P);
+
+  const char *name() const override { return "karr"; }
+
+  /// Fixpoint equality system when ThreadId is at Loc; nullptr when
+  /// unreachable.
+  const AffineSystem *factAt(int ThreadId, prog::Location Loc) const;
+
+  bool reachable(int ThreadId, prog::Location Loc) const override;
+  Tri evalAt(int ThreadId, prog::Location Loc,
+             smt::Term Formula) const override;
+  const std::vector<DeadEdge> &deadEdges() const override { return Dead; }
+  std::vector<smt::Term> invariantAtoms(int ThreadId,
+                                        prog::Location Loc) const override;
+
+  /// Variables trackable for ThreadId (shared with IntervalProp).
+  const std::vector<smt::Term> &trackable(int ThreadId) const {
+    return Trackable[static_cast<size_t>(ThreadId)];
+  }
+
+  /// Number of locations whose equality system has at least one genuinely
+  /// affine row — two or more variables, or a non-unit coefficient — i.e.
+  /// facts beyond both the interval and the octagon fragment; used by the
+  /// --analyze report.
+  size_t numAffineLocations() const;
+
+private:
+  std::vector<std::vector<smt::Term>> Trackable;
+  /// Facts[thread][loc]; nullopt = unreachable.
+  std::vector<std::vector<std::optional<AffineSystem>>> Facts;
+  std::vector<DeadEdge> Dead;
+};
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_KARRPROP_H

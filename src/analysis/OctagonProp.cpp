@@ -6,7 +6,6 @@
 #include "analysis/TermSet.h"
 
 #include <algorithm>
-#include <set>
 
 using namespace seqver;
 using namespace seqver::analysis;
@@ -317,7 +316,8 @@ private:
 
 } // namespace
 
-OctagonAnalysis::OctagonAnalysis(const prog::ConcurrentProgram &P) : P(P) {
+OctagonAnalysis::OctagonAnalysis(const prog::ConcurrentProgram &P)
+    : InvariantSource(P) {
   int N = P.numThreads();
   Trackable = trackableVariables(P);
 
@@ -399,7 +399,7 @@ Tri OctagonAnalysis::evalAt(int ThreadId, Location Loc, Term Formula) const {
   const Octagon *F = factAt(ThreadId, Loc);
   if (!F)
     return Tri::Unknown;
-  return octagonEval(P.termManager(), *F, Formula);
+  return octagonEval(Prog.termManager(), *F, Formula);
 }
 
 std::vector<Term> OctagonAnalysis::invariantAtoms(int ThreadId,
@@ -408,7 +408,7 @@ std::vector<Term> OctagonAnalysis::invariantAtoms(int ThreadId,
   const Octagon *O = factAt(ThreadId, Loc);
   if (!O)
     return Out;
-  smt::TermManager &TM = P.termManager();
+  smt::TermManager &TM = Prog.termManager();
   const auto &Vars = O->vars();
 
   for (size_t K = 0; K < Vars.size(); ++K) {
@@ -458,44 +458,10 @@ std::vector<Term> OctagonAnalysis::invariantAtoms(int ThreadId,
   return Out;
 }
 
-Term OctagonAnalysis::invariantAt(int ThreadId, Location Loc) const {
-  auto CacheKey = std::make_pair(ThreadId, Loc);
-  auto It = InvariantCache.find(CacheKey);
-  if (It != InvariantCache.end())
-    return It->second;
-  smt::TermManager &TM = P.termManager();
-  Term Result;
-  if (!factAt(ThreadId, Loc)) {
-    Result = TM.mkFalse(); // unreachable: the letter never executes
-  } else {
-    std::vector<Term> Atoms = invariantAtoms(ThreadId, Loc);
-    Result = Atoms.empty() ? TM.mkTrue() : TM.mkAnd(std::move(Atoms));
-  }
-  InvariantCache.emplace(CacheKey, Result);
-  return Result;
-}
-
-std::vector<Term> OctagonAnalysis::seedPredicates(size_t MaxSeeds) const {
-  std::vector<Term> Out;
-  std::set<Term> Seen;
-  for (int T = 0; T < P.numThreads(); ++T) {
-    const prog::ThreadCfg &Cfg = P.thread(T);
-    for (Location L = 0; L < Cfg.numLocations(); ++L) {
-      for (Term Atom : invariantAtoms(T, L)) {
-        if (Out.size() >= MaxSeeds)
-          return Out;
-        if (Seen.insert(Atom).second)
-          Out.push_back(Atom);
-      }
-    }
-  }
-  return Out;
-}
-
 size_t OctagonAnalysis::numRelationalLocations() const {
   size_t Count = 0;
-  for (int T = 0; T < P.numThreads(); ++T) {
-    const prog::ThreadCfg &Cfg = P.thread(T);
+  for (int T = 0; T < Prog.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = Prog.thread(T);
     for (Location L = 0; L < Cfg.numLocations(); ++L) {
       for (Term Atom : invariantAtoms(T, L))
         if (Atom->kind() == TermKind::AtomLe && Atom->sum().Terms.size() >= 2) {

@@ -46,54 +46,45 @@ bool octagonAssume(Octagon &O, const smt::TermManager &TM,
 Tri octagonEval(const smt::TermManager &TM, const Octagon &O,
                 smt::Term Formula);
 
-class OctagonAnalysis {
+class OctagonAnalysis : public InvariantSource {
 public:
   explicit OctagonAnalysis(const prog::ConcurrentProgram &P);
+
+  const char *name() const override { return "octagon"; }
 
   /// Fixpoint octagon when ThreadId is at Loc; nullptr when unreachable.
   const Octagon *factAt(int ThreadId, prog::Location Loc) const;
 
   /// True if the abstraction reaches Loc.
-  bool reachable(int ThreadId, prog::Location Loc) const;
+  bool reachable(int ThreadId, prog::Location Loc) const override;
 
   /// Tri-state truth of Formula as an invariant of "ThreadId at Loc".
-  Tri evalAt(int ThreadId, prog::Location Loc, smt::Term Formula) const;
+  Tri evalAt(int ThreadId, prog::Location Loc,
+             smt::Term Formula) const override;
 
   /// Edges provably never taken; superset-or-equal of the interval pass's
   /// in precision goal (both lists are computed independently).
-  const std::vector<DeadEdge> &deadEdges() const { return Dead; }
+  const std::vector<DeadEdge> &deadEdges() const override { return Dead; }
 
   /// Variables trackable for ThreadId (shared with IntervalProp).
   const std::vector<smt::Term> &trackable(int ThreadId) const {
     return Trackable[static_cast<size_t>(ThreadId)];
   }
 
-  /// The location invariant as one conjunction term: mkTrue when nothing
-  /// is known, mkFalse when the location is unreachable. Cached. Atoms
-  /// redundant with the unary bounds are skipped.
-  smt::Term invariantAt(int ThreadId, prog::Location Loc) const;
-
   /// Atom terms of the invariant at one location (empty when top or
-  /// unreachable).
+  /// unreachable). Atoms redundant with the unary bounds are skipped.
   std::vector<smt::Term> invariantAtoms(int ThreadId,
-                                        prog::Location Loc) const;
-
-  /// Deduplicated invariant atoms over all locations of all threads, for
-  /// seeding the proof automaton's predicate pool. Capped at MaxSeeds
-  /// (closest-to-entry locations win; the cap bounds Hoare-query growth).
-  std::vector<smt::Term> seedPredicates(size_t MaxSeeds = 64) const;
+                                        prog::Location Loc) const override;
 
   /// Number of locations whose invariant has at least one genuinely
   /// relational (two-variable) atom; used by the --analyze report.
   size_t numRelationalLocations() const;
 
 private:
-  const prog::ConcurrentProgram &P;
   std::vector<std::vector<smt::Term>> Trackable;
   /// Facts[thread][loc]; nullopt = unreachable.
   std::vector<std::vector<std::optional<Octagon>>> Facts;
   std::vector<DeadEdge> Dead;
-  mutable std::map<std::pair<int, prog::Location>, smt::Term> InvariantCache;
 };
 
 } // namespace analysis

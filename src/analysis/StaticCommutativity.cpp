@@ -2,11 +2,14 @@
 
 #include "analysis/StaticCommutativity.h"
 
+#include "analysis/InvariantSource.h"
+#include "analysis/KarrProp.h"
 #include "analysis/OctagonProp.h"
 #include "analysis/Refine.h"
 #include "program/Semantics.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace seqver;
 using namespace seqver::analysis;
@@ -72,6 +75,27 @@ bool seqver::analysis::staticallyUnsatRelational(const TermManager &TM,
   return octagonEval(TM, O, Formula) == Tri::False;
 }
 
+bool seqver::analysis::staticallyUnsatAffine(const TermManager &TM,
+                                             Term Formula) {
+  if (Formula->kind() == TermKind::BoolConst)
+    return !Formula->boolValue();
+  // A disjunction is unsat iff every branch is.
+  if (Formula->kind() == TermKind::Or) {
+    for (Term C : Formula->children())
+      if (!staticallyUnsatAffine(TM, C))
+        return false;
+    return true;
+  }
+  std::vector<Term> Vars;
+  TM.collectVars(Formula, Vars);
+  if (Vars.empty() || Vars.size() > AffineVarCap)
+    return false;
+  AffineSystem S(std::move(Vars));
+  if (!karrAssume(S, TM, Formula))
+    return true;
+  return karrEval(TM, S, Formula) == Tri::False;
+}
+
 bool StaticCommutativity::provablyCommutes(Term Phi, Letter A, Letter B) {
   return decideImpl(Phi, A, B, /*WithInvariants=*/false) !=
          StaticTierVerdict::Unknown;
@@ -81,10 +105,11 @@ StaticTierVerdict StaticCommutativity::decide(Term Phi, Letter A, Letter B) {
   return decideImpl(Phi, A, B, /*WithInvariants=*/true);
 }
 
-void StaticCommutativity::setOctagonContext(const OctagonAnalysis *Analysis) {
-  Oct = Analysis;
+void StaticCommutativity::setInvariantContext(
+    std::vector<const InvariantSource *> NewSources) {
+  Sources = std::move(NewSources);
   SrcOf.assign(P.numLetters(), std::nullopt);
-  if (!Oct)
+  if (Sources.empty())
     return;
   std::vector<int> EdgeCount(P.numLetters(), 0);
   for (int T = 0; T < P.numThreads(); ++T) {
@@ -100,10 +125,11 @@ void StaticCommutativity::setOctagonContext(const OctagonAnalysis *Analysis) {
   }
 }
 
-Term StaticCommutativity::invariantFor(Letter L) const {
-  if (!Oct || L >= SrcOf.size() || !SrcOf[L])
+Term StaticCommutativity::invariantFor(const InvariantSource &S,
+                                       Letter L) const {
+  if (L >= SrcOf.size() || !SrcOf[L])
     return TM.mkTrue();
-  return Oct->invariantAt(SrcOf[L]->first, SrcOf[L]->second);
+  return S.invariantAt(SrcOf[L]->first, SrcOf[L]->second);
 }
 
 StaticTierVerdict StaticCommutativity::decideImpl(Term Phi, Letter A,
@@ -158,26 +184,38 @@ StaticTierVerdict StaticCommutativity::decideImpl(Term Phi, Letter A,
     return StaticTierVerdict::Interval;
   }
 
-  // Tier 2: strengthen the open obligations with the octagon location
-  // invariants of both letters' source locations (see decide() for why
-  // this is sound) and retry, now with the relational decider as well.
-  if (!WithInvariants || !Oct)
+  // Invariant tiers: strengthen the open obligations with each source's
+  // location invariants at both letters' source locations (see decide()
+  // for why this is sound), cumulatively in registry order, retrying with
+  // the relational and affine deciders as well. An obligation closed by an
+  // earlier source stays closed; the source whose pass empties the open
+  // set names the verdict.
+  if (!WithInvariants || Sources.empty())
     return StaticTierVerdict::Unknown;
-  Term InvA = invariantFor(A);
-  Term InvB = invariantFor(B);
-  Term Inv = TM.mkAnd(InvA, InvB);
-  if (Inv == TM.mkTrue())
-    return StaticTierVerdict::Unknown; // nothing to strengthen with
-  ++OctQueries;
-  for (Term Ob : Open) {
-    Term Strengthened = TM.mkAnd(Ob, Inv);
-    if (!staticallyUnsat(TM, Strengthened) &&
-        !staticallyUnsatRelational(TM, Strengthened))
-      return StaticTierVerdict::Unknown;
+  Term Inv = TM.mkTrue();
+  for (const InvariantSource *S : Sources) {
+    Term Add = TM.mkAnd(invariantFor(*S, A), invariantFor(*S, B));
+    if (Add == TM.mkTrue())
+      continue; // nothing new to strengthen with
+    Inv = TM.mkAnd(Inv, Add);
+    bool IsKarr = std::strcmp(S->name(), "karr") == 0;
+    ++(IsKarr ? KarrQueries : OctQueries);
+    std::vector<Term> StillOpen;
+    for (Term Ob : Open) {
+      Term Strengthened = TM.mkAnd(Ob, Inv);
+      if (!staticallyUnsat(TM, Strengthened) &&
+          !staticallyUnsatRelational(TM, Strengthened) &&
+          !staticallyUnsatAffine(TM, Strengthened))
+        StillOpen.push_back(Ob);
+    }
+    Open = std::move(StillOpen);
+    if (Open.empty()) {
+      ++(IsKarr ? KarrProofs : OctProofs);
+      ++Proofs;
+      return IsKarr ? StaticTierVerdict::Karr : StaticTierVerdict::Octagon;
+    }
   }
-  ++OctProofs;
-  ++Proofs;
-  return StaticTierVerdict::Octagon;
+  return StaticTierVerdict::Unknown;
 }
 
 ConflictRelation StaticCommutativity::conflictRelation() {

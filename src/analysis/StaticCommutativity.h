@@ -37,7 +37,7 @@
 namespace seqver {
 namespace analysis {
 
-class OctagonAnalysis;
+class InvariantSource;
 
 /// Decides whether a ground formula is unsatisfiable by constant structure
 /// and interval propagation over its literal conjuncts. "true" is a proof;
@@ -52,12 +52,23 @@ bool staticallyUnsat(const smt::TermManager &TM, smt::Term Formula);
 bool staticallyUnsatRelational(const smt::TermManager &TM, smt::Term Formula);
 constexpr size_t RelationalVarCap = 24;
 
+/// Affine unsat decider: builds one Karr equality system over the
+/// formula's variables, inserts the equality conjuncts, and reports unsat
+/// when a (dis)equality conjunct contradicts the system — closing
+/// obligations with non-unit coefficients (`total == 2*i`) that both the
+/// interval and the octagon decider leave open. "true" is a proof; "false"
+/// means undecided.
+bool staticallyUnsatAffine(const smt::TermManager &TM, smt::Term Formula);
+constexpr size_t AffineVarCap = 32;
+
 /// Which tier settled a static commutativity query.
 enum class StaticTierVerdict : uint8_t {
   Unknown,  ///< not provable statically; fall through to SMT
   Interval, ///< plain obligations statically unsat (sound filter of SMT)
   Octagon,  ///< obligations unsat only under the octagon location
             ///< invariants (a genuine strengthening of phi; see decide())
+  Karr,     ///< obligations unsat only once the Karr affine equalities
+            ///< are conjoined on top of the cheaper tiers' invariants
 };
 
 /// Statically proven independence between letters, precomputed for all
@@ -93,54 +104,65 @@ public:
 
   /// Full static decision for a ~_phi b. First tries the plain interval
   /// tier (a sound filter of the SMT answer). When that is inconclusive
-  /// and an octagon context is installed, retries the open obligations
-  /// under phi /\ Inv(src(a)) /\ Inv(src(b)), where Inv is the octagon
-  /// location invariant of the letter's source location.
+  /// and invariant sources are installed, retries the open obligations
+  /// under phi /\ Inv(src(a)) /\ Inv(src(b)), conjoining each source's
+  /// location invariants cumulatively in registry order; the source whose
+  /// addition closes the last open obligation names the verdict.
   ///
   /// Soundness of the strengthening: commutativity is only ever applied to
   /// *adjacent* occurrences of a and b along an execution, and in the state
   /// from which the pair executes, thread(a) sits at src(a) and thread(b)
   /// at src(b) — so that state satisfies both location invariants, and
   /// conjoining them into every obligation context is sound. Unlike the
-  /// interval tier this is a genuine strengthening of phi: an Octagon
-  /// verdict may hold where SMT on the un-strengthened obligation would
-  /// not, i.e. the tier is a new source of reduction, not just a filter.
+  /// interval tier these are genuine strengthenings of phi: an Octagon or
+  /// Karr verdict may hold where SMT on the un-strengthened obligation
+  /// would not, i.e. the tiers are a new source of reduction, not just a
+  /// filter.
   StaticTierVerdict decide(smt::Term Phi, automata::Letter A,
                            automata::Letter B);
 
-  /// Installs (or clears, with nullptr) the octagon invariants consulted by
-  /// decide(). Letters whose source location is not unique in the thread
-  /// CFG get no invariant (conservative).
-  void setOctagonContext(const OctagonAnalysis *Analysis);
+  /// Installs (or clears, with an empty list) the invariant sources
+  /// consulted by decide(), in the order their invariants are conjoined
+  /// (cheapest first; "karr" last by convention). Letters whose source
+  /// location is not unique in the thread CFG get no invariant
+  /// (conservative).
+  void setInvariantContext(std::vector<const InvariantSource *> NewSources);
 
   /// All-pairs unconditional independence (syntactic disjointness or a
   /// static commutativity proof). Quadratic in the alphabet; computed once
   /// per verification run when persistent sets are enabled. Deliberately
-  /// ignores the octagon context: the relation feeds the persistent-set
+  /// ignores the invariant context: the relation feeds the persistent-set
   /// construction, which wants location-independent independence.
   ConflictRelation conflictRelation();
 
   uint64_t numQueries() const { return Queries; }
   uint64_t numProofs() const { return Proofs; }
   /// Octagon-tier attempts (queries the interval tier left open while an
-  /// octagon context was installed) and successes.
+  /// octagon source was installed) and successes.
   uint64_t numOctQueries() const { return OctQueries; }
   uint64_t numOctProofs() const { return OctProofs; }
+  /// Karr-tier attempts (queries still open after the octagon pass while a
+  /// karr source was installed) and successes.
+  uint64_t numKarrQueries() const { return KarrQueries; }
+  uint64_t numKarrProofs() const { return KarrProofs; }
 
 private:
   StaticTierVerdict decideImpl(smt::Term Phi, automata::Letter A,
                                automata::Letter B, bool WithInvariants);
-  smt::Term invariantFor(automata::Letter L) const;
+  smt::Term invariantFor(const InvariantSource &S, automata::Letter L) const;
 
   const prog::ConcurrentProgram &P;
   smt::TermManager &TM;
-  const OctagonAnalysis *Oct = nullptr;
+  /// Invariant sources in strengthening order; empty = no invariant tiers.
+  std::vector<const InvariantSource *> Sources;
   /// Letter -> unique (thread, source location), when unambiguous.
   std::vector<std::optional<std::pair<int, prog::Location>>> SrcOf;
   uint64_t Queries = 0;
   uint64_t Proofs = 0;
   uint64_t OctQueries = 0;
   uint64_t OctProofs = 0;
+  uint64_t KarrQueries = 0;
+  uint64_t KarrProofs = 0;
 };
 
 } // namespace analysis

@@ -2,6 +2,7 @@
 
 #include "core/Verifier.h"
 
+#include "analysis/KarrProp.h"
 #include "analysis/OctagonProp.h"
 #include "core/Interpolation.h"
 
@@ -96,20 +97,33 @@ public:
           P, Commut, Config.Order,
           StaticIndep.numLetters() ? &StaticIndep : nullptr);
     }
-    // Relational invariants feed two optional consumers: the octagon
-    // commutativity sub-tier and proof seeding. One analysis run serves
-    // both.
-    bool WantOctagonTier =
-        Config.StaticTier && Config.OctagonTier &&
+    // Relational and affine invariants feed two optional consumers each:
+    // the conditional commutativity sub-tiers and proof seeding. One
+    // analysis run per domain serves both.
+    bool InvariantTiersApply =
+        Config.StaticTier &&
         Config.CommutMode != red::CommutativityChecker::Mode::Full;
-    if (WantOctagonTier || Config.SeedProof) {
+    bool WantOctagonTier = InvariantTiersApply && Config.OctagonTier;
+    bool WantKarrTier = InvariantTiersApply && Config.KarrTier;
+    if (WantOctagonTier || Config.SeedProof)
       Oct = std::make_unique<analysis::OctagonAnalysis>(P);
-      if (WantOctagonTier)
-        Commut.setOctagonContext(Oct.get());
-      if (Config.SeedProof) {
-        size_t Seeded = Proof.addSeedPredicates(
-            Oct->seedPredicates(Config.MaxSeedPredicates));
-        Stats.add("seeded_predicates", static_cast<int64_t>(Seeded));
+    if (Config.KarrTier && (WantKarrTier || Config.SeedProof))
+      Karr = std::make_unique<analysis::KarrAnalysis>(P);
+    std::vector<const analysis::InvariantSource *> Context;
+    if (WantOctagonTier)
+      Context.push_back(Oct.get());
+    if (WantKarrTier)
+      Context.push_back(Karr.get());
+    if (!Context.empty())
+      Commut.setInvariantContext(std::move(Context));
+    if (Config.SeedProof) {
+      size_t Seeded = Proof.addSeedPredicates(
+          Oct->seedPredicates(Config.MaxSeedPredicates));
+      Stats.add("seeded_predicates", static_cast<int64_t>(Seeded));
+      if (Karr) {
+        size_t KarrSeeded = Proof.addSeedPredicates(
+            Karr->seedPredicates(Config.MaxSeedPredicates));
+        Stats.add("karr_seeded", static_cast<int64_t>(KarrSeeded));
       }
     }
     assert((Config.Order || !Config.UseSleepSets) &&
@@ -176,6 +190,7 @@ private:
   red::CommutativityChecker Commut;
   ProofAutomaton Proof;
   std::unique_ptr<analysis::OctagonAnalysis> Oct;
+  std::unique_ptr<analysis::KarrAnalysis> Karr;
   analysis::ConflictRelation StaticIndep;
   std::unique_ptr<red::PersistentSetComputer> Persistent;
 
@@ -550,6 +565,10 @@ VerificationResult Verifier::Impl::run() {
               static_cast<int64_t>(Tier->numOctQueries()));
     Stats.add("octagon_tier_proofs",
               static_cast<int64_t>(Tier->numOctProofs()));
+    Stats.add("karr_tier_queries",
+              static_cast<int64_t>(Tier->numKarrQueries()));
+    Stats.add("karr_tier_proofs",
+              static_cast<int64_t>(Tier->numKarrProofs()));
   }
   Result.Stats = Stats;
   return Result;

@@ -87,12 +87,20 @@ struct VerifierConfig {
   /// pre-states satisfy both invariants — see StaticCommutativity::decide).
   /// Only consulted when StaticTier is on and CommutMode is not Full.
   bool OctagonTier = true;
-  /// Seed the proof automaton's predicate pool with the octagon analysis's
-  /// per-location invariant atoms before round 1. Sound regardless of seed
-  /// quality (predicates enter automaton states only through SMT-checked
-  /// Hoare triples); typically saves refinement rounds on loop-heavy
-  /// programs. Off by default to keep round counts comparable with the
-  /// paper's unseeded refinement loop.
+  /// Karr sub-tier of the static tier: run the affine-equality analysis
+  /// once and let static commutativity strengthen still-open obligations
+  /// with per-location affine equalities (`total == 2*i`), on top of the
+  /// octagon invariants. Same soundness argument as OctagonTier. Also
+  /// gates Karr proof seeding when SeedProof is on. Only consulted when
+  /// StaticTier is on and CommutMode is not Full.
+  bool KarrTier = true;
+  /// Seed the proof automaton's predicate pool with the octagon (and, when
+  /// KarrTier is on, the Karr) analysis's per-location invariant atoms
+  /// before round 1. Sound regardless of seed quality (predicates enter
+  /// automaton states only through SMT-checked Hoare triples); typically
+  /// saves refinement rounds on loop-heavy programs. Off by default to
+  /// keep round counts comparable with the paper's unseeded refinement
+  /// loop.
   bool SeedProof = false;
   /// Cap on seeded predicates (bounds per-step Hoare query growth).
   size_t MaxSeedPredicates = 64;

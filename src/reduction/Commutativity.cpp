@@ -39,8 +39,9 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
 
   // Solver-free middle tier: proves the same obligations the semantic tier
   // would hand to SMT (interval sub-tier), or proves them strengthened by
-  // octagon location invariants (octagon sub-tier) — counted separately
-  // because the latter is a genuine extension, not just an SMT filter.
+  // octagon / Karr location invariants (conditional sub-tiers) — counted
+  // separately because the latter are a genuine extension, not just an SMT
+  // filter.
   if (Static) {
     switch (Static->decide(Phi, A, B)) {
     case analysis::StaticTierVerdict::Interval:
@@ -49,6 +50,10 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
       return true;
     case analysis::StaticTierVerdict::Octagon:
       count("commut_octagon");
+      Cache.emplace(Key, true);
+      return true;
+    case analysis::StaticTierVerdict::Karr:
+      count("commut_karr");
       Cache.emplace(Key, true);
       return true;
     case analysis::StaticTierVerdict::Unknown:

@@ -75,14 +75,16 @@ public:
   void disableStaticTier() { Static.reset(); }
   analysis::StaticCommutativity *staticTier() { return Static.get(); }
 
-  /// Installs octagon location invariants on the static tier, enabling its
-  /// conditional (octagon) sub-tier: obligations the interval pass leaves
-  /// open are retried under the invariants of both letters' source
-  /// locations. See StaticCommutativity::decide for the soundness argument.
-  /// No-op when the static tier is disabled; nullptr clears.
-  void setOctagonContext(const analysis::OctagonAnalysis *Analysis) {
+  /// Installs invariant sources on the static tier, enabling its
+  /// conditional sub-tiers (octagon, Karr): obligations the interval pass
+  /// leaves open are retried under the invariants of both letters' source
+  /// locations, conjoined cumulatively in list order. See
+  /// StaticCommutativity::decide for the soundness argument. No-op when
+  /// the static tier is disabled; an empty list clears.
+  void
+  setInvariantContext(std::vector<const analysis::InvariantSource *> Sources) {
     if (Static)
-      Static->setOctagonContext(Analysis);
+      Static->setInvariantContext(std::move(Sources));
   }
 
   /// Unconditional commutativity a ~ b.

@@ -34,7 +34,7 @@ namespace {
 VerificationResult verifyOneOrder(const std::string &Source,
                                   const VerifierConfig &Base,
                                   size_t OrderIdx, bool Prune,
-                                  bool OctagonPrune,
+                                  analysis::PrunePreset Preset,
                                   const CancellationToken *Race,
                                   Statistics *Sink) {
   smt::TermManager TM;
@@ -44,8 +44,16 @@ VerificationResult verifyOneOrder(const std::string &Source,
     R.V = Verdict::Unknown;
     return R;
   }
-  if (Prune)
-    analysis::pruneDeadEdges(*Build.Program, OctagonPrune);
+  if (Prune) {
+    analysis::PruneStats PS;
+    analysis::pruneDeadEdges(*Build.Program, Preset, &PS);
+    if (Sink) {
+      Sink->add("edges_pruned", static_cast<int64_t>(PS.Removed));
+      auto KarrIt = PS.BySource.find("karr");
+      if (KarrIt != PS.BySource.end())
+        Sink->add("karr_pruned", static_cast<int64_t>(KarrIt->second));
+    }
+  }
 
   auto Orders = red::makePortfolioOrders(*Build.Program, Base.RandOrders,
                                          Base.RandSeedBase);
@@ -101,12 +109,15 @@ ParallelPortfolioResult seqver::runtime::runPortfolioParallel(
   {
     Executor Pool(Jobs);
     for (size_t I = 0; I < NumOrders; ++I) {
+      analysis::PrunePreset Preset =
+          PC.KarrPrune ? analysis::PrunePreset::Full
+          : PC.OctagonPrune ? analysis::PrunePreset::WithOctagons
+                            : analysis::PrunePreset::IntervalOnly;
       Futures.push_back(Pool.submit(
-          [&Source, &Base, I, Prune = PC.PruneDeadEdges,
-           OctPrune = PC.OctagonPrune, Race,
+          [&Source, &Base, I, Prune = PC.PruneDeadEdges, Preset, Race,
            Sink = Sinks[I]]() -> VerificationResult {
             VerificationResult R = verifyOneOrder(
-                Source, Base, I, Prune, OctPrune, Race.get(), Sink);
+                Source, Base, I, Prune, Preset, Race.get(), Sink);
             // First decisive verdict stops the race; calling this for
             // every decisive finisher is idempotent.
             if (core::isDecisive(R.V))

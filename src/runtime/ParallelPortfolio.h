@@ -48,6 +48,12 @@ struct ParallelConfig {
   /// meaningful with PruneDeadEdges; must match the sequential path's
   /// --octagon setting when comparing verdicts).
   bool OctagonPrune = false;
+  /// Use Karr affine equalities on top of the octagons when pruning (only
+  /// meaningful with PruneDeadEdges and OctagonPrune; must match the
+  /// sequential path's --karr setting when comparing verdicts). Each
+  /// worker's removed-edge counts land in its statistics sink as
+  /// edges_pruned / karr_pruned.
+  bool KarrPrune = false;
 };
 
 struct ParallelPortfolioResult {

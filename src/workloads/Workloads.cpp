@@ -337,6 +337,48 @@ std::string seqver::workloads::nestedLoopSource(int M, bool WithBug) {
   return Out;
 }
 
+std::string seqver::workloads::affineSumSource(int N, bool WithBug) {
+  int Bound = 2 * N - (WithBug ? 1 : 0);
+  std::string Out = "var int i := 0;\nvar int total := 0;\n";
+  Out += "thread worker {\n"
+         "  while (i < " + std::to_string(N) + ") {\n"
+         "    total := total + 2;\n"
+         "    i := i + 1;\n"
+         "  }\n"
+         "}\n";
+  Out += "thread checker { assert total <= " + std::to_string(Bound) +
+         "; }\n";
+  return Out;
+}
+
+std::string seqver::workloads::stridePairSource(int N, bool WithBug) {
+  int Bound = 2 * N - (WithBug ? 1 : 0);
+  std::string Out = "var int i := 0;\nvar int j := 0;\n";
+  Out += "thread worker {\n"
+         "  while (i < " + std::to_string(N) + ") {\n"
+         "    j := j + 1;\n"
+         "    j := j + 1;\n"
+         "    i := i + 1;\n"
+         "  }\n"
+         "}\n";
+  Out += "thread checker { assert j <= " + std::to_string(Bound) + "; }\n";
+  return Out;
+}
+
+std::vector<WorkloadInstance> seqver::workloads::affineSuite() {
+  std::vector<WorkloadInstance> Out;
+  auto Add = [&Out](std::string Name, std::string Source, bool Correct) {
+    Out.push_back({std::move(Name), std::move(Source), Correct, "affine"});
+  };
+  // Same off-threshold bounds as the loop-heavy suite: the interval
+  // widening overshoots, so these proofs genuinely need the equalities.
+  Add("affine_sum_safe_5", affineSumSource(5, false), true);
+  Add("affine_sum_bug_5", affineSumSource(5, true), false);
+  Add("stride_pair_safe_5", stridePairSource(5, false), true);
+  Add("stride_pair_bug_5", stridePairSource(5, true), false);
+  return Out;
+}
+
 std::vector<WorkloadInstance> seqver::workloads::loopHeavySuite() {
   std::vector<WorkloadInstance> Out;
   auto Add = [&Out](std::string Name, std::string Source, bool Correct) {

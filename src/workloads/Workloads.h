@@ -63,6 +63,25 @@ std::string nestedLoopSource(int M, bool WithBug = false);
 /// configurations still verify them, just more slowly.
 std::vector<WorkloadInstance> loopHeavySuite();
 
+/// Bounded accumulator with a non-unit stride: the worker adds 2 to
+/// `total` per loop step up to N while a checker asserts `total <= 2N`
+/// (the bug variant claims 2N-1). The needed invariant `total == 2*i` has
+/// a non-unit coefficient — outside the octagon domain (+-x +-y <= c) but
+/// exactly a Karr affine equality.
+std::string affineSumSource(int N, bool WithBug = false);
+
+/// Stride-2 pairing: `j` advances two steps for every step of `i`; the
+/// checker asserts `j <= 2N` (bug variant: 2N-1). The proof hinges on
+/// `j == 2*i`, again affine with a non-unit coefficient.
+std::string stridePairSource(int N, bool WithBug = false);
+
+/// Affine suite: counting proofs whose loop invariants carry non-unit
+/// coefficients (`total == 2*i`). The Karr tier and Karr proof seeding are
+/// expected to cut refinement rounds or SMT commutativity queries here;
+/// octagon- and interval-only configurations still verify them, just more
+/// slowly.
+std::vector<WorkloadInstance> affineSuite();
+
 } // namespace workloads
 } // namespace seqver
 

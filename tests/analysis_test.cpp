@@ -12,6 +12,8 @@
 
 #include "analysis/Analysis.h"
 #include "analysis/Dataflow.h"
+#include "analysis/Karr.h"
+#include "analysis/KarrProp.h"
 #include "analysis/OctagonProp.h"
 #include "analysis/StaticCommutativity.h"
 #include "core/Portfolio.h"
@@ -374,7 +376,7 @@ TEST(IntervalProp, PrunesDeadBranchAndPreservesVerdict) {
 
   IntervalAnalysis Intervals(*P);
   EXPECT_FALSE(Intervals.deadEdges().empty());
-  uint32_t Removed = pruneDeadEdges(*P, Intervals);
+  uint32_t Removed = pruneDeadEdges(*P, {&Intervals});
   EXPECT_GE(Removed, 1u);
 
   // The dead `x == 2` branch is gone but the verdict is unchanged.
@@ -398,7 +400,7 @@ TEST(IntervalProp, KeepsOneEdgeAtReachableDeadlockedLocations) {
                  TM);
   IntervalAnalysis Intervals(*Q);
   ASSERT_EQ(Intervals.deadEdges().size(), 2u); // the assume + its successor
-  uint32_t Removed = pruneDeadEdges(*Q, Intervals);
+  uint32_t Removed = pruneDeadEdges(*Q, {&Intervals});
   EXPECT_EQ(Removed, 1u);
   const prog::ThreadCfg &Cfg = Q->thread(0);
   EXPECT_EQ(Cfg.Edges[Cfg.InitialLoc].size(), 1u);
@@ -659,7 +661,7 @@ TEST(OctagonProp, FindsDeadEdgesBeyondIntervals) {
   OctagonAnalysis Oct(*P);
   EXPECT_FALSE(Oct.deadEdges().empty());
   // The merged pruning removes what only the octagons can justify.
-  uint32_t Removed = pruneDeadEdges(*P, Intervals, &Oct);
+  uint32_t Removed = pruneDeadEdges(*P, {&Intervals, &Oct});
   EXPECT_GE(Removed, 1u);
 }
 
@@ -668,6 +670,187 @@ TEST(OctagonProp, SeedPredicatesAreDeduplicatedAndCapped) {
   auto P = build(workloads::loopSumSource(5), TM);
   OctagonAnalysis Oct(*P);
   std::vector<smt::Term> Seeds = Oct.seedPredicates(/*MaxSeeds=*/4);
+  EXPECT_FALSE(Seeds.empty());
+  EXPECT_LE(Seeds.size(), 4u);
+  std::set<smt::Term> Unique(Seeds.begin(), Seeds.end());
+  EXPECT_EQ(Unique.size(), Seeds.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Karr affine-equality domain
+//===----------------------------------------------------------------------===//
+
+class KarrDomain : public ::testing::Test {
+protected:
+  smt::TermManager TM;
+  smt::Term X = TM.mkVar("kx", smt::Sort::Int);
+  smt::Term Y = TM.mkVar("ky", smt::Sort::Int);
+  AffineSystem S{std::vector<smt::Term>{X, Y}};
+
+  /// Coefficient vector for A*x + B*y over S's id-sorted universe.
+  std::vector<Rational> coeffs(const AffineSystem &Sys, int64_t A,
+                               int64_t B) {
+    std::vector<Rational> Out(Sys.numVars(), Rational(0));
+    Out[static_cast<size_t>(Sys.indexOf(X))] = Rational(A);
+    Out[static_cast<size_t>(Sys.indexOf(Y))] = Rational(B);
+    return Out;
+  }
+};
+
+TEST_F(KarrDomain, EchelonizationPinsSolutionsAndRefutesConflicts) {
+  // x + y == 3 and x - y == 1 have the unique solution (2, 1); reduction
+  // to echelon form must expose both pins.
+  EXPECT_TRUE(S.addEquality(coeffs(S, 1, 1), Rational(3)));
+  EXPECT_TRUE(S.addEquality(coeffs(S, 1, -1), Rational(1)));
+  std::optional<Rational> VX = S.valueOfSum(TM.sumOfVar(X));
+  std::optional<Rational> VY = S.valueOfSum(TM.sumOfVar(Y));
+  ASSERT_TRUE(VX && VY);
+  EXPECT_EQ(*VX, Rational(2));
+  EXPECT_EQ(*VY, Rational(1));
+  // x == 5 now contradicts x == 2: the system becomes empty.
+  EXPECT_FALSE(S.addEquality(coeffs(S, 1, 0), Rational(5)));
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST_F(KarrDomain, RedundantRowsLeaveCanonicalFormUnchanged) {
+  EXPECT_TRUE(S.addEquality(coeffs(S, 2, -1), Rational(0))); // y == 2x
+  AffineSystem Before = S;
+  // 4x - 2y == 0 is the same hyperplane; the canonical form must not grow.
+  EXPECT_TRUE(S.addEquality(coeffs(S, 4, -2), Rational(0)));
+  EXPECT_EQ(S, Before);
+  EXPECT_EQ(S.rows().size(), 1u);
+}
+
+TEST_F(KarrDomain, JoinIsTheAffineHull) {
+  // Hull of the points (0,0) and (1,2) is the line y == 2x: the join must
+  // keep exactly the equality 2x - y == 0 and drop the individual pins.
+  AffineSystem P1 = S, P2 = S;
+  ASSERT_TRUE(P1.addEquality(coeffs(P1, 1, 0), Rational(0)));
+  ASSERT_TRUE(P1.addEquality(coeffs(P1, 0, 1), Rational(0)));
+  ASSERT_TRUE(P2.addEquality(coeffs(P2, 1, 0), Rational(1)));
+  ASSERT_TRUE(P2.addEquality(coeffs(P2, 0, 1), Rational(2)));
+  EXPECT_TRUE(P1.joinWith(P2));
+  smt::LinSum TwoXMinusY = smt::TermManager::sumAdd(
+      smt::TermManager::sumScale(TM.sumOfVar(X), 2),
+      smt::TermManager::sumScale(TM.sumOfVar(Y), -1));
+  EXPECT_EQ(P1.impliesEqZero(TwoXMinusY), +1);
+  EXPECT_EQ(P1.valueOfSum(TM.sumOfVar(X)), std::nullopt); // pin is gone
+  // A third point on the line adds nothing (no change), one off the line
+  // collapses the system to top — and the chain stops there: dimension
+  // only ever grows, so at most numVars()+1 proper joins can happen.
+  AffineSystem P3 = S;
+  ASSERT_TRUE(P3.addEquality(coeffs(P3, 1, 0), Rational(3)));
+  ASSERT_TRUE(P3.addEquality(coeffs(P3, 0, 1), Rational(6)));
+  EXPECT_FALSE(P1.joinWith(P3));
+  AffineSystem Off = S;
+  ASSERT_TRUE(Off.addEquality(coeffs(Off, 1, 0), Rational(1)));
+  ASSERT_TRUE(Off.addEquality(coeffs(Off, 0, 1), Rational(0)));
+  EXPECT_TRUE(P1.joinWith(Off));
+  EXPECT_TRUE(P1.isTop());
+  EXPECT_FALSE(P1.joinWith(P2)); // top is absorbing: the chain is finite
+}
+
+TEST_F(KarrDomain, ForgetProjectsExistentially) {
+  // x == 2 and y == 2x pin y == 4; havocking x must keep the x-free
+  // consequence y == 4 and drop everything about x.
+  ASSERT_TRUE(S.addEquality(coeffs(S, 1, 0), Rational(2)));
+  ASSERT_TRUE(S.addEquality(coeffs(S, -2, 1), Rational(0)));
+  S.forget(S.indexOf(X));
+  EXPECT_EQ(S.valueOfSum(TM.sumOfVar(X)), std::nullopt);
+  std::optional<Rational> VY = S.valueOfSum(TM.sumOfVar(Y));
+  ASSERT_TRUE(VY);
+  EXPECT_EQ(*VY, Rational(4));
+  // A purely relational fact with no x-free consequence vanishes entirely.
+  AffineSystem R{std::vector<smt::Term>{X, Y}};
+  ASSERT_TRUE(R.addEquality(coeffs(R, 1, -1), Rational(0)));
+  R.forget(R.indexOf(X));
+  EXPECT_TRUE(R.isTop());
+}
+
+TEST_F(KarrDomain, AssumeOfContradictedDisequalityIsInfeasible) {
+  // The system pins x == 2; assuming x != 2 must report infeasibility,
+  // while x != 3 is simply implied and changes nothing.
+  ASSERT_TRUE(S.addEquality(coeffs(S, 1, 0), Rational(2)));
+  smt::Term EqTwo = TM.mkEq(TM.sumOfVar(X), TM.sumOfConst(2));
+  EXPECT_FALSE(karrAssume(S, TM, TM.mkNot(EqTwo)));
+  EXPECT_TRUE(S.isEmpty());
+  AffineSystem T{std::vector<smt::Term>{X, Y}};
+  ASSERT_TRUE(T.addEquality(coeffs(T, 1, 0), Rational(2)));
+  smt::Term EqThree = TM.mkEq(TM.sumOfVar(X), TM.sumOfConst(3));
+  EXPECT_TRUE(karrAssume(T, TM, TM.mkNot(EqThree)));
+  EXPECT_FALSE(T.isEmpty());
+}
+
+TEST_F(KarrDomain, StaticallyUnsatAffineRefutesNonUnitConflicts) {
+  // (x == 2y) /\ (x == 2y + 1) subtracts to 0 == 1, but the witness row
+  // x - 2y carries a non-unit coefficient and pins no single variable:
+  // the interval decider (pins + substitution) and the octagon decider
+  // (unit-coefficient differences) both pass, only the affine one refutes.
+  smt::LinSum TwoY = smt::TermManager::sumScale(TM.sumOfVar(Y), 2);
+  smt::Term XEq2Y = TM.mkEq(TM.sumOfVar(X), TwoY);
+  smt::Term XEq2YPlus1 = TM.mkEq(
+      TM.sumOfVar(X), smt::TermManager::sumAdd(TwoY, TM.sumOfConst(1)));
+  smt::Term Conflict = TM.mkAnd(XEq2Y, XEq2YPlus1);
+  EXPECT_FALSE(staticallyUnsat(TM, Conflict));
+  EXPECT_FALSE(staticallyUnsatRelational(TM, Conflict));
+  EXPECT_TRUE(staticallyUnsatAffine(TM, Conflict));
+  smt::Term Feasible = TM.mkAnd(
+      XEq2Y, TM.mkNot(TM.mkEq(TM.sumOfVar(X), TM.sumOfConst(6))));
+  EXPECT_FALSE(staticallyUnsatAffine(TM, Feasible));
+}
+
+//===----------------------------------------------------------------------===//
+// Karr propagation (thread-modular)
+//===----------------------------------------------------------------------===//
+
+TEST(KarrProp, NonUnitLoopInvariantOnAffineSum) {
+  smt::TermManager TM;
+  auto P = build(workloads::affineSumSource(5), TM);
+  KarrAnalysis Karr(*P);
+  // `total == 2*i` is invariant at the worker's loop head; intervals lose
+  // both variables to widening and octagons cannot express the non-unit
+  // coefficient, but the affine fixpoint keeps it exactly — no widening
+  // is involved, so the loop must still terminate.
+  smt::Term Total = TM.lookupVar("total");
+  smt::Term I = TM.lookupVar("i");
+  smt::Term Eq = TM.mkEq(TM.sumOfVar(Total),
+                         smt::TermManager::sumScale(TM.sumOfVar(I), 2));
+  const prog::ThreadCfg &Cfg = P->thread(0);
+  EXPECT_EQ(Karr.evalAt(0, Cfg.InitialLoc, Eq), Tri::True);
+  EXPECT_GT(Karr.numAffineLocations(), 0u);
+  OctagonAnalysis Oct(*P);
+  EXPECT_NE(Oct.evalAt(0, Cfg.InitialLoc, Eq), Tri::True);
+}
+
+TEST(KarrProp, StridePairKeepsTheCoupling) {
+  smt::TermManager TM;
+  auto P = build(workloads::stridePairSource(5), TM);
+  KarrAnalysis Karr(*P);
+  smt::Term J = TM.lookupVar("j");
+  smt::Term I = TM.lookupVar("i");
+  smt::Term Eq = TM.mkEq(TM.sumOfVar(J),
+                         smt::TermManager::sumScale(TM.sumOfVar(I), 2));
+  const prog::ThreadCfg &Cfg = P->thread(0);
+  EXPECT_EQ(Karr.evalAt(0, Cfg.InitialLoc, Eq), Tri::True);
+}
+
+TEST(KarrProp, SharedVariablesAreNotTracked) {
+  smt::TermManager TM;
+  // Both threads write x: no thread's equality system may mention it.
+  auto P = build("var int x := 0;\n"
+                 "thread t { x := 2; assume x == 2; }\n"
+                 "thread u { x := 3; }\n",
+                 TM);
+  KarrAnalysis Karr(*P);
+  EXPECT_TRUE(Karr.trackable(0).empty());
+  EXPECT_TRUE(Karr.deadEdges().empty());
+}
+
+TEST(KarrProp, SeedPredicatesAreDeduplicatedAndCapped) {
+  smt::TermManager TM;
+  auto P = build(workloads::affineSumSource(5), TM);
+  KarrAnalysis Karr(*P);
+  std::vector<smt::Term> Seeds = Karr.seedPredicates(/*MaxSeeds=*/4);
   EXPECT_FALSE(Seeds.empty());
   EXPECT_LE(Seeds.size(), 4u);
   std::set<smt::Term> Unique(Seeds.begin(), Seeds.end());
@@ -712,9 +895,48 @@ TEST(StaticCommut, OctagonContextDischargesConditionalPairs) {
   EXPECT_EQ(Tier.decide(nullptr, A, B), StaticTierVerdict::Unknown);
 
   OctagonAnalysis Oct(*P);
-  Tier.setOctagonContext(&Oct);
+  Tier.setInvariantContext({&Oct});
   EXPECT_EQ(Tier.decide(nullptr, A, B), StaticTierVerdict::Octagon);
   EXPECT_GE(Tier.numOctProofs(), 1u);
+}
+
+TEST(StaticCommut, KarrContextDischargesConditionalPairs) {
+  smt::TermManager TM;
+  // Same conditional pair as above, but with only the Karr source in the
+  // registry: the strengthening invariant (u == 0 at the x-write's source)
+  // now comes from the affine tier, and the verdict must say so.
+  auto P = build("var int x := 0;\nvar int u := 5;\n"
+                 "thread a { u := 0; x := x + u; }\n"
+                 "thread b { x := 0; }\n",
+                 TM);
+  StaticCommutativity Tier(*P);
+  Letter A = letterWriting(*P, 0, "x");
+  Letter B = letterWriting(*P, 1, "x");
+  EXPECT_EQ(Tier.decide(nullptr, A, B), StaticTierVerdict::Unknown);
+
+  KarrAnalysis Karr(*P);
+  Tier.setInvariantContext({&Karr});
+  EXPECT_EQ(Tier.decide(nullptr, A, B), StaticTierVerdict::Karr);
+  EXPECT_GE(Tier.numKarrProofs(), 1u);
+}
+
+TEST(StaticCommut, RegistryOrderCreditsTheEarlierSource) {
+  smt::TermManager TM;
+  // With both sources registered in canonical order, the octagon tier's
+  // invariants already settle the pair, so the cheaper source is credited
+  // and the Karr counters stay untouched.
+  auto P = build("var int x := 0;\nvar int u := 5;\n"
+                 "thread a { u := 0; x := x + u; }\n"
+                 "thread b { x := 0; }\n",
+                 TM);
+  StaticCommutativity Tier(*P);
+  Letter A = letterWriting(*P, 0, "x");
+  Letter B = letterWriting(*P, 1, "x");
+  OctagonAnalysis Oct(*P);
+  KarrAnalysis Karr(*P);
+  Tier.setInvariantContext({&Oct, &Karr});
+  EXPECT_EQ(Tier.decide(nullptr, A, B), StaticTierVerdict::Octagon);
+  EXPECT_EQ(Tier.numKarrProofs(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -785,8 +1007,83 @@ TEST(ProofSeeding, SeededVerifierProvesLoopSumWithoutExtraRounds) {
   EXPECT_LE(S.Rounds, U.Rounds);
 }
 
+TEST(ProofSeeding, NonInductiveKarrSeedIsRejectedByTheHoareGate) {
+  smt::TermManager TM;
+  prog::BuildResult B =
+      prog::buildFromSource("var int x := 0; thread t { x := x + 2; }", TM);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  smt::QueryEngine QE(TM);
+  prog::FreshVarSource Fresh(TM);
+  core::ProofAutomaton Proof(TM, QE, Fresh, *B.Program);
+
+  // x == 0 is exactly the kind of atom the Karr analysis seeds (the pin at
+  // the initial location). It holds initially but is not inductive under
+  // x := x + 2: the Hoare gate must drop it from the post-state, so an
+  // affine seed can never certify anything by itself.
+  smt::Term X = TM.lookupVar("x");
+  smt::Term EqZero = TM.mkEq(TM.sumOfVar(X), TM.sumOfConst(0));
+  ASSERT_EQ(Proof.addSeedPredicates({EqZero}), 1u);
+  core::PredSet Init = Proof.initialSet();
+  uint32_t Id = Proof.addPredicate(EqZero);
+  EXPECT_TRUE(std::count(Init.begin(), Init.end(), Id));
+  const core::PredSet &Next = Proof.step(Init, 0);
+  EXPECT_FALSE(std::count(Next.begin(), Next.end(), Id));
+}
+
+TEST(ProofSeeding, KarrSeededVerifierStaysSoundOnBuggyAffineLoops) {
+  // Seeding from octagon + Karr invariants must never mask a real bug:
+  // the seeded runs still find the counterexample.
+  core::VerifierConfig Config;
+  Config.TimeoutSeconds = 30;
+  Config.SeedProof = true;
+  {
+    smt::TermManager TM;
+    auto P = build(workloads::affineSumSource(4, /*WithBug=*/true), TM);
+    core::VerificationResult R = core::runSingleOrder(*P, Config, "seq");
+    EXPECT_EQ(R.V, core::Verdict::Incorrect);
+  }
+  {
+    smt::TermManager TM;
+    auto P = build(workloads::stridePairSource(4, /*WithBug=*/true), TM);
+    core::VerificationResult R = core::runSingleOrder(*P, Config, "seq");
+    EXPECT_EQ(R.V, core::Verdict::Incorrect);
+  }
+}
+
+TEST(ProofSeeding, KarrSeededVerifierProvesAffineSumWithoutExtraRounds) {
+  core::VerifierConfig Seeded;
+  Seeded.TimeoutSeconds = 30;
+  Seeded.SeedProof = true;
+  core::VerifierConfig Unseeded;
+  Unseeded.TimeoutSeconds = 30;
+  Unseeded.OctagonTier = false;
+  Unseeded.KarrTier = false;
+
+  smt::TermManager TM1;
+  auto P1 = build(workloads::affineSumSource(4), TM1);
+  core::VerificationResult S = core::runSingleOrder(*P1, Seeded, "seq");
+  smt::TermManager TM2;
+  auto P2 = build(workloads::affineSumSource(4), TM2);
+  core::VerificationResult U = core::runSingleOrder(*P2, Unseeded, "seq");
+
+  EXPECT_EQ(S.V, core::Verdict::Correct);
+  EXPECT_EQ(U.V, core::Verdict::Correct);
+  // Seeding hands round 0 the affine loop invariant; against the
+  // interval-only baseline it must never cost rounds.
+  EXPECT_LE(S.Rounds, U.Rounds);
+  EXPECT_GT(S.Stats.get("karr_seeded"), 0);
+}
+
 TEST(Workloads, LoopHeavySuiteBuildsClean) {
   for (const workloads::WorkloadInstance &W : workloads::loopHeavySuite()) {
+    smt::TermManager TM;
+    prog::BuildResult B = prog::buildFromSource(W.Source, TM);
+    EXPECT_TRUE(B.ok()) << W.Name << ": " << B.Error;
+  }
+}
+
+TEST(Workloads, AffineSuiteBuildsClean) {
+  for (const workloads::WorkloadInstance &W : workloads::affineSuite()) {
     smt::TermManager TM;
     prog::BuildResult B = prog::buildFromSource(W.Source, TM);
     EXPECT_TRUE(B.ok()) << W.Name << ": " << B.Error;

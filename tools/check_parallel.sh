@@ -4,6 +4,11 @@
 # portfolio, and fails if any verification verdict differs. Also prints
 # the wall-clock speedup of the race over the sequential sum-of-orders.
 #
+# As a second step, verifies that the per-worker Karr tier counters
+# survive the statistics-hub merge: an affine counting loop (invariant
+# total == 2*i, out of octagon range) is run under --portfolio=parallel
+# and the merged stats line must report a non-zero commut_karr.
+#
 # Usage: tools/check_parallel.sh [build-dir] [--quick] [--jobs=N]
 #   build-dir  defaults to ./build
 #   --quick    sample every third workload (what the ctest target runs)
@@ -27,4 +32,38 @@ if [ ! -x "$SEQVER" ]; then
   exit 2
 fi
 
-exec "$SEQVER" "$MODE" ${JOBS:+"$JOBS"}
+"$SEQVER" "$MODE" ${JOBS:+"$JOBS"}
+
+# Karr-merge probe: the winning worker may settle before ever consulting the
+# affine tier, so grep the hub-merged totals, not the winner's stats.
+PROBE=$(mktemp /tmp/seqver_karr_probe.XXXXXX.conc)
+trap 'rm -f "$PROBE"' EXIT
+cat > "$PROBE" <<'EOF'
+var int i := 0;
+var int total := 0;
+thread worker {
+  while (i < 5) {
+    total := total + 2;
+    i := i + 1;
+  }
+}
+thread checker { assert total <= 10; }
+EOF
+
+MERGED=$("$SEQVER" --portfolio=parallel --stats ${JOBS:+"$JOBS"} "$PROBE" \
+           | grep '^merged stats:' || true)
+case "$MERGED" in
+  *commut_karr=0*|*commut_karr=,*|"")
+    echo "error: commut_karr did not merge under --portfolio=parallel" >&2
+    echo "       merged line: ${MERGED:-<missing>}" >&2
+    exit 1
+    ;;
+  *commut_karr=*)
+    echo "karr-merge probe: ok (${MERGED#merged stats: })" | cut -c1-120
+    ;;
+  *)
+    echo "error: commut_karr absent from merged stats" >&2
+    echo "       merged line: ${MERGED:-<missing>}" >&2
+    exit 1
+    ;;
+esac

@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Tier-agreement gate: runs the bench workload suites (SV-COMP-like,
-# Weaver-like, and loop-heavy) across four static configurations -- the
-# full interval+octagon tier stack, no static tier, octagon with proof
-# seeding (--seed-proof), and interval-only without seeding -- and fails if
-# any verification verdict changes along either axis. Also prints the
-# SMT-query savings of the static tiers and the refinement rounds saved by
-# seeding.
+# Weaver-like, loop-heavy, and affine) across four static configurations --
+# the full interval+octagon+karr tier stack (karr-on), the same stack with
+# the Karr tier off (karr-off), full with proof seeding (--seed-proof), and
+# interval-only without seeding -- and fails if any verification verdict
+# changes along either axis. Also prints the SMT-query savings of the
+# invariant tiers and the refinement rounds saved by seeding.
 #
 # Usage: tools/check_tiers.sh [build-dir] [--quick]
 #   build-dir  defaults to ./build

@@ -21,6 +21,8 @@
 ///                         (orders become rand(n+1)..rand(n+3))
 ///   --analyze             print the static race/independence report and
 ///                         exit (1 when potential races are found)
+///   --analyze=karr        print the Karr affine-equality invariants per
+///                         thread location and exit
 ///   --no-sleep            disable sleep set reduction
 ///   --no-persistent       disable persistent set reduction
 ///   --no-proof-sensitive  disable conditional commutativity (Def. 7.3)
@@ -28,13 +30,16 @@
 ///   --no-octagon          disable the octagon sub-tier and relational
 ///                         dead-edge pruning (--octagon re-enables; on by
 ///                         default)
-///   --seed-proof          seed the proof automaton with octagon invariant
-///                         atoms before round 1 (--no-seed restores the
-///                         default unseeded refinement)
+///   --no-karr             disable the Karr affine sub-tier, its proof
+///                         seeding, and affine dead-edge pruning (--karr
+///                         re-enables; on by default)
+///   --seed-proof          seed the proof automaton with octagon and Karr
+///                         invariant atoms before round 1 (--no-seed
+///                         restores the default unseeded refinement)
 ///   --no-prune            keep statically dead CFG edges
 ///   --check-tiers[=quick] verify the workload suites across four static
-///                         configurations (full tier stack, no static tier,
-///                         octagon + proof seeding, interval-only); fail if
+///                         configurations (full tier stack, no Karr tier,
+///                         full + proof seeding, interval-only); fail if
 ///                         any verdict changes
 ///   --check-parallel[=quick]
 ///                         verify the workload suites with the sequential
@@ -83,6 +88,8 @@ struct CliOptions {
   bool NoProofSensitive = false;
   bool NoStatic = false;
   bool NoOctagon = false;
+  bool NoKarr = false;
+  std::string AnalyzeFocus; // "karr" = affine invariant dump only
   bool SeedProof = false;
   bool NoPrune = false;
   bool CheckTiers = false;
@@ -104,8 +111,9 @@ void printUsage() {
       "       seqver --check-parallel[=quick]\n"
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
       "  --portfolio=<sequential|parallel> --jobs=<n> --rand-seed=<n>\n"
-      "  --analyze --no-sleep --no-persistent --no-proof-sensitive\n"
-      "  --no-static --no-octagon --seed-proof --no-seed --no-prune\n"
+      "  --analyze[=karr] --no-sleep --no-persistent --no-proof-sensitive\n"
+      "  --no-static --no-octagon --no-karr --seed-proof --no-seed\n"
+      "  --no-prune\n"
       "  --minimize\n"
       "  --source=<wp|interp|both>\n"
       "  --timeout=<seconds> --witness --proof --stats\n");
@@ -138,6 +146,9 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.CheckParallelQuick = true;
     } else if (Arg == "--analyze") {
       Opts.Analyze = true;
+    } else if (Arg == "--analyze=karr") {
+      Opts.Analyze = true;
+      Opts.AnalyzeFocus = "karr";
     } else if (Arg == "--no-sleep") {
       Opts.NoSleep = true;
     } else if (Arg == "--no-persistent") {
@@ -150,6 +161,10 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.NoOctagon = true;
     } else if (Arg == "--octagon") {
       Opts.NoOctagon = false;
+    } else if (Arg == "--no-karr") {
+      Opts.NoKarr = true;
+    } else if (Arg == "--karr") {
+      Opts.NoKarr = false;
     } else if (Arg == "--seed-proof") {
       Opts.SeedProof = true;
     } else if (Arg == "--no-seed") {
@@ -223,10 +238,10 @@ void report(const core::VerificationResult &R,
 
 /// Runs every workload under four static configurations and reports verdict
 /// agreement and per-tier savings. The arms:
-///   full:    interval + octagon commutativity tiers (the default stack)
-///   no-stat: no static tier at all — every query goes to the SMT solver
-///   seeded:  full stack plus octagon proof seeding (--seed-proof)
-///   no-oct:  interval tier only, unseeded — the rounds baseline for seeded
+///   full:     interval + octagon + karr commutativity tiers (the default)
+///   no-karr:  interval + octagon tiers only — isolates the Karr sub-tier
+///   seeded:   full stack plus octagon+Karr proof seeding (--seed-proof)
+///   int-only: interval tier only, unseeded — the rounds baseline for seeded
 /// All four are sound, so any verdict disagreement is a bug. Returns the
 /// process exit code.
 int runCheckTiers(const CliOptions &Opts) {
@@ -238,6 +253,9 @@ int runCheckTiers(const CliOptions &Opts) {
   std::vector<workloads::WorkloadInstance> LoopHeavy =
       workloads::loopHeavySuite();
   Suite.insert(Suite.end(), LoopHeavy.begin(), LoopHeavy.end());
+  std::vector<workloads::WorkloadInstance> Affine =
+      workloads::affineSuite();
+  Suite.insert(Suite.end(), Affine.begin(), Affine.end());
   if (Opts.CheckTiersQuick) {
     // Every third workload still covers each family.
     std::vector<workloads::WorkloadInstance> Sample;
@@ -248,12 +266,13 @@ int runCheckTiers(const CliOptions &Opts) {
 
   double Timeout = Opts.TimeoutSet ? Opts.Timeout : 10;
   int Mismatches = 0;
-  int64_t StaticSettled = 0, OctagonSettled = 0, SemWith = 0, SemWithout = 0;
+  int64_t OctagonSettled = 0, KarrSettled = 0, KarrSeeds = 0;
+  int64_t SemFull = 0, SemNoKarr = 0;
   int64_t RoundsSeeded = 0, RoundsBaseline = 0;
 
-  std::printf("%-22s %-9s %-9s %-9s %-9s %7s %7s %4s %4s\n", "workload",
-              "full", "no-stat", "seeded", "no-oct", "sem-on", "sem-off",
-              "rd-s", "rd-b");
+  std::printf("%-22s %-9s %-9s %-9s %-9s %5s %7s %7s %4s %4s\n", "workload",
+              "full", "no-karr", "seeded", "int-only", "karr", "sem-f",
+              "sem-nk", "rd-s", "rd-b");
   for (const auto &W : Suite) {
     smt::TermManager TM;
     prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
@@ -264,62 +283,65 @@ int runCheckTiers(const CliOptions &Opts) {
     core::VerifierConfig Config;
     Config.TimeoutSeconds = Timeout;
 
-    // Arm 1: the full static stack (interval + octagon tiers).
+    // Arm 1: the full static stack (interval + octagon + karr tiers).
     core::VerificationResult Full =
         core::runSingleOrder(*Build.Program, Config, "seq");
-    // Arm 2: no static tier — the pure-SMT baseline.
-    Config.StaticTier = false;
-    core::VerificationResult NoStat =
+    // Arm 2: Karr tier off — anything it settled falls through to the
+    // octagon tier or the SMT solver.
+    Config.KarrTier = false;
+    core::VerificationResult NoKarr =
         core::runSingleOrder(*Build.Program, Config, "seq");
-    // Arm 3: full stack plus proof seeding from octagon invariants.
-    Config.StaticTier = true;
+    // Arm 3: full stack plus proof seeding (octagon + Karr atoms).
+    Config.KarrTier = true;
     Config.SeedProof = true;
     core::VerificationResult Seeded =
         core::runSingleOrder(*Build.Program, Config, "seq");
     // Arm 4: interval tier only, unseeded — the rounds baseline for arm 3.
     Config.SeedProof = false;
     Config.OctagonTier = false;
-    core::VerificationResult NoOct =
+    Config.KarrTier = false;
+    core::VerificationResult IntOnly =
         core::runSingleOrder(*Build.Program, Config, "seq");
 
-    bool Agree = Full.V == NoStat.V && Full.V == Seeded.V &&
-                 Full.V == NoOct.V;
+    bool Agree = Full.V == NoKarr.V && Full.V == Seeded.V &&
+                 Full.V == IntOnly.V;
     if (!Agree)
       ++Mismatches;
-    StaticSettled += Full.Stats.get("commut_static") +
-                     Full.Stats.get("commut_octagon");
     OctagonSettled += Full.Stats.get("commut_octagon");
-    SemWith += Full.Stats.get("semantic_commut_checks");
-    SemWithout += NoStat.Stats.get("semantic_commut_checks");
+    KarrSettled += Full.Stats.get("commut_karr");
+    KarrSeeds += Seeded.Stats.get("karr_seeded");
+    SemFull += Full.Stats.get("semantic_commut_checks");
+    SemNoKarr += NoKarr.Stats.get("semantic_commut_checks");
     RoundsSeeded += Seeded.Rounds;
-    RoundsBaseline += NoOct.Rounds;
-    std::printf("%-22s %-9s %-9s %-9s %-9s %7lld %7lld %4d %4d%s\n",
+    RoundsBaseline += IntOnly.Rounds;
+    std::printf("%-22s %-9s %-9s %-9s %-9s %5lld %7lld %7lld %4d %4d%s\n",
                 W.Name.c_str(), core::verdictName(Full.V).c_str(),
-                core::verdictName(NoStat.V).c_str(),
+                core::verdictName(NoKarr.V).c_str(),
                 core::verdictName(Seeded.V).c_str(),
-                core::verdictName(NoOct.V).c_str(),
+                core::verdictName(IntOnly.V).c_str(),
+                static_cast<long long>(Full.Stats.get("commut_karr")),
                 static_cast<long long>(
                     Full.Stats.get("semantic_commut_checks")),
                 static_cast<long long>(
-                    NoStat.Stats.get("semantic_commut_checks")),
-                Seeded.Rounds, NoOct.Rounds,
+                    NoKarr.Stats.get("semantic_commut_checks")),
+                Seeded.Rounds, IntOnly.Rounds,
                 Agree ? "" : "  << VERDICT MISMATCH");
   }
 
-  std::printf("\nstatically settled queries: %lld (%lld by the octagon "
-              "tier)\n",
-              static_cast<long long>(StaticSettled),
-              static_cast<long long>(OctagonSettled));
-  std::printf("semantic checks: %lld with static tier, %lld without",
-              static_cast<long long>(SemWith),
-              static_cast<long long>(SemWithout));
-  if (SemWithout > 0)
+  std::printf("\ninvariant-tier settled queries: %lld octagon, %lld karr\n",
+              static_cast<long long>(OctagonSettled),
+              static_cast<long long>(KarrSettled));
+  std::printf("semantic checks: %lld full stack, %lld without karr",
+              static_cast<long long>(SemFull),
+              static_cast<long long>(SemNoKarr));
+  if (SemNoKarr > 0)
     std::printf(" (%.1f%% saved)",
-                100.0 * static_cast<double>(SemWithout - SemWith) /
-                    static_cast<double>(SemWithout));
-  std::printf("\nrefinement rounds: %lld seeded, %lld interval-only "
-              "baseline\n",
+                100.0 * static_cast<double>(SemNoKarr - SemFull) /
+                    static_cast<double>(SemNoKarr));
+  std::printf("\nrefinement rounds: %lld seeded (%lld karr-seeded "
+              "predicates), %lld interval-only baseline\n",
               static_cast<long long>(RoundsSeeded),
+              static_cast<long long>(KarrSeeds),
               static_cast<long long>(RoundsBaseline));
   if (Mismatches > 0) {
     std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
@@ -427,16 +449,45 @@ int main(int argc, char **argv) {
               Opts.File.c_str(), P.numThreads(), P.size(), P.numLetters());
 
   if (Opts.Analyze) {
+    if (Opts.AnalyzeFocus == "karr") {
+      // Affine invariant dump: every location whose Karr system knows
+      // something, one atom per line.
+      analysis::KarrAnalysis Karr(P);
+      std::printf("== karr affine invariants ==\n");
+      for (int T = 0; T < P.numThreads(); ++T) {
+        const prog::ThreadCfg &Cfg = P.thread(T);
+        for (prog::Location L = 0; L < Cfg.numLocations(); ++L) {
+          std::vector<smt::Term> Atoms = Karr.invariantAtoms(T, L);
+          if (Atoms.empty())
+            continue;
+          std::printf("thread %d loc %u:\n", T, L);
+          for (smt::Term Atom : Atoms)
+            std::printf("  %s\n", TM.str(Atom).c_str());
+        }
+      }
+      std::printf("affine locations: %zu\n", Karr.numAffineLocations());
+      return 0;
+    }
     analysis::ProgramAnalysis PA(P);
     std::printf("%s", PA.report().c_str());
     return PA.races().raceFree() ? 0 : 1;
   }
 
   if (!Opts.NoPrune) {
-    uint32_t Pruned =
-        analysis::pruneDeadEdges(P, /*WithOctagons=*/!Opts.NoOctagon);
-    if (Pruned > 0)
-      std::printf("pruned %u statically dead edge(s)\n", Pruned);
+    analysis::PrunePreset Preset =
+        Opts.NoOctagon ? analysis::PrunePreset::IntervalOnly
+        : Opts.NoKarr  ? analysis::PrunePreset::WithOctagons
+                       : analysis::PrunePreset::Full;
+    analysis::PruneStats PS;
+    uint32_t Pruned = analysis::pruneDeadEdges(P, Preset, &PS);
+    if (Pruned > 0) {
+      auto KarrIt = PS.BySource.find("karr");
+      uint32_t KarrOnly = KarrIt != PS.BySource.end() ? KarrIt->second : 0;
+      std::printf("pruned %u statically dead edge(s)", Pruned);
+      if (KarrOnly > 0)
+        std::printf(" (%u affine-only)", KarrOnly);
+      std::printf("\n");
+    }
   }
 
   if (Opts.Simulate > 0) {
@@ -461,6 +512,7 @@ int main(int argc, char **argv) {
   Config.ProofSensitive = !Opts.NoProofSensitive && !Opts.NoSleep;
   Config.StaticTier = !Opts.NoStatic;
   Config.OctagonTier = !Opts.NoOctagon;
+  Config.KarrTier = !Opts.NoKarr;
   Config.SeedProof = Opts.SeedProof;
   Config.MinimizeProof = Opts.Minimize;
   Config.Source = Opts.Source == "interp"
@@ -486,6 +538,7 @@ int main(int argc, char **argv) {
     // Workers rebuild from source; replicate this process's preprocessing.
     PC.PruneDeadEdges = !Opts.NoPrune;
     PC.OctagonPrune = !Opts.NoOctagon;
+    PC.KarrPrune = !Opts.NoOctagon && !Opts.NoKarr;
     runtime::ParallelPortfolioResult R =
         runtime::runPortfolioParallel(Buffer.str(), Config, PC);
     report(R.Best, P, Opts, R.BestOrder);
