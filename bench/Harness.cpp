@@ -50,6 +50,11 @@ RunRecord toRecord(const workloads::WorkloadInstance &W,
   Out.PeakInternedSets = R.Stats.get("peak_interned_sets");
   Out.SleepsetInlineSets = R.Stats.get("sleepset_inline_sets");
   Out.SleepsetSpillSets = R.Stats.get("sleepset_spill_sets");
+  Out.CacheHits = R.Stats.get("cache_hits");
+  Out.CacheMisses = R.Stats.get("cache_misses");
+  Out.CacheSeeded = R.Stats.get("cache_seeded");
+  Out.RoundsSavedWarm = R.Stats.get("rounds_saved_warm");
+  Out.CacheStores = R.Stats.get("cache_stores");
   Out.BestOrder = BestOrder;
   return Out;
 }
@@ -138,6 +143,11 @@ RunRecord seqver::bench::runTool(const workloads::WorkloadInstance &W,
     Out.PeakInternedSets = R.Merged.get("peak_interned_sets");
     Out.SleepsetInlineSets = R.Merged.get("sleepset_inline_sets");
     Out.SleepsetSpillSets = R.Merged.get("sleepset_spill_sets");
+    Out.CacheHits = R.Merged.get("cache_hits");
+    Out.CacheMisses = R.Merged.get("cache_misses");
+    Out.CacheSeeded = R.Merged.get("cache_seeded");
+    Out.RoundsSavedWarm = R.Merged.get("rounds_saved_warm");
+    Out.CacheStores = R.Merged.get("cache_stores");
     return Out;
   }
   if (Tool == "gemcutter-oct")
@@ -262,6 +272,11 @@ SuiteAggregate seqver::bench::aggregate(const std::vector<RunRecord> &Records,
     Out.TotalPeakInternedSets += R.PeakInternedSets;
     Out.TotalSleepsetInlineSets += R.SleepsetInlineSets;
     Out.TotalSleepsetSpillSets += R.SleepsetSpillSets;
+    Out.TotalCacheHits += R.CacheHits;
+    Out.TotalCacheMisses += R.CacheMisses;
+    Out.TotalCacheSeeded += R.CacheSeeded;
+    Out.TotalRoundsSavedWarm += R.RoundsSavedWarm;
+    Out.TotalCacheStores += R.CacheStores;
   }
   return Out;
 }

@@ -56,6 +56,14 @@ struct RunRecord {
   int64_t PeakInternedSets = 0;
   int64_t SleepsetInlineSets = 0;
   int64_t SleepsetSpillSets = 0;
+  /// Persistent proof-cache traffic (docs/PERSIST.md): all zero unless the
+  /// run's VerifierConfig carried a CacheDir (hub-merged across workers for
+  /// gemcutter-par, so a shared store counts every racing order's traffic).
+  int64_t CacheHits = 0;
+  int64_t CacheMisses = 0;
+  int64_t CacheSeeded = 0;
+  int64_t RoundsSavedWarm = 0;
+  int64_t CacheStores = 0;
   /// Portfolio only: name of the winning order.
   std::string BestOrder;
   /// Parallel portfolio only: real wall-clock of the whole race (Seconds
@@ -134,6 +142,11 @@ struct SuiteAggregate {
   int64_t TotalPeakInternedSets = 0;
   int64_t TotalSleepsetInlineSets = 0;
   int64_t TotalSleepsetSpillSets = 0;
+  int64_t TotalCacheHits = 0;
+  int64_t TotalCacheMisses = 0;
+  int64_t TotalCacheSeeded = 0;
+  int64_t TotalRoundsSavedWarm = 0;
+  int64_t TotalCacheStores = 0;
 
   /// Intern-probe hit rate in percent (0 when no probes were recorded).
   double internHitRatePct() const {

@@ -130,6 +130,13 @@ void BM_SuitePortfolioParallel(benchmark::State &State) {
   State.counters["peak_interned_sets"] =
       static_cast<double>(Par.TotalPeakInternedSets);
   State.counters["sleepset_bitset_pct"] = Par.sleepsetBitsetPct();
+  // Proof-cache traffic shares the schema with bench_proof_cache; zero
+  // here (no CacheDir in the harness configs) unless a future config opts
+  // the race into a shared store.
+  State.counters["cache_hits"] = static_cast<double>(Par.TotalCacheHits);
+  State.counters["cache_misses"] = static_cast<double>(Par.TotalCacheMisses);
+  State.counters["rounds_saved_warm"] =
+      static_cast<double>(Par.TotalRoundsSavedWarm);
 }
 BENCHMARK(BM_SuitePortfolioParallel)
     ->Unit(benchmark::kMillisecond)

@@ -2,6 +2,8 @@
 
 #include "core/Portfolio.h"
 
+#include "persist/Fingerprint.h"
+#include "persist/ProofCache.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -19,6 +21,10 @@ PortfolioResult seqver::core::runPortfolio(const prog::ConcurrentProgram &P,
   for (auto &Order : Orders) {
     VerifierConfig Config = Base;
     Config.Order = Order.get();
+    // Defer cache write-back to one store after the sweep: in this
+    // sequential as-if-parallel emulation, order 1's write-back would
+    // warm-start orders 2..n and distort their round counts.
+    Config.CacheWriteBack = false;
     Verifier V(P, Config);
     VerificationResult R = V.run();
     bool Decisive = isDecisive(R.V);
@@ -39,6 +45,27 @@ PortfolioResult seqver::core::runPortfolio(const prog::ConcurrentProgram &P,
       Out.BestOrder = Order->name();
     }
     Out.Entries.push_back(std::move(Entry));
+  }
+  // Single deferred store of the winner's proof (last-writer-wins on the
+  // shared directory). ProofAssertions are canonical printer output, so
+  // they round-trip through the next run's cache load unchanged. A warm
+  // winner's round count reflects the seeding; keep the producing run's
+  // cold count (rounds + rounds_saved_warm) so later hits still report
+  // their savings against the cold baseline.
+  if (!Base.CacheDir.empty() && Base.CacheWriteBack &&
+      isDecisive(Out.Best.V)) {
+    persist::ProofCache Cache(Base.CacheDir);
+    persist::StoredProof Stored;
+    Stored.Verdict = verdictName(Out.Best.V);
+    Stored.Order = Out.BestOrder;
+    Stored.Rounds = static_cast<uint64_t>(
+        Out.Best.Rounds + Out.Best.Stats.get("rounds_saved_warm"));
+    if (Out.Best.V == Verdict::Correct)
+      Stored.Predicates = Out.Best.ProofAssertions;
+    if (Stored.Predicates.size() > Base.MaxCachePredicates)
+      Stored.Predicates.resize(Base.MaxCachePredicates);
+    if (Cache.prepare())
+      Cache.store(persist::fingerprintProgram(P), Stored);
   }
   return Out;
 }

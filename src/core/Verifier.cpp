@@ -5,6 +5,9 @@
 #include "analysis/KarrProp.h"
 #include "analysis/OctagonProp.h"
 #include "core/Interpolation.h"
+#include "persist/Fingerprint.h"
+#include "persist/ProofCache.h"
+#include "persist/TermIO.h"
 
 #include "support/Bitset.h"
 #include "support/InternTable.h"
@@ -126,6 +129,41 @@ public:
         Stats.add("karr_seeded", static_cast<int64_t>(KarrSeeded));
       }
     }
+    // Persistent proof cache (docs/PERSIST.md): fingerprint the program
+    // and warm-start from a stored proof. Loaded predicates pass through
+    // the same Hoare-gated seam as the invariant seeds above, so a hit on
+    // a poisoned or semantically stale record costs Hoare queries, never
+    // soundness. Variables the program does not mention (another run's
+    // havoc symbols) were remapped into the `cache!` namespace by the
+    // parser, so they cannot capture this run's fresh symbols.
+    if (!Config.CacheDir.empty()) {
+      FP = persist::fingerprintProgram(P);
+      HaveFingerprint = true;
+      persist::ProofCache Cache(Config.CacheDir);
+      persist::StoredProof Stored;
+      if (Cache.load(FP, Stored)) {
+        Stats.add("cache_hits");
+        CachedRounds = Stored.Rounds;
+        std::vector<std::string> Known = persist::programVariableNames(P);
+        persist::ParseOptions PO;
+        PO.KnownVars = &Known;
+        std::vector<Term> Seeds;
+        size_t Take =
+            std::min(Stored.Predicates.size(), Config.MaxCachePredicates);
+        Seeds.reserve(Take);
+        for (size_t I = 0; I < Take; ++I) {
+          persist::ParseResult PR =
+              persist::parseTerm(TM, Stored.Predicates[I], PO);
+          if (PR.ok())
+            Seeds.push_back(PR.Value);
+        }
+        size_t Seeded = Proof.addSeedPredicates(Seeds);
+        Stats.add("cache_seeded", static_cast<int64_t>(Seeded));
+        WarmStarted = Seeded > 0;
+      } else {
+        Stats.add("cache_misses");
+      }
+    }
     assert((Config.Order || !Config.UseSleepSets) &&
            "sleep sets require a preference order");
   }
@@ -193,6 +231,14 @@ private:
   std::unique_ptr<analysis::KarrAnalysis> Karr;
   analysis::ConflictRelation StaticIndep;
   std::unique_ptr<red::PersistentSetComputer> Persistent;
+
+  /// Proof-cache state (docs/PERSIST.md). The fingerprint is computed once
+  /// in the constructor; CachedRounds is the producing run's round count
+  /// and survives write-back so warm hits keep reporting their savings.
+  persist::Fingerprint FP;
+  bool HaveFingerprint = false;
+  bool WarmStarted = false;
+  uint64_t CachedRounds = 0;
 
   /// Per-verifier interners. They persist across refinement rounds (and
   /// through proof minimization), so sleep sets, product states, and
@@ -533,6 +579,31 @@ VerificationResult Verifier::Impl::run() {
       if (Proof.predicateEnabled(Id)) // full pool unless minimized
         Result.ProofAssertions.push_back(TM.str(Proof.predicate(Id)));
   Stats.add("rounds", Result.Rounds);
+  if (HaveFingerprint) {
+    if (WarmStarted && Result.V == Verdict::Correct &&
+        CachedRounds > static_cast<uint64_t>(Result.Rounds))
+      Stats.add("rounds_saved_warm",
+                static_cast<int64_t>(CachedRounds -
+                                     static_cast<uint64_t>(Result.Rounds)));
+    if (Config.CacheWriteBack && isDecisive(Result.V)) {
+      persist::ProofCache Cache(Config.CacheDir);
+      persist::StoredProof Stored;
+      Stored.Verdict = verdictName(Result.V);
+      Stored.Order = Config.Order ? Config.Order->name() : "none";
+      // A warm run's round count reflects the seeding, not the program's
+      // cold cost; keep the producing run's count so later warm hits
+      // still report their savings against the cold baseline.
+      Stored.Rounds = WarmStarted && Result.V == Verdict::Correct
+                          ? CachedRounds
+                          : static_cast<uint64_t>(Result.Rounds);
+      if (Result.V == Verdict::Correct)
+        Stored.Predicates = Result.ProofAssertions;
+      if (Stored.Predicates.size() > Config.MaxCachePredicates)
+        Stored.Predicates.resize(Config.MaxCachePredicates);
+      if (Cache.prepare() && Cache.store(FP, Stored))
+        Stats.add("cache_stores");
+    }
+  }
   // Interning telemetry (docs/PERF.md): hits/misses aggregate the three
   // persistent per-verifier tables; the sleep-set counters additionally
   // drive the bench harness's hit-rate and representation reporting. All of

@@ -104,6 +104,21 @@ struct VerifierConfig {
   bool SeedProof = false;
   /// Cap on seeded predicates (bounds per-step Hoare query growth).
   size_t MaxSeedPredicates = 64;
+  /// Directory of the persistent proof cache (docs/PERSIST.md); empty
+  /// disables it. On construction the verifier fingerprints the program
+  /// and, on a cache hit, warm-starts the proof automaton with the stored
+  /// predicates through the same Hoare-gated seam as SeedProof — so a
+  /// stale or poisoned cache can cost time, never soundness. The stored
+  /// verdict is never trusted; every run re-verifies.
+  std::string CacheDir;
+  /// Write the final result back to the cache on a decisive verdict (the
+  /// predicate pool for Correct, an empty record for Incorrect). The
+  /// sequential portfolio turns this off per order and stores once after
+  /// the sweep, so later orders stay cold (as-if-parallel emulation).
+  bool CacheWriteBack = true;
+  /// Cap on predicates accepted from one cache record (bounds the Hoare
+  /// query burst an adversarial or bloated record can cause).
+  size_t MaxCachePredicates = 4096;
   int MaxRounds = 500;
   /// Per-run deadline; mapped onto the cancellation mechanism (the verifier
   /// arms an internal runtime::CancellationToken deadline and polls it at

@@ -1,0 +1,82 @@
+//===- persist/TermIO.h - Textual round-trip for smt::Term ----------------===//
+///
+/// \file
+/// Serialization of predicates to and from the *canonical text form* of
+/// `smt::Term`. There is exactly one such form in the codebase:
+/// `TermManager::str()`'s parenthesized infix rendering. `printTerm`
+/// delegates to it, and `parseTerm` accepts precisely that grammar:
+///
+/// \verbatim
+///   formula := 'true' | 'false' | boolvar
+///            | '!' formula
+///            | '(' sum ('<=' | '==') '0' ')'
+///            | '(' formula ('&&' formula)+ ')'
+///            | '(' formula ('||' formula)+ ')'
+///            | '(' formula '<=>' formula ')'
+///   sum     := ['-'] term (('+' | '-') term)*
+///   term    := magnitude '*' intvar | intvar | magnitude
+/// \endverbatim
+///
+/// Identifiers start with a letter or `_` and may contain `!`, `@`, `.`,
+/// `#` and `$` afterwards, which covers every symbol the verifier
+/// manufactures (`havoc!3`, `havoc!a2!0`, `x@2`). A leading `!` is always
+/// the negation operator, never part of a name.
+///
+/// Round-trip contract: for any term T of a manager TM,
+/// `parseTerm(TM, printTerm(TM, T)) == T` (pointer equality) — the printed
+/// sums are already canonical, and the mk* constructors are idempotent on
+/// canonical input. Parsing into a *different* manager produces the
+/// structurally identical term there.
+///
+/// The parser is built for adversarial input (the proof cache reads files
+/// from disk): it reports malformed text, integer overflow, and
+/// sort-inconsistent variable use through an error string — it never
+/// throws and never trips an assertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_PERSIST_TERMIO_H
+#define SEQVER_PERSIST_TERMIO_H
+
+#include "smt/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace seqver {
+namespace persist {
+
+/// Controls how `parseTerm` treats variable names.
+struct ParseOptions {
+  /// When non-null: sorted list of the variable names the target program
+  /// itself mentions (persist::programVariableNames). Any other name in
+  /// the input is run-private to whichever process wrote it — a
+  /// wp-chain havoc symbol, typically — and is renamed to
+  /// `UnknownPrefix + name` so it can never capture a fresh symbol of the
+  /// reading process.
+  const std::vector<std::string> *KnownVars = nullptr;
+  /// Replacement namespace for unknown names; only used with KnownVars.
+  std::string UnknownPrefix = "cache!";
+};
+
+/// Result of `parseTerm`: exactly one of Value / Error is set.
+struct ParseResult {
+  smt::Term Value = nullptr;
+  std::string Error;
+
+  bool ok() const { return Value != nullptr; }
+};
+
+/// Renders T in the canonical text form (delegates to TermManager::str).
+std::string printTerm(const smt::TermManager &TM, smt::Term T);
+
+/// Parses the canonical text form, interning the result in TM. Fails
+/// gracefully (ParseResult::Error) on any malformed, truncated,
+/// overflowing, or sort-inconsistent input.
+ParseResult parseTerm(smt::TermManager &TM, const std::string &Text,
+                      const ParseOptions &Opts = {});
+
+} // namespace persist
+} // namespace seqver
+
+#endif // SEQVER_PERSIST_TERMIO_H

@@ -34,7 +34,7 @@ namespace {
 VerificationResult verifyOneOrder(const std::string &Source,
                                   const VerifierConfig &Base,
                                   size_t OrderIdx, bool Prune,
-                                  analysis::PrunePreset Preset,
+                                  analysis::PrunePreset Preset, bool UseCache,
                                   const CancellationToken *Race,
                                   Statistics *Sink) {
   smt::TermManager TM;
@@ -60,6 +60,8 @@ VerificationResult verifyOneOrder(const std::string &Source,
   VerifierConfig Config = Base;
   Config.Order = Orders[OrderIdx].get();
   Config.Cancel = Race;
+  if (!UseCache)
+    Config.CacheDir.clear();
   core::Verifier V(*Build.Program, Config);
   VerificationResult R = V.run();
   // Each worker owns its sink (registered before launch, see the hub's
@@ -114,10 +116,11 @@ ParallelPortfolioResult seqver::runtime::runPortfolioParallel(
           : PC.OctagonPrune ? analysis::PrunePreset::WithOctagons
                             : analysis::PrunePreset::IntervalOnly;
       Futures.push_back(Pool.submit(
-          [&Source, &Base, I, Prune = PC.PruneDeadEdges, Preset, Race,
+          [&Source, &Base, I, Prune = PC.PruneDeadEdges, Preset,
+           UseCache = PC.UseProofCache, Race,
            Sink = Sinks[I]]() -> VerificationResult {
             VerificationResult R = verifyOneOrder(
-                Source, Base, I, Prune, Preset, Race.get(), Sink);
+                Source, Base, I, Prune, Preset, UseCache, Race.get(), Sink);
             // First decisive verdict stops the race; calling this for
             // every decisive finisher is idempotent.
             if (core::isDecisive(R.V))

@@ -54,6 +54,14 @@ struct ParallelConfig {
   /// worker's removed-edge counts land in its statistics sink as
   /// edges_pruned / karr_pruned.
   bool KarrPrune = false;
+  /// Let workers use the persistent proof cache configured in the base
+  /// VerifierConfig (CacheDir). All workers share one store: each loads at
+  /// construction and the decisive finishers write back, last-writer-wins
+  /// through atomic renames (docs/PERSIST.md). A worker that starts after
+  /// an early finisher stored may warm-start from this very race — that is
+  /// the shared cache working as intended. False forces every worker cold
+  /// (the differential gate's cold arm) without touching the base config.
+  bool UseProofCache = true;
 };
 
 struct ParallelPortfolioResult {

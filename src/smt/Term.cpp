@@ -451,6 +451,14 @@ void TermManager::collectVars(Term Formula, std::vector<Term> &Vars) const {
   }
 }
 
+/// Magnitude of V as a decimal string; unsigned arithmetic so INT64_MIN
+/// does not overflow on negation.
+static std::string magnitudeStr(int64_t V) {
+  uint64_t Mag =
+      V < 0 ? -static_cast<uint64_t>(V) : static_cast<uint64_t>(V);
+  return std::to_string(Mag);
+}
+
 std::string TermManager::strSum(const LinSum &Sum) const {
   std::string Out;
   bool First = true;
@@ -459,9 +467,8 @@ std::string TermManager::strSum(const LinSum &Sum) const {
       Out += Coeff >= 0 ? " + " : " - ";
     else if (Coeff < 0)
       Out += "-";
-    int64_t Abs = Coeff < 0 ? -Coeff : Coeff;
-    if (Abs != 1)
-      Out += std::to_string(Abs) + "*";
+    if (Coeff != 1 && Coeff != -1)
+      Out += magnitudeStr(Coeff) + "*";
     Out += Var->name();
     First = false;
   }
@@ -470,8 +477,7 @@ std::string TermManager::strSum(const LinSum &Sum) const {
       Out += Sum.Constant >= 0 ? " + " : " - ";
     else if (Sum.Constant < 0)
       Out += "-";
-    int64_t Abs = Sum.Constant < 0 ? -Sum.Constant : Sum.Constant;
-    Out += std::to_string(Abs);
+    Out += magnitudeStr(Sum.Constant);
   }
   return Out;
 }

@@ -217,7 +217,12 @@ public:
   /// Collects the free variables of Formula into Vars (deduplicated).
   void collectVars(Term Formula, std::vector<Term> &Vars) const;
 
-  /// Structural pretty printer (SMT-LIB-flavoured infix).
+  /// Structural pretty printer (SMT-LIB-flavoured infix). This is the
+  /// *canonical text form* of a term: persist::parseTerm accepts exactly
+  /// this grammar and round-trips it back to the same interned node, and
+  /// the on-disk proof cache stores predicates in it. Grammar changes
+  /// must be mirrored in persist/TermIO and the cache format version
+  /// bumped (docs/PERSIST.md).
   std::string str(Term Formula) const;
 
   /// Number of interned nodes (monotone; used by tests and stats).

@@ -1,0 +1,617 @@
+//===- tests/persist_test.cpp - Proof cache & warm-start tests ------------===//
+///
+/// Covers the persistent proof cache subsystem (docs/PERSIST.md):
+/// fingerprint invariance (alpha-renaming) and sensitivity (semantic
+/// edits), exact Term round-trips through the canonical text form,
+/// graceful rejection of malformed/corrupt/stale cache records, the
+/// unknown-variable remapping that prevents fresh-symbol capture, and the
+/// end-to-end warm-start path — including the poisoned-cache case whose
+/// seeds the Hoare gate must keep out of the proof.
+///
+//===----------------------------------------------------------------------===//
+
+#include "persist/Fingerprint.h"
+#include "persist/ProofCache.h"
+#include "persist/TermIO.h"
+
+#include "core/Portfolio.h"
+#include "core/Verifier.h"
+#include "program/CfgBuilder.h"
+#include "runtime/ParallelPortfolio.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+using namespace seqver;
+using namespace seqver::persist;
+using seqver::smt::LinSum;
+using seqver::smt::Sort;
+using seqver::smt::Term;
+
+namespace {
+
+std::unique_ptr<prog::ConcurrentProgram> build(const std::string &Source,
+                                               smt::TermManager &TM) {
+  prog::BuildResult R = prog::buildFromSource(Source, TM);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.Program);
+}
+
+/// Unique per-test cache directory, removed on scope exit.
+struct TempCacheDir {
+  std::string Path;
+  TempCacheDir() {
+    static std::atomic<int> Counter{0};
+    Path = ::testing::TempDir() + "seqver_persist_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(Counter.fetch_add(1));
+    std::filesystem::create_directories(Path);
+  }
+  ~TempCacheDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST(FingerprintTest, HexRoundTrip) {
+  Fingerprint FP{0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
+  std::string Hex = FP.hex();
+  EXPECT_EQ(Hex, "0123456789abcdeffedcba9876543210");
+  Fingerprint Back;
+  ASSERT_TRUE(Fingerprint::fromHex(Hex, Back));
+  EXPECT_EQ(Back, FP);
+  EXPECT_FALSE(Fingerprint::fromHex("123", Back));
+  EXPECT_FALSE(Fingerprint::fromHex(std::string(32, 'g'), Back));
+  EXPECT_FALSE(Fingerprint::fromHex(Hex + "0", Back));
+}
+
+TEST(FingerprintTest, StableUnderAlphaRenaming) {
+  // loopSumSource(5) with every identifier renamed — variables and thread
+  // names both. Structure, initial values, and the spec are untouched.
+  std::string Renamed = "var int k := 0;\n"
+                        "var int acc := 0;\n"
+                        "thread grinder {\n"
+                        "  while (k < 5) {\n"
+                        "    acc := acc + 1;\n"
+                        "    k := k + 1;\n"
+                        "  }\n"
+                        "}\n"
+                        "thread observer { assert acc <= 5; }\n";
+  smt::TermManager TMa, TMb;
+  auto A = build(workloads::loopSumSource(5), TMa);
+  auto B = build(Renamed, TMb);
+  EXPECT_EQ(fingerprintProgram(*A), fingerprintProgram(*B));
+}
+
+TEST(FingerprintTest, DeterministicAcrossManagers) {
+  // Same source, different TermManagers (different interned ids): the
+  // canonical numbering must make the fingerprints identical.
+  smt::TermManager TMa, TMb;
+  auto A = build(workloads::bluetoothSource(3), TMa);
+  auto B = build(workloads::bluetoothSource(3), TMb);
+  EXPECT_EQ(fingerprintProgram(*A), fingerprintProgram(*B));
+}
+
+TEST(FingerprintTest, ChangesUnderSemanticEdit) {
+  smt::TermManager TM1, TM2, TM3, TM4;
+  auto Safe = build(workloads::loopSumSource(5), TM1);
+  auto Bug = build(workloads::loopSumSource(5, true), TM2);
+  auto Longer = build(workloads::loopSumSource(6), TM3);
+  // One extra (unused) global still changes the program's identity.
+  auto Extra =
+      build("var int zz := 0;\n" + workloads::loopSumSource(5), TM4);
+  Fingerprint FS = fingerprintProgram(*Safe);
+  EXPECT_NE(FS, fingerprintProgram(*Bug));
+  EXPECT_NE(FS, fingerprintProgram(*Longer));
+  EXPECT_NE(FS, fingerprintProgram(*Extra));
+}
+
+TEST(FingerprintTest, ProgramVariableNames) {
+  smt::TermManager TM;
+  auto P = build(workloads::loopSumSource(5), TM);
+  std::vector<std::string> Names = programVariableNames(*P);
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "i"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "total"), Names.end());
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+}
+
+//===----------------------------------------------------------------------===//
+// TermIO round-trips
+//===----------------------------------------------------------------------===//
+
+class TermIOTest : public ::testing::Test {
+protected:
+  smt::TermManager TM;
+
+  /// parse(print(T)) must give back the same interned node.
+  void roundTrip(Term T) {
+    std::string Text = printTerm(TM, T);
+    ParseResult R = parseTerm(TM, Text);
+    ASSERT_TRUE(R.ok()) << "'" << Text << "': " << R.Error;
+    EXPECT_EQ(R.Value, T) << "'" << Text << "' reparsed as '"
+                          << printTerm(TM, R.Value) << "'";
+  }
+};
+
+TEST_F(TermIOTest, RoundTripBasics) {
+  Term X = TM.mkVar("x", Sort::Int);
+  Term Y = TM.mkVar("y", Sort::Int);
+  Term B = TM.mkVar("flag", Sort::Bool);
+  LinSum SX = TM.sumOfVar(X), SY = TM.sumOfVar(Y);
+
+  roundTrip(TM.mkTrue());
+  roundTrip(TM.mkFalse());
+  roundTrip(B);
+  roundTrip(TM.mkNot(B));
+  roundTrip(TM.mkLe(SX, TM.sumOfConst(7)));
+  roundTrip(TM.mkEq(SX, SY));
+  roundTrip(TM.mkLt(TM.sumOfConst(-3), SX));
+  roundTrip(TM.mkEq(smt::TermManager::sumAdd(
+                        smt::TermManager::sumScale(SX, 2),
+                        smt::TermManager::sumScale(SY, -5)),
+                    TM.sumOfConst(-11)));
+  roundTrip(TM.mkNot(TM.mkEq(SX, SY))); // disequality survives as Not
+  roundTrip(TM.mkAnd({B, TM.mkLe(SX, SY), TM.mkGe(SX, TM.sumOfConst(0))}));
+  roundTrip(TM.mkOr(TM.mkNot(B), TM.mkLt(SY, SX)));
+  roundTrip(TM.mkIff(B, TM.mkLe(SX, TM.sumOfConst(0))));
+  roundTrip(TM.mkAnd(TM.mkOr(B, TM.mkIff(TM.mkNot(B), TM.mkEq(SX, SY))),
+                     TM.mkLe(TM.sumOfConst(1), SX)));
+}
+
+TEST_F(TermIOTest, RoundTripManufacturedNames) {
+  // The names the verifier's fresh-variable sources and interpolation
+  // produce must lex as single identifiers.
+  Term H = TM.mkVar("havoc!3", Sort::Int);
+  Term H2 = TM.mkVar("havoc!a2!0", Sort::Int);
+  Term At = TM.mkVar("x@2", Sort::Int);
+  roundTrip(TM.mkLe(TM.sumOfVar(H), TM.sumOfVar(H2)));
+  roundTrip(TM.mkEq(TM.sumOfVar(At), TM.sumOfConst(4)));
+  roundTrip(TM.mkNot(TM.mkVar("b!1", Sort::Bool)));
+}
+
+TEST_F(TermIOTest, RoundTripLargeMagnitudes) {
+  Term X = TM.mkVar("x", Sort::Int);
+  LinSum SX = TM.sumOfVar(X);
+  roundTrip(TM.mkLe(SX, TM.sumOfConst(INT64_MAX)));
+  roundTrip(TM.mkLe(TM.sumOfConst(INT64_MIN + 1), SX));
+  roundTrip(TM.mkEq(smt::TermManager::sumScale(SX, INT64_MAX),
+                    TM.sumOfConst(0)));
+}
+
+TEST_F(TermIOTest, CrossManagerTransfer) {
+  // Printing in one manager and parsing in another yields the structurally
+  // identical term there.
+  smt::TermManager Other;
+  Term X = TM.mkVar("x", Sort::Int);
+  Term B = TM.mkVar("b", Sort::Bool);
+  Term T = TM.mkAnd(TM.mkLe(TM.sumOfVar(X), TM.sumOfConst(3)),
+                    TM.mkNot(B));
+  ParseResult R = parseTerm(Other, printTerm(TM, T));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(printTerm(Other, R.Value), printTerm(TM, T));
+}
+
+TEST_F(TermIOTest, RejectsGarbage) {
+  const char *Bad[] = {
+      "",
+      "(",
+      "((x <= 0)",
+      "(x <= 0))",
+      "(x <= 1)",          // rhs must be the literal 0
+      "(x < 0)",           // '<' alone is not a token
+      "(x = 0)",           // '=' alone is not a token
+      "(x && )",
+      "(x && y || z)",     // mixed junction is never printed
+      "(x)",               // 1-ary junction is never printed
+      "!(x)",
+      "(x <=> y <=> z)",   // iff is binary
+      "(x + <= 0)",
+      "(x * 2 <= 0)",      // coefficient precedes the variable
+      "(2 * * x <= 0)",
+      "92233720368547758079999", // overflow
+      "(9223372036854775808 <= 0)",  // INT64_MAX + 1
+      "(- 9223372036854775808*x <= 0)", // lone INT64_MIN coefficient
+      "(x % 2 == 0)",
+      "true false",
+      "truex(",
+  };
+  for (const char *Text : Bad) {
+    ParseResult R = parseTerm(TM, Text);
+    EXPECT_FALSE(R.ok()) << "'" << Text << "' parsed as '"
+                         << (R.ok() ? printTerm(TM, R.Value) : "") << "'";
+    EXPECT_FALSE(R.Error.empty());
+  }
+}
+
+TEST_F(TermIOTest, RejectsSortConflicts) {
+  TM.mkVar("n", Sort::Int);
+  TM.mkVar("b", Sort::Bool);
+  // Int variable in a boolean position and vice versa: graceful error,
+  // never the mkVar sort assertion.
+  EXPECT_FALSE(parseTerm(TM, "n").ok());
+  EXPECT_FALSE(parseTerm(TM, "(n && b)").ok());
+  EXPECT_FALSE(parseTerm(TM, "(b + 1 <= 0)").ok());
+  EXPECT_FALSE(parseTerm(TM, "(2*b == 0)").ok());
+  // Conflicting sorts inside one input.
+  EXPECT_FALSE(parseTerm(TM, "(fresh && (fresh <= 0))").ok());
+}
+
+TEST_F(TermIOTest, UnknownVariableRemap) {
+  std::vector<std::string> Known = {"i", "total"};
+  ParseOptions Opts;
+  Opts.KnownVars = &Known;
+
+  ParseResult R = parseTerm(TM, "(havoc!3 + total <= 0)", Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The program's own variable survives; the foreign havoc symbol moved
+  // into the cache! namespace, so it can never capture a fresh variable
+  // named havoc!3 in this run.
+  EXPECT_NE(TM.lookupVar("total"), nullptr);
+  EXPECT_EQ(TM.lookupVar("havoc!3"), nullptr);
+  EXPECT_NE(TM.lookupVar("cache!havoc!3"), nullptr);
+  EXPECT_EQ(printTerm(TM, R.Value), "(cache!havoc!3 + total <= 0)");
+
+  // Idempotent: an already-prefixed name does not grow a second prefix.
+  ParseResult R2 = parseTerm(TM, "(cache!havoc!3 <= 0)", Opts);
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  EXPECT_EQ(TM.lookupVar("cache!cache!havoc!3"), nullptr);
+  EXPECT_EQ(printTerm(TM, R2.Value), "(cache!havoc!3 <= 0)");
+}
+
+//===----------------------------------------------------------------------===//
+// ProofCache store/load
+//===----------------------------------------------------------------------===//
+
+class ProofCacheTest : public ::testing::Test {
+protected:
+  TempCacheDir Tmp;
+  Fingerprint FP{0x1111222233334444ULL, 0x5555666677778888ULL};
+
+  StoredProof sample() {
+    StoredProof P;
+    P.Verdict = "correct";
+    P.Order = "seq";
+    P.Rounds = 7;
+    P.Predicates = {"(total <= 5)", "(i + -1*total == 0)", "true"};
+    return P;
+  }
+
+  /// Byte-level tampering helper.
+  void rewrite(const std::string &Path, const std::string &Contents) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Contents;
+  }
+  std::string slurp(const std::string &Path) {
+    std::ifstream In(Path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(In),
+            std::istreambuf_iterator<char>()};
+  }
+};
+
+TEST_F(ProofCacheTest, StoreLoadRoundTrip) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.prepare());
+  ASSERT_TRUE(Cache.store(FP, sample()));
+  StoredProof Out;
+  ASSERT_TRUE(Cache.load(FP, Out));
+  EXPECT_EQ(Out.Verdict, "correct");
+  EXPECT_EQ(Out.Order, "seq");
+  EXPECT_EQ(Out.Rounds, 7u);
+  EXPECT_EQ(Out.Predicates, sample().Predicates);
+}
+
+TEST_F(ProofCacheTest, MissIsNotAnError) {
+  ProofCache Cache(Tmp.Path);
+  StoredProof Out;
+  EXPECT_FALSE(Cache.load(FP, Out));
+  ProofCache Disabled("");
+  EXPECT_FALSE(Disabled.enabled());
+  EXPECT_FALSE(Disabled.load(FP, Out));
+  EXPECT_FALSE(Disabled.store(FP, sample()));
+}
+
+TEST_F(ProofCacheTest, CorruptChecksumRejected) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.store(FP, sample()));
+  std::string Path = Cache.pathFor(FP);
+  std::string Bytes = slurp(Path);
+  // Flip one predicate byte; the trailing checksum no longer matches.
+  size_t At = Bytes.find("total");
+  ASSERT_NE(At, std::string::npos);
+  Bytes[At] = 'x';
+  rewrite(Path, Bytes);
+  StoredProof Out;
+  EXPECT_FALSE(Cache.load(FP, Out));
+}
+
+TEST_F(ProofCacheTest, VersionMismatchRejected) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.store(FP, sample()));
+  std::string Path = Cache.pathFor(FP);
+  std::string Bytes = slurp(Path);
+  // Future format version — even with a valid checksum over the edited
+  // body the record must be ignored, so recompute nothing and expect the
+  // checksum gate to fire first; then also test a consistent-but-wrong
+  // version by storing a hand-built record.
+  size_t At = Bytes.find("seqver-proof-cache 1");
+  ASSERT_NE(At, std::string::npos);
+  Bytes[At + std::string("seqver-proof-cache ").size()] = '2';
+  rewrite(Path, Bytes);
+  StoredProof Out;
+  EXPECT_FALSE(Cache.load(FP, Out));
+}
+
+TEST_F(ProofCacheTest, TruncatedAndMalformedRejected) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.store(FP, sample()));
+  std::string Path = Cache.pathFor(FP);
+  std::string Bytes = slurp(Path);
+  StoredProof Out;
+
+  rewrite(Path, Bytes.substr(0, Bytes.size() / 2));
+  EXPECT_FALSE(Cache.load(FP, Out));
+  rewrite(Path, "");
+  EXPECT_FALSE(Cache.load(FP, Out));
+  rewrite(Path, "garbage\n");
+  EXPECT_FALSE(Cache.load(FP, Out));
+  // Predicate count larger than the body delivers.
+  std::string Lying = Bytes;
+  size_t CountAt = Lying.find("predicates 3");
+  ASSERT_NE(CountAt, std::string::npos);
+  Lying[CountAt + std::string("predicates ").size()] = '9';
+  rewrite(Path, Lying);
+  EXPECT_FALSE(Cache.load(FP, Out));
+}
+
+TEST_F(ProofCacheTest, DeclaredFingerprintMustMatchKey) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.store(FP, sample()));
+  // Copy the (internally consistent) record to another fingerprint's
+  // slot, as a filesystem-level mixup would; the declared fingerprint no
+  // longer matches the key it is looked up under.
+  Fingerprint OtherFP{0xAAAAAAAAAAAAAAAAULL, 0xBBBBBBBBBBBBBBBBULL};
+  std::filesystem::copy_file(Cache.pathFor(FP), Cache.pathFor(OtherFP));
+  StoredProof Out;
+  EXPECT_FALSE(Cache.load(OtherFP, Out));
+  EXPECT_TRUE(Cache.load(FP, Out));
+}
+
+TEST_F(ProofCacheTest, LastWriterWins) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.store(FP, sample()));
+  StoredProof Second = sample();
+  Second.Order = "lockstep";
+  Second.Rounds = 2;
+  Second.Predicates = {"(i <= 0)"};
+  ASSERT_TRUE(Cache.store(FP, Second));
+  StoredProof Out;
+  ASSERT_TRUE(Cache.load(FP, Out));
+  EXPECT_EQ(Out.Order, "lockstep");
+  EXPECT_EQ(Out.Rounds, 2u);
+  EXPECT_EQ(Out.Predicates, Second.Predicates);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm start end-to-end
+//===----------------------------------------------------------------------===//
+
+class WarmStartTest : public ::testing::Test {
+protected:
+  TempCacheDir Tmp;
+
+  core::VerificationResult verify(const std::string &Source,
+                                  const std::string &CacheDir) {
+    smt::TermManager TM;
+    auto P = build(Source, TM);
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = 30;
+    Config.CacheDir = CacheDir;
+    return core::runSingleOrder(*P, Config, "seq");
+  }
+};
+
+TEST_F(WarmStartTest, WarmRunSavesRounds) {
+  std::string Source = workloads::loopSumSource(5);
+  core::VerificationResult Cold = verify(Source, Tmp.Path);
+  ASSERT_EQ(Cold.V, core::Verdict::Correct);
+  EXPECT_EQ(Cold.Stats.get("cache_misses"), 1);
+  EXPECT_EQ(Cold.Stats.get("cache_stores"), 1);
+  ASSERT_GT(Cold.Rounds, 1);
+
+  core::VerificationResult Warm = verify(Source, Tmp.Path);
+  ASSERT_EQ(Warm.V, core::Verdict::Correct);
+  EXPECT_EQ(Warm.Stats.get("cache_hits"), 1);
+  EXPECT_GT(Warm.Stats.get("cache_seeded"), 0);
+  EXPECT_LT(Warm.Rounds, Cold.Rounds);
+  EXPECT_EQ(Warm.Stats.get("rounds_saved_warm"),
+            Cold.Rounds - Warm.Rounds);
+}
+
+TEST_F(WarmStartTest, WarmWriteBackKeepsColdRounds) {
+  std::string Source = workloads::loopSumSource(5);
+  core::VerificationResult Cold = verify(Source, Tmp.Path);
+  core::VerificationResult Warm1 = verify(Source, Tmp.Path);
+  // The warm run's write-back must not clobber the cold round count, or
+  // the third run would report zero savings.
+  core::VerificationResult Warm2 = verify(Source, Tmp.Path);
+  EXPECT_EQ(Warm2.Stats.get("rounds_saved_warm"),
+            Cold.Rounds - Warm2.Rounds);
+  EXPECT_EQ(Warm1.Rounds, Warm2.Rounds);
+}
+
+TEST_F(WarmStartTest, RenamedProgramStillHits) {
+  core::VerificationResult Cold =
+      verify(workloads::loopSumSource(5), Tmp.Path);
+  ASSERT_EQ(Cold.V, core::Verdict::Correct);
+  // Alpha-renamed variant: same fingerprint, but the cached predicates
+  // mention the *old* variable names, which the warm run's program does
+  // not declare. The parser remaps them into the cache! namespace and the
+  // Hoare gate decides what survives — the verdict must stay correct
+  // either way.
+  std::string Renamed = "var int k := 0;\n"
+                        "var int acc := 0;\n"
+                        "thread grinder {\n"
+                        "  while (k < 5) {\n"
+                        "    acc := acc + 1;\n"
+                        "    k := k + 1;\n"
+                        "  }\n"
+                        "}\n"
+                        "thread observer { assert acc <= 5; }\n";
+  core::VerificationResult Warm = verify(Renamed, Tmp.Path);
+  EXPECT_EQ(Warm.V, core::Verdict::Correct);
+  EXPECT_EQ(Warm.Stats.get("cache_hits"), 1);
+}
+
+TEST_F(WarmStartTest, PoisonedCacheCannotFlipVerdict) {
+  // Store the SAFE program's genuine proof under the BUGGY program's
+  // fingerprint, claiming "correct". The warm run seeds from it, but
+  // cached predicates only enter automaton states through SMT-checked
+  // Hoare triples — the counterexample search must still find the bug.
+  core::VerificationResult SafeCold =
+      verify(workloads::loopSumSource(4), Tmp.Path);
+  ASSERT_EQ(SafeCold.V, core::Verdict::Correct);
+
+  smt::TermManager SafeTM, BugTM;
+  auto Safe = build(workloads::loopSumSource(4), SafeTM);
+  auto Bug = build(workloads::loopSumSource(4, true), BugTM);
+  ProofCache Cache(Tmp.Path);
+  StoredProof SafeProof;
+  ASSERT_TRUE(Cache.load(fingerprintProgram(*Safe), SafeProof));
+  ASSERT_EQ(SafeProof.Verdict, "correct");
+  ASSERT_FALSE(SafeProof.Predicates.empty());
+  ASSERT_TRUE(Cache.store(fingerprintProgram(*Bug), SafeProof));
+
+  core::VerificationResult Poisoned =
+      verify(workloads::loopSumSource(4, true), Tmp.Path);
+  EXPECT_EQ(Poisoned.V, core::Verdict::Incorrect);
+  EXPECT_EQ(Poisoned.Stats.get("cache_hits"), 1);
+
+  // The decisive warm run healed the slot: it now stores "incorrect".
+  StoredProof Healed;
+  ASSERT_TRUE(Cache.load(fingerprintProgram(*Bug), Healed));
+  EXPECT_EQ(Healed.Verdict, "incorrect");
+}
+
+TEST_F(WarmStartTest, CorruptRecordBehavesLikeMiss) {
+  std::string Source = workloads::loopSumSource(5);
+  core::VerificationResult Cold = verify(Source, Tmp.Path);
+  ASSERT_EQ(Cold.V, core::Verdict::Correct);
+  smt::TermManager TM;
+  auto P = build(Source, TM);
+  ProofCache Cache(Tmp.Path);
+  std::string Path = Cache.pathFor(fingerprintProgram(*P));
+  std::ofstream(Path, std::ios::binary | std::ios::trunc) << "junk\n";
+  core::VerificationResult Warm = verify(Source, Tmp.Path);
+  EXPECT_EQ(Warm.V, core::Verdict::Correct);
+  EXPECT_EQ(Warm.Stats.get("cache_hits"), 0);
+  EXPECT_EQ(Warm.Stats.get("cache_misses"), 1);
+}
+
+TEST_F(WarmStartTest, NoCacheDirNoTraffic) {
+  core::VerificationResult R = verify(workloads::loopSumSource(4), "");
+  EXPECT_EQ(R.Stats.get("cache_hits"), 0);
+  EXPECT_EQ(R.Stats.get("cache_misses"), 0);
+  EXPECT_EQ(R.Stats.get("cache_stores"), 0);
+}
+
+TEST_F(WarmStartTest, SequentialPortfolioDefersWriteBack) {
+  smt::TermManager TM;
+  auto P = build(workloads::loopSumSource(4), TM);
+  core::VerifierConfig Config;
+  Config.TimeoutSeconds = 30;
+  Config.CacheDir = Tmp.Path;
+
+  // Cold sweep: every order misses (no order may warm-start from an
+  // earlier order of the same as-if-parallel sweep), one record stored.
+  core::PortfolioResult Cold = core::runPortfolio(*P, Config);
+  ASSERT_EQ(Cold.Best.V, core::Verdict::Correct);
+  int64_t Hits = 0, Misses = 0;
+  for (const auto &E : Cold.Entries) {
+    Hits += E.Result.Stats.get("cache_hits");
+    Misses += E.Result.Stats.get("cache_misses");
+  }
+  EXPECT_EQ(Hits, 0);
+  EXPECT_EQ(Misses, static_cast<int64_t>(Cold.Entries.size()));
+  size_t Records = 0;
+  for (auto &Entry : std::filesystem::directory_iterator(Tmp.Path))
+    Records += Entry.path().extension() == ".proof";
+  EXPECT_EQ(Records, 1u);
+
+  // Warm sweep: now every order hits the deferred record.
+  core::PortfolioResult Warm = core::runPortfolio(*P, Config);
+  EXPECT_EQ(Warm.Best.V, Cold.Best.V);
+  Hits = 0;
+  for (const auto &E : Warm.Entries)
+    Hits += E.Result.Stats.get("cache_hits");
+  EXPECT_EQ(Hits, static_cast<int64_t>(Warm.Entries.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel portfolio sharing one store (the persist.tsan subject)
+//===----------------------------------------------------------------------===//
+
+TEST(PersistParallelTest, WorkersShareOneStore) {
+  TempCacheDir Tmp;
+  std::string Source = workloads::loopSumSource(4);
+  core::VerifierConfig Base;
+  Base.TimeoutSeconds = 30;
+  Base.CacheDir = Tmp.Path;
+  runtime::ParallelConfig PC;
+  PC.Jobs = 4;
+
+  // Cold race: workers share the directory; decisive finishers store,
+  // last-writer-wins. The record left behind must be loadable.
+  runtime::ParallelPortfolioResult Cold =
+      runtime::runPortfolioParallel(Source, Base, PC);
+  ASSERT_EQ(Cold.Best.V, core::Verdict::Correct);
+  EXPECT_GT(Cold.Merged.get("cache_misses") + Cold.Merged.get("cache_hits"),
+            0);
+
+  smt::TermManager TM;
+  auto P = build(Source, TM);
+  ProofCache Cache(Tmp.Path);
+  StoredProof Stored;
+  ASSERT_TRUE(Cache.load(fingerprintProgram(*P), Stored));
+  EXPECT_EQ(Stored.Verdict, "correct");
+
+  // Warm race: same verdict, and at least one worker warm-started.
+  runtime::ParallelPortfolioResult Warm =
+      runtime::runPortfolioParallel(Source, Base, PC);
+  EXPECT_EQ(Warm.Best.V, Cold.Best.V);
+  EXPECT_GT(Warm.Merged.get("cache_hits"), 0);
+  EXPECT_GT(Warm.Merged.get("cache_seeded"), 0);
+}
+
+TEST(PersistParallelTest, UseProofCacheOffForcesCold) {
+  TempCacheDir Tmp;
+  std::string Source = workloads::loopSumSource(4);
+  core::VerifierConfig Base;
+  Base.TimeoutSeconds = 30;
+  Base.CacheDir = Tmp.Path;
+  runtime::ParallelConfig PC;
+  PC.Jobs = 2;
+  PC.UseProofCache = false;
+
+  runtime::ParallelPortfolioResult R =
+      runtime::runPortfolioParallel(Source, Base, PC);
+  ASSERT_EQ(R.Best.V, core::Verdict::Correct);
+  EXPECT_EQ(R.Merged.get("cache_hits"), 0);
+  EXPECT_EQ(R.Merged.get("cache_misses"), 0);
+  // And nothing was stored: the workers never saw the directory.
+  bool AnyRecord = false;
+  for (auto &Entry : std::filesystem::directory_iterator(Tmp.Path))
+    AnyRecord |= Entry.path().extension() == ".proof";
+  EXPECT_FALSE(AnyRecord);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Cache-agreement gate: runs every bench workload cold (empty proof cache)
+# and then warm (cache populated by the cold run) and fails if any
+# verification verdict differs, if no workload re-verifies in strictly
+# fewer rounds, or if a deliberately poisoned cache entry (a safe
+# program's proof stored under a buggy program's fingerprint) is not
+# rejected by the Hoare gate.
+#
+# As a second step, probes the CLI plumbing end to end: verifies the same
+# program twice through --cache-dir on a scratch directory and greps the
+# --cache-stats line of the second run for a hit with seeded predicates.
+#
+# Usage: tools/check_cache.sh [build-dir] [--quick] [--timeout=N]
+#   build-dir    defaults to ./build
+#   --quick      sample every third workload (what the ctest target runs)
+#   --timeout=N  per-run verification timeout in seconds
+set -eu
+
+BUILD_DIR=build
+MODE=--check-cache
+TIMEOUT=
+for arg in "$@"; do
+  case "$arg" in
+    --quick) MODE=--check-cache=quick ;;
+    --timeout=*) TIMEOUT=$arg ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+SEQVER="$BUILD_DIR/tools/seqver"
+if [ ! -x "$SEQVER" ]; then
+  echo "error: $SEQVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+"$SEQVER" "$MODE" ${TIMEOUT:+"$TIMEOUT"}
+
+# CLI plumbing probe: the differential above drives the cache through the
+# library API; this drives it through --cache-dir/--cache-stats the way a
+# user would, on a scratch store that starts cold.
+PROBE=$(mktemp /tmp/seqver_cache_probe.XXXXXX.conc)
+CACHE=$(mktemp -d /tmp/seqver_cache_probe_dir.XXXXXX)
+trap 'rm -f "$PROBE"; rm -rf "$CACHE"' EXIT
+cat > "$PROBE" <<'EOF'
+var int i := 0;
+var int total := 0;
+thread worker {
+  while (i < 5) {
+    total := total + 1;
+    i := i + 1;
+  }
+}
+thread checker { assert total <= 5; }
+EOF
+
+"$SEQVER" --order=seq --cache-dir="$CACHE" --cache-stats "$PROBE" > /dev/null
+WARM=$("$SEQVER" --order=seq --cache-dir="$CACHE" --cache-stats "$PROBE" \
+         | grep '^cache:' || true)
+case "$WARM" in
+  "cache: 1 hit(s), 0 miss(es), "*)
+    case "$WARM" in
+      *" 0 seeded predicate(s)"*)
+        echo "error: warm run hit the cache but seeded nothing" >&2
+        echo "       cache line: $WARM" >&2
+        exit 1
+        ;;
+    esac
+    echo "cache-dir probe: ok (${WARM#cache: })"
+    ;;
+  *)
+    echo "error: warm --cache-dir run did not report a cache hit" >&2
+    echo "       cache line: ${WARM:-<missing>}" >&2
+    exit 1
+    ;;
+esac

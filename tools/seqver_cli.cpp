@@ -45,6 +45,17 @@
 ///                         verify the workload suites with the sequential
 ///                         and the parallel portfolio; fail on any verdict
 ///                         mismatch, report wall-clock speedup
+///   --cache-dir=<dir>     persistent proof cache directory: warm-start the
+///                         proof automaton from stored predicates (Hoare-
+///                         gated, so a stale cache costs time, never
+///                         soundness) and write decisive results back
+///   --no-cache            ignore any --cache-dir given earlier
+///   --cache-stats         print the cache counters after the run
+///   --check-cache[=quick] verify the workload suites cold then warm
+///                         against one cache directory; fail if any verdict
+///                         changes or if a poisoned cache entry (safe proof
+///                         stored under the buggy program's fingerprint)
+///                         survives the Hoare gate
 ///   --timeout=<seconds>   per-analysis timeout (default 60)
 ///   --witness             print the error trace for incorrect programs
 ///   --proof               print the final proof assertions
@@ -58,6 +69,8 @@
 
 #include "analysis/Analysis.h"
 #include "core/Portfolio.h"
+#include "persist/Fingerprint.h"
+#include "persist/ProofCache.h"
 #include "program/CfgBuilder.h"
 #include "program/Interpreter.h"
 #include "runtime/ParallelPortfolio.h"
@@ -66,9 +79,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 using namespace seqver;
 
@@ -102,6 +118,10 @@ struct CliOptions {
   bool PrintStats = false;
   double Timeout = 60;
   bool TimeoutSet = false;
+  std::string CacheDir;
+  bool CacheStats = false;
+  bool CheckCache = false;
+  bool CheckCacheQuick = false;
 };
 
 void printUsage() {
@@ -109,11 +129,13 @@ void printUsage() {
       "usage: seqver [options] <file.conc>\n"
       "       seqver --check-tiers[=quick]\n"
       "       seqver --check-parallel[=quick]\n"
+      "       seqver --check-cache[=quick]\n"
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
       "  --portfolio=<sequential|parallel> --jobs=<n> --rand-seed=<n>\n"
       "  --analyze[=karr] --no-sleep --no-persistent --no-proof-sensitive\n"
       "  --no-static --no-octagon --no-karr --seed-proof --no-seed\n"
       "  --no-prune\n"
+      "  --cache-dir=<dir> --no-cache --cache-stats\n"
       "  --minimize\n"
       "  --source=<wp|interp|both>\n"
       "  --timeout=<seconds> --witness --proof --stats\n");
@@ -176,6 +198,17 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     } else if (Arg == "--check-tiers=quick") {
       Opts.CheckTiers = true;
       Opts.CheckTiersQuick = true;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+    } else if (Arg == "--no-cache") {
+      Opts.CacheDir.clear();
+    } else if (Arg == "--cache-stats") {
+      Opts.CacheStats = true;
+    } else if (Arg == "--check-cache") {
+      Opts.CheckCache = true;
+    } else if (Arg == "--check-cache=quick") {
+      Opts.CheckCache = true;
+      Opts.CheckCacheQuick = true;
     } else if (Arg == "--witness") {
       Opts.PrintWitness = true;
     } else if (Arg == "--proof") {
@@ -209,7 +242,19 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       return false;
     }
   }
-  return Opts.CheckTiers || Opts.CheckParallel || !Opts.File.empty();
+  return Opts.CheckTiers || Opts.CheckParallel || Opts.CheckCache ||
+         !Opts.File.empty();
+}
+
+/// Prints the proof-cache counters of Stats on one line.
+void reportCacheStats(const Statistics &Stats) {
+  std::printf("cache: %lld hit(s), %lld miss(es), %lld seeded "
+              "predicate(s), %lld round(s) saved warm, %lld store(s)\n",
+              static_cast<long long>(Stats.get("cache_hits")),
+              static_cast<long long>(Stats.get("cache_misses")),
+              static_cast<long long>(Stats.get("cache_seeded")),
+              static_cast<long long>(Stats.get("rounds_saved_warm")),
+              static_cast<long long>(Stats.get("cache_stores")));
 }
 
 void report(const core::VerificationResult &R,
@@ -416,6 +461,140 @@ int runCheckParallel(const CliOptions &Opts) {
   return 0;
 }
 
+/// Cold/warm differential gate for the persistent proof cache
+/// (docs/PERSIST.md): every workload is verified twice against one shared
+/// cache directory — the first run populates it, the second warm-starts
+/// from it — and the verdicts must agree. Then a poisoned-cache case: the
+/// safe loop_sum proof is stored under the *buggy* variant's fingerprint
+/// with verdict "correct"; the warm run must still come out incorrect,
+/// because cached predicates only enter the proof automaton through
+/// SMT-checked Hoare triples. Returns the process exit code.
+int runCheckCache(const CliOptions &Opts) {
+  std::vector<workloads::WorkloadInstance> Suite =
+      workloads::svcompLikeSuite();
+  std::vector<workloads::WorkloadInstance> Weaver =
+      workloads::weaverLikeSuite();
+  Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  std::vector<workloads::WorkloadInstance> LoopHeavy =
+      workloads::loopHeavySuite();
+  Suite.insert(Suite.end(), LoopHeavy.begin(), LoopHeavy.end());
+  std::vector<workloads::WorkloadInstance> Affine =
+      workloads::affineSuite();
+  Suite.insert(Suite.end(), Affine.begin(), Affine.end());
+  if (Opts.CheckCacheQuick) {
+    std::vector<workloads::WorkloadInstance> Sample;
+    for (size_t I = 0; I < Suite.size(); I += 3)
+      Sample.push_back(Suite[I]);
+    Suite = std::move(Sample);
+  }
+
+  // The gate must start cold: wipe the directory (a user-provided
+  // --cache-dir included — this is a self-test, not a service cache).
+  bool OwnDir = Opts.CacheDir.empty();
+  std::string CacheDir =
+      OwnDir ? (std::filesystem::temp_directory_path() /
+                ("seqver-check-cache-" + std::to_string(getpid())))
+                   .string()
+             : Opts.CacheDir;
+  std::error_code EC;
+  std::filesystem::remove_all(CacheDir, EC);
+
+  double Timeout = Opts.TimeoutSet ? Opts.Timeout : 10;
+  int Mismatches = 0, StrictlyFewer = 0;
+  int64_t Hits = 0, Misses = 0, SeededPreds = 0, RoundsSaved = 0;
+
+  std::printf("%-22s %-10s %-10s %5s %5s %6s\n", "workload", "cold", "warm",
+              "rd-c", "rd-w", "seeded");
+  for (const auto &W : Suite) {
+    smt::TermManager TM;
+    prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
+    if (!Build.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), Build.Error.c_str());
+      return 2;
+    }
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = Timeout;
+    Config.CacheDir = CacheDir;
+    core::VerificationResult Cold =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+    core::VerificationResult Warm =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+
+    bool Agree = Cold.V == Warm.V;
+    if (!Agree)
+      ++Mismatches;
+    if (Warm.V == core::Verdict::Correct && Warm.Rounds < Cold.Rounds)
+      ++StrictlyFewer;
+    Misses += Cold.Stats.get("cache_misses");
+    Hits += Warm.Stats.get("cache_hits");
+    SeededPreds += Warm.Stats.get("cache_seeded");
+    RoundsSaved += Warm.Stats.get("rounds_saved_warm");
+    std::printf("%-22s %-10s %-10s %5d %5d %6lld%s\n", W.Name.c_str(),
+                core::verdictName(Cold.V).c_str(),
+                core::verdictName(Warm.V).c_str(), Cold.Rounds, Warm.Rounds,
+                static_cast<long long>(Warm.Stats.get("cache_seeded")),
+                Agree ? "" : "  << VERDICT MISMATCH");
+  }
+
+  // Poisoned-cache arm: a "correct" record faked onto the buggy program.
+  bool PoisonOk = false;
+  {
+    smt::TermManager SafeTM, BugTM;
+    prog::BuildResult Safe =
+        prog::buildFromSource(workloads::loopSumSource(4), SafeTM);
+    prog::BuildResult Bug =
+        prog::buildFromSource(workloads::loopSumSource(4, true), BugTM);
+    if (!Safe.ok() || !Bug.ok()) {
+      std::fprintf(stderr, "poisoned-cache arm: build failed\n");
+      return 2;
+    }
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = Timeout;
+    Config.CacheDir = CacheDir;
+    core::runSingleOrder(*Safe.Program, Config, "seq"); // stores the proof
+    persist::ProofCache Cache(CacheDir);
+    persist::StoredProof SafeProof;
+    if (!Cache.load(persist::fingerprintProgram(*Safe.Program), SafeProof)) {
+      std::fprintf(stderr, "poisoned-cache arm: no stored safe proof\n");
+      return 2;
+    }
+    Cache.store(persist::fingerprintProgram(*Bug.Program), SafeProof);
+    core::VerificationResult Poisoned =
+        core::runSingleOrder(*Bug.Program, Config, "seq");
+    PoisonOk = Poisoned.V == core::Verdict::Incorrect &&
+               Poisoned.Stats.get("cache_hits") >= 1;
+    std::printf("%-22s %-10s %-10s %5s %5d %6lld%s\n", "loop_sum/poisoned",
+                "correct*", core::verdictName(Poisoned.V).c_str(), "-",
+                Poisoned.Rounds,
+                static_cast<long long>(Poisoned.Stats.get("cache_seeded")),
+                PoisonOk ? "" : "  << POISON NOT REJECTED");
+  }
+
+  std::printf("\ncache: %lld miss(es) cold, %lld hit(s) warm, %lld seeded "
+              "predicate(s), %lld refinement round(s) saved (%d workload(s) "
+              "strictly fewer rounds warm)\n",
+              static_cast<long long>(Misses), static_cast<long long>(Hits),
+              static_cast<long long>(SeededPreds),
+              static_cast<long long>(RoundsSaved), StrictlyFewer);
+  if (OwnDir)
+    std::filesystem::remove_all(CacheDir, EC);
+  if (Mismatches > 0) {
+    std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
+    return 1;
+  }
+  if (!PoisonOk) {
+    std::fprintf(stderr,
+                 "error: poisoned cache entry was not rejected soundly\n");
+    return 1;
+  }
+  if (Hits == 0) {
+    std::fprintf(stderr, "error: warm runs never hit the cache\n");
+    return 1;
+  }
+  std::printf("all verdicts agree; poisoned entry rejected\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -428,6 +607,8 @@ int main(int argc, char **argv) {
     return runCheckTiers(Opts);
   if (Opts.CheckParallel)
     return runCheckParallel(Opts);
+  if (Opts.CheckCache)
+    return runCheckCache(Opts);
 
   std::ifstream In(Opts.File);
   if (!In) {
@@ -507,6 +688,7 @@ int main(int argc, char **argv) {
   core::VerifierConfig Config;
   Config.TimeoutSeconds = Opts.Timeout;
   Config.RandSeedBase = Opts.RandSeedBase;
+  Config.CacheDir = Opts.CacheDir;
   Config.UseSleepSets = !Opts.NoSleep;
   Config.UsePersistentSets = !Opts.NoPersistent;
   Config.ProofSensitive = !Opts.NoProofSensitive && !Opts.NoSleep;
@@ -529,6 +711,8 @@ int main(int argc, char **argv) {
     }
     core::VerificationResult R = core::runSingleOrder(P, Config, Opts.Order);
     report(R, P, Opts, Opts.Order);
+    if (Opts.CacheStats)
+      reportCacheStats(R.Stats);
     Exit = R.V == core::Verdict::Correct      ? 0
            : R.V == core::Verdict::Incorrect ? 1
                                              : 3;
@@ -549,12 +733,21 @@ int main(int argc, char **argv) {
                   core::verdictName(E.Result.V).c_str(), E.Result.Seconds);
     if (Opts.PrintStats)
       std::printf("merged stats: %s\n", R.Merged.str().c_str());
+    if (Opts.CacheStats)
+      reportCacheStats(R.Merged);
     Exit = R.Best.V == core::Verdict::Correct      ? 0
            : R.Best.V == core::Verdict::Incorrect ? 1
                                                   : 3;
   } else {
     core::PortfolioResult R = core::runPortfolio(P, Config);
     report(R.Best, P, Opts, R.BestOrder);
+    if (Opts.CacheStats) {
+      // Cache traffic is per order in the sequential sweep; aggregate it.
+      Statistics All;
+      for (const core::PortfolioEntry &E : R.Entries)
+        All.mergeFrom(E.Result.Stats);
+      reportCacheStats(All);
+    }
     Exit = R.Best.V == core::Verdict::Correct      ? 0
            : R.Best.V == core::Verdict::Incorrect ? 1
                                                   : 3;
