@@ -13,6 +13,7 @@
 #ifndef SEQVER_ANALYSIS_ANALYSIS_H
 #define SEQVER_ANALYSIS_ANALYSIS_H
 
+#include "analysis/CongruenceProp.h"
 #include "analysis/IntervalProp.h"
 #include "analysis/KarrProp.h"
 #include "analysis/LockSet.h"
@@ -39,11 +40,12 @@ public:
   const IntervalAnalysis &intervals() const { return *Intervals; }
   const OctagonAnalysis &octagons() const { return *Octagons; }
   const KarrAnalysis &karr() const { return *Karr; }
+  const CongruenceAnalysis &congruences() const { return *Congruences; }
   const RaceDetector &races() const { return *Racy; }
 
   /// The registered invariant sources in tier order — interval, octagon,
-  /// karr — the order consumers try them in (cheapest first) and the order
-  /// pruning attributes removed edges in.
+  /// karr, congruence — the order consumers try them in (cheapest first)
+  /// and the order pruning attributes removed edges in.
   std::vector<const InvariantSource *> invariantSources() const;
 
   /// Human-readable race/independence/pruning report (--analyze output).
@@ -56,6 +58,7 @@ private:
   std::unique_ptr<IntervalAnalysis> Intervals;
   std::unique_ptr<OctagonAnalysis> Octagons;
   std::unique_ptr<KarrAnalysis> Karr;
+  std::unique_ptr<CongruenceAnalysis> Congruences;
   std::unique_ptr<RaceDetector> Racy;
 };
 

@@ -1,0 +1,443 @@
+//===- analysis/CongruenceProp.cpp - Thread-modular congruence propagation ===//
+
+#include "analysis/CongruenceProp.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/IntervalProp.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace seqver;
+using namespace seqver::analysis;
+using seqver::prog::Action;
+using seqver::prog::Location;
+using seqver::prog::Prim;
+using seqver::smt::LinSum;
+using seqver::smt::Term;
+using seqver::smt::TermKind;
+
+namespace {
+
+int64_t gcdNonNeg(int64_t A, int64_t B) {
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// |A - B| in unsigned arithmetic (never overflows for int64 operands).
+uint64_t absDiff(int64_t A, int64_t B) {
+  return A >= B ? static_cast<uint64_t>(A) - static_cast<uint64_t>(B)
+                : static_cast<uint64_t>(B) - static_cast<uint64_t>(A);
+}
+
+} // namespace
+
+Congruence Congruence::of(int64_t R, int64_t M) {
+  if (M <= 0)
+    return exact(R);
+  if (M == 1 || M > CongruenceModulusCap)
+    return top();
+  int64_t Res = R % M;
+  if (Res < 0)
+    Res += M;
+  return {Res, M};
+}
+
+bool Congruence::contains(int64_t V) const {
+  if (isTop())
+    return true;
+  if (isConst())
+    return V == R;
+  int64_t Res = V % M;
+  if (Res < 0)
+    Res += M;
+  return Res == R;
+}
+
+Congruence seqver::analysis::congJoin(const Congruence &A,
+                                      const Congruence &B) {
+  if (A.isTop() || B.isTop())
+    return Congruence::top();
+  uint64_t Diff = absDiff(A.R, B.R);
+  uint64_t M = static_cast<uint64_t>(gcdNonNeg(A.M, B.M));
+  // gcd with the residue gap; gcd(0, d) = d covers the two-constants case.
+  uint64_t G = M;
+  uint64_t D = Diff;
+  while (D != 0) {
+    uint64_t T = G % D;
+    G = D;
+    D = T;
+  }
+  if (G == 0)
+    return A; // equal constants
+  if (G > static_cast<uint64_t>(CongruenceModulusCap))
+    return Congruence::top();
+  return Congruence::of(A.R, static_cast<int64_t>(G));
+}
+
+Congruence seqver::analysis::congAdd(const Congruence &A,
+                                     const Congruence &B) {
+  if (A.isTop() || B.isTop())
+    return Congruence::top();
+  __int128 R = static_cast<__int128>(A.R) + B.R;
+  if (R < INT64_MIN || R > INT64_MAX)
+    return Congruence::top();
+  return Congruence::of(static_cast<int64_t>(R), gcdNonNeg(A.M, B.M));
+}
+
+Congruence seqver::analysis::congScale(const Congruence &A, int64_t Factor) {
+  if (Factor == 0)
+    return Congruence::exact(0);
+  if (A.isTop())
+    return Congruence::top();
+  __int128 R = static_cast<__int128>(A.R) * Factor;
+  __int128 M = static_cast<__int128>(A.M) * (Factor < 0 ? -Factor : Factor);
+  if (R < INT64_MIN || R > INT64_MAX || M > CongruenceModulusCap)
+    return Congruence::top();
+  return Congruence::of(static_cast<int64_t>(R), static_cast<int64_t>(M));
+}
+
+Congruence seqver::analysis::congOfSum(const LinSum &Sum,
+                                       const CongruenceFact &F) {
+  Congruence Out = Congruence::exact(Sum.Constant);
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    auto It = F.find(Var);
+    if (It == F.end())
+      return Congruence::top();
+    Out = congAdd(Out, congScale(It->second, Coeff));
+    if (Out.isTop())
+      return Out;
+  }
+  return Out;
+}
+
+Tri seqver::analysis::congEval(const smt::TermManager &TM,
+                               const CongruenceFact &F, Term Formula) {
+  switch (Formula->kind()) {
+  case TermKind::BoolConst:
+    return Formula->boolValue() ? Tri::True : Tri::False;
+  case TermKind::IntVar:
+    return Tri::Unknown;
+  case TermKind::BoolVar: {
+    auto It = F.find(Formula);
+    if (It != F.end() && It->second.isConst())
+      return It->second.R != 0 ? Tri::True : Tri::False;
+    return Tri::Unknown;
+  }
+  case TermKind::AtomEq: {
+    Congruence C = congOfSum(Formula->sum(), F);
+    if (C.isConst())
+      return C.R == 0 ? Tri::True : Tri::False;
+    // Normalized residue: a nonzero R under modulus M > 1 means the sum is
+    // never 0 — the divisibility refutation no exact-value domain makes.
+    if (!C.isTop() && C.R != 0)
+      return Tri::False;
+    return Tri::Unknown;
+  }
+  case TermKind::AtomLe: {
+    Congruence C = congOfSum(Formula->sum(), F);
+    if (C.isConst())
+      return C.R <= 0 ? Tri::True : Tri::False;
+    return Tri::Unknown;
+  }
+  case TermKind::Not:
+    return triNot(congEval(TM, F, Formula->child(0)));
+  case TermKind::And: {
+    Tri Acc = Tri::True;
+    for (Term C : Formula->children()) {
+      Tri T = congEval(TM, F, C);
+      if (T == Tri::False)
+        return Tri::False;
+      if (T == Tri::Unknown)
+        Acc = Tri::Unknown;
+    }
+    return Acc;
+  }
+  case TermKind::Or: {
+    Tri Acc = Tri::False;
+    for (Term C : Formula->children()) {
+      Tri T = congEval(TM, F, C);
+      if (T == Tri::True)
+        return Tri::True;
+      if (T == Tri::Unknown)
+        Acc = Tri::Unknown;
+    }
+    return Acc;
+  }
+  case TermKind::Iff: {
+    Tri A = congEval(TM, F, Formula->child(0));
+    Tri B = congEval(TM, F, Formula->child(1));
+    if (A == Tri::Unknown || B == Tri::Unknown)
+      return Tri::Unknown;
+    return A == B ? Tri::True : Tri::False;
+  }
+  }
+  return Tri::Unknown;
+}
+
+namespace {
+
+class CongruenceDomain {
+public:
+  using Fact = CongruenceFact;
+
+  CongruenceDomain(const prog::ConcurrentProgram &P,
+                   const std::vector<Term> &Trackable)
+      : P(P), TM(P.termManager()), Universe(Trackable) {}
+
+  bool tracked(Term Var) const {
+    return std::binary_search(Universe.begin(), Universe.end(), Var,
+                              [](Term A, Term B) { return A->id() < B->id(); });
+  }
+
+  Fact boundary() const {
+    Fact F;
+    for (Term Var : Universe) {
+      if (!P.isGlobalConstrained(Var))
+        continue;
+      const smt::Assignment &Init = P.initialValues();
+      int64_t V = Var->sort() == smt::Sort::Int
+                      ? Init.intValue(Var)
+                      : (Init.boolValue(Var) ? 1 : 0);
+      F[Var] = Congruence::exact(V);
+    }
+    return F;
+  }
+
+  bool join(Fact &Into, const Fact &From) const {
+    bool Changed = false;
+    for (auto It = Into.begin(); It != Into.end();) {
+      auto FromIt = From.find(It->first);
+      Congruence Joined = FromIt == From.end()
+                              ? Congruence::top()
+                              : congJoin(It->second, FromIt->second);
+      if (Joined.isTop()) {
+        It = Into.erase(It);
+        Changed = true;
+        continue;
+      }
+      if (Joined != It->second) {
+        It->second = Joined;
+        Changed = true;
+      }
+      ++It;
+    }
+    return Changed;
+  }
+
+  /// Meets Var with C; false iff the meet is empty (infeasible). Only
+  /// constant pins are intersected precisely; everything else keeps the
+  /// stronger existing fact (sound: a meet may only be over-approximated).
+  bool refine(Fact &F, Term Var, const Congruence &C) const {
+    if (!tracked(Var) || C.isTop())
+      return true;
+    auto It = F.find(Var);
+    if (It == F.end()) {
+      F[Var] = C;
+      return true;
+    }
+    if (It->second.isConst())
+      return C.contains(It->second.R);
+    if (C.isConst()) {
+      if (!It->second.contains(C.R))
+        return false;
+      It->second = C;
+      return true;
+    }
+    // Two proper congruences: keep the larger modulus (a genuine CRT meet
+    // buys little on these workloads and risks modulus blow-up).
+    if (C.M > It->second.M)
+      It->second = C;
+    return true;
+  }
+
+  /// Conjunct-wise strengthening of F with Guard; false iff infeasible.
+  bool assume(Fact &F, Term Guard) const {
+    const std::vector<Term> Single{Guard};
+    const std::vector<Term> &Conjuncts =
+        Guard->kind() == TermKind::And ? Guard->children() : Single;
+    for (Term C : Conjuncts) {
+      switch (C->kind()) {
+      case TermKind::BoolConst:
+        if (!C->boolValue())
+          return false;
+        break;
+      case TermKind::BoolVar:
+        if (!refine(F, C, Congruence::exact(1)))
+          return false;
+        break;
+      case TermKind::Not:
+        if (C->child(0)->kind() == TermKind::BoolVar &&
+            !refine(F, C->child(0), Congruence::exact(0)))
+          return false;
+        break;
+      case TermKind::AtomEq: {
+        const LinSum &Sum = C->sum();
+        if (Sum.Terms.size() != 1)
+          break;
+        auto [Var, Coeff] = Sum.Terms.front();
+        if (Coeff == -1 && Sum.Constant == INT64_MIN)
+          break; // quotient not representable
+        // Coeff*Var + Constant == 0: divisibility decides feasibility.
+        if (Sum.Constant % Coeff != 0)
+          return false;
+        if (!refine(F, Var, Congruence::exact(-(Sum.Constant / Coeff))))
+          return false;
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    return true;
+  }
+
+  std::optional<Fact> transfer(const Action &A, const Fact &In) const {
+    Fact F = In;
+    for (const Prim &Pr : A.Prims) {
+      switch (Pr.K) {
+      case Prim::Kind::Assume:
+        if (congEval(TM, F, Pr.Guard) == Tri::False)
+          return std::nullopt;
+        if (!assume(F, Pr.Guard))
+          return std::nullopt;
+        break;
+      case Prim::Kind::AssignInt: {
+        if (!tracked(Pr.Var))
+          break;
+        Congruence V = congOfSum(Pr.IntValue, F);
+        if (V.isTop())
+          F.erase(Pr.Var);
+        else
+          F[Pr.Var] = V;
+        break;
+      }
+      case Prim::Kind::AssignBool: {
+        if (!tracked(Pr.Var))
+          break;
+        switch (congEval(TM, F, Pr.BoolValue)) {
+        case Tri::True:
+          F[Pr.Var] = Congruence::exact(1);
+          break;
+        case Tri::False:
+          F[Pr.Var] = Congruence::exact(0);
+          break;
+        case Tri::Unknown:
+          F.erase(Pr.Var);
+          break;
+        }
+        break;
+      }
+      case Prim::Kind::Havoc:
+        F.erase(Pr.Var);
+        break;
+      }
+    }
+    return F;
+  }
+
+  /// No widening: every proper join strictly descends a divisor chain of
+  /// the modulus (or drops a variable to top), so chains are logarithmic.
+  void widen(Fact &) const {}
+
+private:
+  const prog::ConcurrentProgram &P;
+  const smt::TermManager &TM;
+  const std::vector<Term> &Universe;
+};
+
+} // namespace
+
+CongruenceAnalysis::CongruenceAnalysis(const prog::ConcurrentProgram &P)
+    : InvariantSource(P) {
+  int N = P.numThreads();
+  Trackable = trackableVariables(P);
+
+  Facts.resize(static_cast<size_t>(N));
+  for (int T = 0; T < N; ++T) {
+    const prog::ThreadCfg &Cfg = P.thread(T);
+    CongruenceDomain D(P, Trackable[static_cast<size_t>(T)]);
+    DataflowSolver<CongruenceDomain> Solver(P, T, D, Direction::Forward);
+    Solver.run();
+    auto &PerLoc = Facts[static_cast<size_t>(T)];
+    PerLoc.assign(Cfg.numLocations(), std::nullopt);
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      if (const CongruenceFact *F = Solver.at(L))
+        PerLoc[L] = *F;
+
+    for (Location L = 0; L < Cfg.numLocations(); ++L)
+      for (const auto &[EdgeLetter, To] : Cfg.Edges[L]) {
+        (void)To;
+        bool IsDead =
+            !PerLoc[L] || !D.transfer(P.action(EdgeLetter), *PerLoc[L]);
+        if (IsDead)
+          Dead.push_back({T, L, EdgeLetter});
+      }
+  }
+}
+
+const CongruenceFact *CongruenceAnalysis::factAt(int ThreadId,
+                                                 Location Loc) const {
+  const auto &PerLoc = Facts[static_cast<size_t>(ThreadId)];
+  if (Loc >= PerLoc.size() || !PerLoc[Loc])
+    return nullptr;
+  return &*PerLoc[Loc];
+}
+
+bool CongruenceAnalysis::reachable(int ThreadId, Location Loc) const {
+  return factAt(ThreadId, Loc) != nullptr;
+}
+
+Tri CongruenceAnalysis::evalAt(int ThreadId, Location Loc,
+                               Term Formula) const {
+  const CongruenceFact *F = factAt(ThreadId, Loc);
+  if (!F)
+    return Tri::Unknown;
+  return congEval(Prog.termManager(), *F, Formula);
+}
+
+std::vector<Term> CongruenceAnalysis::invariantAtoms(int ThreadId,
+                                                     Location Loc) const {
+  std::vector<Term> Out;
+  const CongruenceFact *F = factAt(ThreadId, Loc);
+  if (!F)
+    return Out;
+  smt::TermManager &TM = Prog.termManager();
+  for (const auto &[Var, C] : *F) {
+    if (!C.isConst())
+      continue; // proper congruences have no linear-atom form
+    if (Var->sort() == smt::Sort::Bool) {
+      if (C.R == 1)
+        Out.push_back(Var);
+      else if (C.R == 0)
+        Out.push_back(TM.mkNot(Var));
+      continue;
+    }
+    Out.push_back(TM.mkEq(TM.sumOfVar(Var), TM.sumOfConst(C.R)));
+  }
+  return Out;
+}
+
+size_t CongruenceAnalysis::numCongruentLocations() const {
+  size_t Count = 0;
+  for (int T = 0; T < Prog.numThreads(); ++T) {
+    const prog::ThreadCfg &Cfg = Prog.thread(T);
+    for (Location L = 0; L < Cfg.numLocations(); ++L) {
+      const CongruenceFact *F = factAt(T, L);
+      if (!F)
+        continue;
+      for (const auto &[Var, C] : *F) {
+        (void)Var;
+        if (!C.isTop() && !C.isConst()) {
+          ++Count;
+          break;
+        }
+      }
+    }
+  }
+  return Count;
+}

@@ -1,0 +1,74 @@
+//===- analysis/Fusion.h - Lipton transaction fusion ----------------------===//
+///
+/// \file
+/// Fuses maximal right-mover*·[commit]·left-mover* sequences within each
+/// thread CFG into single transaction edges, before the interleaving
+/// product is materialized. A fused transaction executes its constituent
+/// statements atomically, so the product automaton never interleaves a
+/// foreign action between them — the reduction the mover classification
+/// (analysis/Movers.h) licenses.
+///
+/// Soundness is by construction; a segment is fused only when no other
+/// thread can observe an intermediate state:
+///
+///  - Every intermediate location has in-degree 1 and out-degree 1, is not
+///    the thread's initial location, not an error location and not
+///    terminal, and the segment is acyclic — loop heads (in-degree >= 2)
+///    and assert branch points (out-degree >= 2) are never swallowed.
+///  - Pre-commit edges are right-movers or both-movers; they may block
+///    (the canonical lock acquire): a run stuck mid-prefix commutes its
+///    executed right-movers past all later foreign actions, landing back
+///    on the segment's entry location, which survives fusion.
+///  - The commit is the first non-right-mover edge and may be of any
+///    class.
+///  - Post-commit edges are left-movers or both-movers **and
+///    non-blocking** (no assume with a non-trivial guard): they can always
+///    run to completion, so a run stuck between commit and segment exit
+///    cannot hide behavior — the completion exists and left-movers commute
+///    it back against the commit.
+///  - Edges into error locations are never part of a segment, so every
+///    assertion check stays an individually scheduled transition.
+///
+/// Fused traces replay as contiguous unfused runs, so fusion never adds
+/// behavior; the mover argument shows it never loses an error verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEQVER_ANALYSIS_FUSION_H
+#define SEQVER_ANALYSIS_FUSION_H
+
+#include "analysis/Movers.h"
+#include "program/Program.h"
+
+#include <cstdint>
+
+namespace seqver {
+namespace analysis {
+
+/// What fusion did to the program (the fusion_* counters).
+struct FusionStats {
+  uint32_t FusedEdges = 0;     ///< original edges swallowed into transactions
+  uint32_t Transactions = 0;   ///< fused transaction edges created
+  uint32_t AlphabetBefore = 0; ///< letters labeling >= 1 edge, pre-fusion
+  uint32_t AlphabetAfter = 0;  ///< letters labeling >= 1 edge, post-fusion
+  uint32_t StatesBefore = 0;   ///< reachable thread locations, pre-fusion
+  uint32_t StatesAfter = 0;    ///< reachable thread locations, post-fusion
+};
+
+/// Fuses transactions in place, guided by an existing classification
+/// (which must have been computed over P in its current shape). New
+/// letters are appended for the fused transactions; swallowed edges are
+/// removed, their letters keep their numbers but stop being enabled.
+FusionStats fuseTransactions(prog::ConcurrentProgram &P,
+                             const MoverAnalysis &Movers);
+
+/// Convenience seam for the verification pipelines: runs the lockset,
+/// may-access and all registered invariant-domain analyses over P (as it
+/// stands — prune first for the strongest classification), classifies
+/// movers, and fuses. Equivalent to building a MoverAnalysis by hand.
+FusionStats fuseTransactions(prog::ConcurrentProgram &P);
+
+} // namespace analysis
+} // namespace seqver
+
+#endif // SEQVER_ANALYSIS_FUSION_H

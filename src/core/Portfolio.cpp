@@ -64,8 +64,10 @@ PortfolioResult seqver::core::runPortfolio(const prog::ConcurrentProgram &P,
       Stored.Predicates = Out.Best.ProofAssertions;
     if (Stored.Predicates.size() > Base.MaxCachePredicates)
       Stored.Predicates.resize(Base.MaxCachePredicates);
-    if (Cache.prepare())
-      Cache.store(persist::fingerprintProgram(P), Stored);
+    uint64_t Evicted = 0;
+    if (Cache.prepare() &&
+        Cache.store(persist::fingerprintProgram(P), Stored, &Evicted))
+      Out.Best.Stats.add("cache_evicted", static_cast<int64_t>(Evicted));
   }
   return Out;
 }

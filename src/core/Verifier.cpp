@@ -600,8 +600,11 @@ VerificationResult Verifier::Impl::run() {
         Stored.Predicates = Result.ProofAssertions;
       if (Stored.Predicates.size() > Config.MaxCachePredicates)
         Stored.Predicates.resize(Config.MaxCachePredicates);
-      if (Cache.prepare() && Cache.store(FP, Stored))
+      uint64_t Evicted = 0;
+      if (Cache.prepare() && Cache.store(FP, Stored, &Evicted)) {
         Stats.add("cache_stores");
+        Stats.add("cache_evicted", static_cast<int64_t>(Evicted));
+      }
     }
   }
   // Interning telemetry (docs/PERF.md): hits/misses aggregate the three

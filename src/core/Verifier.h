@@ -104,6 +104,14 @@ struct VerifierConfig {
   bool SeedProof = false;
   /// Cap on seeded predicates (bounds per-step Hoare query growth).
   size_t MaxSeedPredicates = 64;
+  /// Fuse Lipton transactions (analysis/Fusion.h) into the program before
+  /// verification. Like dead-edge pruning this is a *program preparation*
+  /// step honored by the seams that own the program — the CLI, the
+  /// parallel portfolio's workers (via ParallelConfig::FuseTransactions)
+  /// and the benches — not by the Verifier itself, which runs whatever
+  /// program it is handed. Recorded here so one config object can describe
+  /// a full pipeline run.
+  bool FuseTransactions = false;
   /// Directory of the persistent proof cache (docs/PERSIST.md); empty
   /// disables it. On construction the verifier fingerprints the program
   /// and, on a cache hit, warm-starts the proof automaton with the stored

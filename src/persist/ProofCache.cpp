@@ -2,6 +2,7 @@
 
 #include "persist/ProofCache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -162,7 +163,64 @@ bool ProofCache::load(const Fingerprint &FP, StoredProof &Out) const {
   return true;
 }
 
-bool ProofCache::store(const Fingerprint &FP, const StoredProof &Proof) const {
+uint64_t ProofCache::evictOverCap() const {
+  if (!enabled())
+    return 0;
+  struct Entry {
+    fs::path Path;
+    fs::file_time_type MTime;
+    uint64_t Size;
+  };
+  std::vector<Entry> Entries;
+  uint64_t TotalBytes = 0;
+  std::error_code EC;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC)) {
+    const fs::directory_entry &DE = *It;
+    if (DE.path().extension() != ".proof")
+      continue;
+    std::error_code FileEC;
+    if (!DE.is_regular_file(FileEC) || FileEC)
+      continue;
+    uint64_t Size = DE.file_size(FileEC);
+    if (FileEC)
+      continue;
+    fs::file_time_type MTime = DE.last_write_time(FileEC);
+    if (FileEC)
+      continue;
+    Entries.push_back({DE.path(), MTime, Size});
+    TotalBytes += Size;
+  }
+  if (Entries.size() <= MaxEntries && TotalBytes <= MaxTotalBytes)
+    return 0;
+  // Oldest first; ties broken by path so concurrent evictors agree.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.MTime != B.MTime)
+                return A.MTime < B.MTime;
+              return A.Path < B.Path;
+            });
+  uint64_t Evicted = 0;
+  size_t Remaining = Entries.size();
+  for (const Entry &E : Entries) {
+    if (Remaining <= MaxEntries && TotalBytes <= MaxTotalBytes)
+      break;
+    std::error_code RmEC;
+    fs::remove(E.Path, RmEC);
+    // A racing evictor may have beaten us to the file; the record is gone
+    // either way, so count it against the caps regardless.
+    if (!RmEC)
+      ++Evicted;
+    --Remaining;
+    TotalBytes -= std::min(TotalBytes, E.Size);
+  }
+  return Evicted;
+}
+
+bool ProofCache::store(const Fingerprint &FP, const StoredProof &Proof,
+                       uint64_t *Evicted) const {
+  if (Evicted)
+    *Evicted = 0;
   if (!enabled())
     return false;
   std::string Body = std::string(FormatLine) + "\n";
@@ -199,5 +257,8 @@ bool ProofCache::store(const Fingerprint &FP, const StoredProof &Proof) const {
     fs::remove(TempPath, EC);
     return false;
   }
+  uint64_t Removed = evictOverCap();
+  if (Evicted)
+    *Evicted = Removed;
   return true;
 }

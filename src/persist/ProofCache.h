@@ -80,14 +80,30 @@ public:
 
   /// Atomically (re)writes the record for FP: unique temp file, then
   /// rename. Returns false if the directory is unusable. Concurrent
-  /// stores of the same fingerprint end last-writer-wins.
-  bool store(const Fingerprint &FP, const StoredProof &Proof) const;
+  /// stores of the same fingerprint end last-writer-wins. After a
+  /// successful write the directory is brought back under the MaxEntries /
+  /// MaxTotalBytes caps by deleting records oldest-modification-time
+  /// first; *Evicted (when non-null) receives the number of records
+  /// removed. Losing a record is always safe — the cache is a warm-start
+  /// hint, never an answer — so racing evictions at worst delete a file
+  /// twice (the second remove is a no-op).
+  bool store(const Fingerprint &FP, const StoredProof &Proof,
+             uint64_t *Evicted = nullptr) const;
+
+  /// Deletes `.proof` records, oldest modification time first, until the
+  /// directory is within both caps. Returns the number removed. Called by
+  /// store(); exposed for tests and offline maintenance.
+  uint64_t evictOverCap() const;
 
   /// Hard ceiling on a record's byte size; larger files are rejected
   /// unread so an adversarial cache directory cannot balloon memory.
   static constexpr uint64_t MaxFileBytes = 8u << 20;
   /// Hard ceiling on the predicate count a record may declare.
   static constexpr uint64_t MaxPredicates = 1u << 16;
+  /// Eviction caps: record count and total byte size the directory is
+  /// trimmed back to at store time.
+  static constexpr uint64_t MaxEntries = 256;
+  static constexpr uint64_t MaxTotalBytes = 64u << 20;
 
 private:
   std::string Dir;

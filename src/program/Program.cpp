@@ -165,6 +165,12 @@ bool ConcurrentProgram::removeEdge(int ThreadId, Location From, Letter L) {
   return false;
 }
 
+void ConcurrentProgram::addEdge(int ThreadId, Location From, Letter L,
+                                Location To) {
+  assert(Actions[L].ThreadId == ThreadId && "edge letter owned by other thread");
+  Threads[static_cast<size_t>(ThreadId)].addEdge(From, L, To);
+}
+
 uint32_t ConcurrentProgram::size() const {
   uint32_t Total = 0;
   for (const ThreadCfg &T : Threads)

@@ -139,6 +139,10 @@ public:
   /// Returns false if no such edge exists.
   bool removeEdge(int ThreadId, Location From, automata::Letter L);
 
+  /// Adds one CFG edge to an existing thread (used by transaction fusion
+  /// to install the fused edge). The letter must belong to ThreadId.
+  void addEdge(int ThreadId, Location From, automata::Letter L, Location To);
+
   const smt::Assignment &initialValues() const { return InitialState; }
   /// True if Var was declared with an initializer (its entry in
   /// initialValues() is binding rather than an interpreter default).

@@ -3,6 +3,7 @@
 #include "runtime/ParallelPortfolio.h"
 
 #include "analysis/Analysis.h"
+#include "analysis/Fusion.h"
 #include "program/CfgBuilder.h"
 #include "runtime/Cancellation.h"
 #include "runtime/Executor.h"
@@ -34,7 +35,8 @@ namespace {
 VerificationResult verifyOneOrder(const std::string &Source,
                                   const VerifierConfig &Base,
                                   size_t OrderIdx, bool Prune,
-                                  analysis::PrunePreset Preset, bool UseCache,
+                                  analysis::PrunePreset Preset, bool Fuse,
+                                  bool UseCache,
                                   const CancellationToken *Race,
                                   Statistics *Sink) {
   smt::TermManager TM;
@@ -52,6 +54,24 @@ VerificationResult verifyOneOrder(const std::string &Source,
       auto KarrIt = PS.BySource.find("karr");
       if (KarrIt != PS.BySource.end())
         Sink->add("karr_pruned", static_cast<int64_t>(KarrIt->second));
+    }
+  }
+  if (Fuse) {
+    // Fuse before the orders are built: preference orders hold per-letter
+    // vectors sized at construction, so the alphabet must be final here.
+    analysis::FusionStats FS = analysis::fuseTransactions(*Build.Program);
+    if (Sink) {
+      Sink->add("fusion_fused_edges", static_cast<int64_t>(FS.FusedEdges));
+      Sink->add("fusion_transactions",
+                static_cast<int64_t>(FS.Transactions));
+      Sink->setMax("fusion_alphabet_before",
+                   static_cast<int64_t>(FS.AlphabetBefore));
+      Sink->setMax("fusion_alphabet_after",
+                   static_cast<int64_t>(FS.AlphabetAfter));
+      Sink->setMax("fusion_states_before",
+                   static_cast<int64_t>(FS.StatesBefore));
+      Sink->setMax("fusion_states_after",
+                   static_cast<int64_t>(FS.StatesAfter));
     }
   }
 
@@ -117,10 +137,11 @@ ParallelPortfolioResult seqver::runtime::runPortfolioParallel(
                             : analysis::PrunePreset::IntervalOnly;
       Futures.push_back(Pool.submit(
           [&Source, &Base, I, Prune = PC.PruneDeadEdges, Preset,
-           UseCache = PC.UseProofCache, Race,
+           Fuse = PC.FuseTransactions, UseCache = PC.UseProofCache, Race,
            Sink = Sinks[I]]() -> VerificationResult {
-            VerificationResult R = verifyOneOrder(
-                Source, Base, I, Prune, Preset, UseCache, Race.get(), Sink);
+            VerificationResult R =
+                verifyOneOrder(Source, Base, I, Prune, Preset, Fuse,
+                               UseCache, Race.get(), Sink);
             // First decisive verdict stops the race; calling this for
             // every decisive finisher is idempotent.
             if (core::isDecisive(R.V))

@@ -54,6 +54,13 @@ struct ParallelConfig {
   /// worker's removed-edge counts land in its statistics sink as
   /// edges_pruned / karr_pruned.
   bool KarrPrune = false;
+  /// Fuse Lipton transactions in each worker's program copy after pruning
+  /// (analysis/Fusion.h; must match the sequential path's --fuse setting
+  /// when comparing verdicts). Each worker's fusion counters land in its
+  /// statistics sink as fusion_fused_edges / fusion_transactions /
+  /// fusion_alphabet_before / fusion_alphabet_after /
+  /// fusion_states_before / fusion_states_after.
+  bool FuseTransactions = false;
   /// Let workers use the persistent proof cache configured in the base
   /// VerifierConfig (CacheDir). All workers share one store: each loads at
   /// construction and the decisive finishers write back, last-writer-wins

@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -399,6 +400,86 @@ TEST_F(ProofCacheTest, LastWriterWins) {
   EXPECT_EQ(Out.Order, "lockstep");
   EXPECT_EQ(Out.Rounds, 2u);
   EXPECT_EQ(Out.Predicates, Second.Predicates);
+}
+
+TEST_F(ProofCacheTest, StoreEvictsOldestOverEntryCap) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.prepare());
+  namespace fs = std::filesystem;
+  // Fill to exactly the cap, backdating each record so eviction order is
+  // unambiguous regardless of filesystem timestamp resolution: record K
+  // is (MaxEntries - K) minutes old, so key 0 is the oldest.
+  auto keyFp = [](uint64_t K) {
+    return Fingerprint{0xAAAA000000000000ULL + K, K};
+  };
+  for (uint64_t K = 0; K < ProofCache::MaxEntries; ++K) {
+    uint64_t Evicted = 99;
+    ASSERT_TRUE(Cache.store(keyFp(K), sample(), &Evicted));
+    EXPECT_EQ(Evicted, 0u) << "at-cap store must not evict (key " << K << ")";
+    std::error_code EC;
+    fs::last_write_time(
+        Cache.pathFor(keyFp(K)),
+        fs::file_time_type::clock::now() -
+            std::chrono::minutes(ProofCache::MaxEntries - K),
+        EC);
+    ASSERT_FALSE(EC);
+  }
+  // A bystander file must never be touched by eviction.
+  rewrite(Tmp.Path + "/README.txt", "not a proof record\n");
+
+  // One store past the cap evicts exactly the oldest record.
+  uint64_t Evicted = 0;
+  ASSERT_TRUE(Cache.store(keyFp(ProofCache::MaxEntries), sample(), &Evicted));
+  EXPECT_EQ(Evicted, 1u);
+  StoredProof Out;
+  EXPECT_FALSE(Cache.load(keyFp(0), Out)) << "oldest record must be gone";
+  EXPECT_TRUE(Cache.load(keyFp(1), Out)) << "next-oldest record survives";
+  EXPECT_TRUE(Cache.load(keyFp(ProofCache::MaxEntries), Out));
+
+  uint64_t Proofs = 0;
+  bool BystanderIntact = false;
+  for (const auto &DE : fs::directory_iterator(Tmp.Path)) {
+    if (DE.path().extension() == ".proof")
+      ++Proofs;
+    else if (DE.path().filename() == "README.txt")
+      BystanderIntact = true;
+  }
+  EXPECT_EQ(Proofs, ProofCache::MaxEntries);
+  EXPECT_TRUE(BystanderIntact);
+}
+
+TEST_F(ProofCacheTest, EvictOverCapEnforcesByteBudget) {
+  ProofCache Cache(Tmp.Path);
+  ASSERT_TRUE(Cache.prepare());
+  namespace fs = std::filesystem;
+  // Synthesize a handful of oversized fake records directly (store() would
+  // never produce them, but a shared cache directory can accumulate
+  // arbitrary junk): 5 files of MaxTotalBytes/4 each is 25% over budget.
+  const uint64_t Chunk = ProofCache::MaxTotalBytes / 4;
+  std::string Blob(static_cast<size_t>(Chunk), 'x');
+  for (int K = 0; K < 5; ++K) {
+    std::string Path =
+        Tmp.Path + "/00000000000000000000000000000bb" + std::to_string(K) +
+        ".proof";
+    rewrite(Path, Blob);
+    std::error_code EC;
+    fs::last_write_time(Path,
+                        fs::file_time_type::clock::now() -
+                            std::chrono::minutes(10 - K),
+                        EC);
+    ASSERT_FALSE(EC);
+  }
+  EXPECT_EQ(Cache.evictOverCap(), 1u) << "dropping the oldest restores budget";
+  uint64_t Remaining = 0;
+  for (const auto &DE : fs::directory_iterator(Tmp.Path))
+    if (DE.path().extension() == ".proof")
+      ++Remaining;
+  EXPECT_EQ(Remaining, 4u);
+  // The oldest (bb0, 10 minutes old) is the one that went.
+  EXPECT_FALSE(fs::exists(
+      Tmp.Path + "/00000000000000000000000000000bb0.proof"));
+  // Within budget again: a second sweep is a no-op.
+  EXPECT_EQ(Cache.evictOverCap(), 0u);
 }
 
 //===----------------------------------------------------------------------===//

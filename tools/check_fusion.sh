@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Fusion-agreement gate: runs every tier-1 workload (SV-COMP-like,
+# Weaver-like, loop-heavy, and affine suites) through three arms -- the
+# pruned program on the deterministic "seq" order, the pruned-then-fused
+# program on the same order, and the parallel racing portfolio with
+# in-worker fusion (ParallelConfig::FuseTransactions) -- and fails if any
+# verification verdict changes across the arms. Also prints the DFS
+# state-count reduction fusion bought (the acceptance bar: a strict
+# reduction on the loop-heavy and affine suites, tracked quantitatively by
+# tools/check_perf.sh against the BENCH_fusion.json baseline).
+#
+# Usage: tools/check_fusion.sh [build-dir] [--quick]
+#   build-dir  defaults to ./build
+#   --quick    sample every third workload (what the ctest target runs)
+set -eu
+
+BUILD_DIR=build
+MODE=--check-fusion
+for arg in "$@"; do
+  case "$arg" in
+    --quick) MODE=--check-fusion=quick ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+SEQVER="$BUILD_DIR/tools/seqver"
+if [ ! -x "$SEQVER" ]; then
+  echo "error: $SEQVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+exec "$SEQVER" "$MODE"

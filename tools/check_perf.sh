@@ -28,6 +28,9 @@ done
 BENCH="$BUILD_DIR/bench/bench_hotpath"
 BASELINE="$REPO_DIR/BENCH_hotpath.json"
 CURRENT="$BUILD_DIR/BENCH_hotpath.json"
+FUSION_BENCH="$BUILD_DIR/bench/bench_fusion"
+FUSION_BASELINE="$REPO_DIR/BENCH_fusion.json"
+FUSION_CURRENT="$BUILD_DIR/BENCH_fusion.json"
 TOLERANCE="${SEQVER_PERF_TOLERANCE_PCT:-15}"
 
 if [ ! -x "$BENCH" ]; then
@@ -49,11 +52,24 @@ run_bench() {
   }
 }
 
+run_fusion_bench() {
+  "$FUSION_BENCH" --benchmark_out="$FUSION_CURRENT" \
+                  --benchmark_out_format=json >/dev/null || {
+    echo "error: bench_fusion failed" >&2
+    exit 2
+  }
+}
+
 run_bench
 
 if [ "$UPDATE" = 1 ]; then
   cp "$CURRENT" "$BASELINE"
   echo "baseline updated: $BASELINE"
+  if [ -x "$FUSION_BENCH" ]; then
+    run_fusion_bench
+    cp "$FUSION_CURRENT" "$FUSION_BASELINE"
+    echo "baseline updated: $FUSION_BASELINE"
+  fi
   exit 0
 fi
 
@@ -88,6 +104,45 @@ else
     echo "FAIL: suite wall time regressed beyond ${TOLERANCE}% of baseline" >&2
     exit 1
   fi
+fi
+
+# Fusion gate: the fused DFS state count over the tier-1 suites is
+# deterministic (seq order), so it must not grow beyond tolerance of the
+# BENCH_fusion.json baseline, and the loop-heavy and affine suites must
+# keep a strict fused-vs-unfused reduction.
+if [ -x "$FUSION_BENCH" ] && [ -f "$FUSION_BASELINE" ]; then
+  run_fusion_bench
+  BASE_FUSED=$(json_field "$FUSION_BASELINE" visited_fused_total)
+  CURR_FUSED=$(json_field "$FUSION_CURRENT" visited_fused_total)
+  CURR_UNFUSED=$(json_field "$FUSION_CURRENT" visited_unfused_total)
+  if [ -z "$BASE_FUSED" ] || [ -z "$CURR_FUSED" ]; then
+    echo "error: visited_fused_total missing from fusion baseline or current JSON" >&2
+    exit 2
+  fi
+  awk -v base="$BASE_FUSED" -v curr="$CURR_FUSED" -v unfused="$CURR_UNFUSED" \
+      -v tol="$TOLERANCE" '
+    BEGIN {
+      limit = base * (1 + tol / 100)
+      pct = base > 0 ? 100 * (curr - base) / base : 0
+      printf "fused DFS states: baseline=%d current=%d (%+.1f%%, tolerance %s%%; unfused=%d)\n", \
+             base, curr, pct, tol, unfused
+      exit curr > limit ? 1 : 0
+    }' || {
+    echo "FAIL: fused DFS state count regressed beyond ${TOLERANCE}% of baseline" >&2
+    exit 1
+  }
+  for SUITE in loop_heavy affine; do
+    S_FUSED=$(json_field "$FUSION_CURRENT" "visited_fused_$SUITE")
+    S_UNFUSED=$(json_field "$FUSION_CURRENT" "visited_unfused_$SUITE")
+    awk -v f="$S_FUSED" -v u="$S_UNFUSED" -v s="$SUITE" '
+      BEGIN {
+        printf "fusion %s: %d unfused vs %d fused\n", s, u, f
+        exit (f < u) ? 0 : 1
+      }' || {
+      echo "FAIL: fusion no longer strictly shrinks the $SUITE suite" >&2
+      exit 1
+    }
+  done
 fi
 
 # Informational: the interning speedups this run measured (the baseline

@@ -23,6 +23,10 @@
 ///                         exit (1 when potential races are found)
 ///   --analyze=karr        print the Karr affine-equality invariants per
 ///                         thread location and exit
+///   --analyze=movers      print the Lipton mover classification (one line
+///                         per statement, naming the justifying invariant
+///                         source for conditional movers) and the
+///                         transactions fusion would build, then exit
 ///   --no-sleep            disable sleep set reduction
 ///   --no-persistent       disable persistent set reduction
 ///   --no-proof-sensitive  disable conditional commutativity (Def. 7.3)
@@ -37,6 +41,15 @@
 ///                         invariant atoms before round 1 (--no-seed
 ///                         restores the default unseeded refinement)
 ///   --no-prune            keep statically dead CFG edges
+///   --fuse                fuse Lipton transactions (right-mover*·commit·
+///                         left-mover* chains become single atomic edges)
+///                         before verification; --no-fuse restores the
+///                         default unfused program
+///   --check-fusion[=quick]
+///                         verify the workload suites fused and unfused,
+///                         sequentially and with the parallel portfolio;
+///                         fail on any verdict mismatch, report the DFS
+///                         state reduction
 ///   --check-tiers[=quick] verify the workload suites across four static
 ///                         configurations (full tier stack, no Karr tier,
 ///                         full + proof seeding, interval-only); fail if
@@ -68,6 +81,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
+#include "analysis/Fusion.h"
 #include "core/Portfolio.h"
 #include "persist/Fingerprint.h"
 #include "persist/ProofCache.h"
@@ -105,9 +119,12 @@ struct CliOptions {
   bool NoStatic = false;
   bool NoOctagon = false;
   bool NoKarr = false;
-  std::string AnalyzeFocus; // "karr" = affine invariant dump only
+  std::string AnalyzeFocus; // "karr" / "movers" = focused dumps
   bool SeedProof = false;
   bool NoPrune = false;
+  bool Fuse = false;
+  bool CheckFusion = false;
+  bool CheckFusionQuick = false;
   bool CheckTiers = false;
   bool CheckTiersQuick = false;
   bool PrintWitness = false;
@@ -130,11 +147,13 @@ void printUsage() {
       "       seqver --check-tiers[=quick]\n"
       "       seqver --check-parallel[=quick]\n"
       "       seqver --check-cache[=quick]\n"
+      "       seqver --check-fusion[=quick]\n"
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
       "  --portfolio=<sequential|parallel> --jobs=<n> --rand-seed=<n>\n"
-      "  --analyze[=karr] --no-sleep --no-persistent --no-proof-sensitive\n"
+      "  --analyze[=karr|movers] --no-sleep --no-persistent\n"
+      "  --no-proof-sensitive\n"
       "  --no-static --no-octagon --no-karr --seed-proof --no-seed\n"
-      "  --no-prune\n"
+      "  --no-prune --fuse --no-fuse\n"
       "  --cache-dir=<dir> --no-cache --cache-stats\n"
       "  --minimize\n"
       "  --source=<wp|interp|both>\n"
@@ -171,6 +190,9 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     } else if (Arg == "--analyze=karr") {
       Opts.Analyze = true;
       Opts.AnalyzeFocus = "karr";
+    } else if (Arg == "--analyze=movers") {
+      Opts.Analyze = true;
+      Opts.AnalyzeFocus = "movers";
     } else if (Arg == "--no-sleep") {
       Opts.NoSleep = true;
     } else if (Arg == "--no-persistent") {
@@ -193,6 +215,15 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.SeedProof = false;
     } else if (Arg == "--no-prune") {
       Opts.NoPrune = true;
+    } else if (Arg == "--fuse") {
+      Opts.Fuse = true;
+    } else if (Arg == "--no-fuse") {
+      Opts.Fuse = false;
+    } else if (Arg == "--check-fusion") {
+      Opts.CheckFusion = true;
+    } else if (Arg == "--check-fusion=quick") {
+      Opts.CheckFusion = true;
+      Opts.CheckFusionQuick = true;
     } else if (Arg == "--check-tiers") {
       Opts.CheckTiers = true;
     } else if (Arg == "--check-tiers=quick") {
@@ -243,7 +274,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     }
   }
   return Opts.CheckTiers || Opts.CheckParallel || Opts.CheckCache ||
-         !Opts.File.empty();
+         Opts.CheckFusion || !Opts.File.empty();
 }
 
 /// Prints the proof-cache counters of Stats on one line.
@@ -595,6 +626,115 @@ int runCheckCache(const CliOptions &Opts) {
   return 0;
 }
 
+/// Fused-vs-unfused differential gate: every workload is verified with and
+/// without transaction fusion — sequentially (single seq order, pruned
+/// program) and with the parallel portfolio racing on the fused program —
+/// and all three verdicts must agree. Fusion is sound by construction
+/// (analysis/Fusion.h), so any disagreement is a bug. Also reports the DFS
+/// state reduction fusion buys. Returns the process exit code.
+int runCheckFusion(const CliOptions &Opts) {
+  std::vector<workloads::WorkloadInstance> Suite =
+      workloads::svcompLikeSuite();
+  std::vector<workloads::WorkloadInstance> Weaver =
+      workloads::weaverLikeSuite();
+  Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  std::vector<workloads::WorkloadInstance> LoopHeavy =
+      workloads::loopHeavySuite();
+  Suite.insert(Suite.end(), LoopHeavy.begin(), LoopHeavy.end());
+  std::vector<workloads::WorkloadInstance> Affine =
+      workloads::affineSuite();
+  Suite.insert(Suite.end(), Affine.begin(), Affine.end());
+  if (Opts.CheckFusionQuick) {
+    std::vector<workloads::WorkloadInstance> Sample;
+    for (size_t I = 0; I < Suite.size(); I += 3)
+      Sample.push_back(Suite[I]);
+    Suite = std::move(Sample);
+  }
+
+  double Timeout = Opts.TimeoutSet ? Opts.Timeout : 10;
+  int Mismatches = 0;
+  int64_t VisitedUnfused = 0, VisitedFused = 0;
+  int64_t FusedEdges = 0, Transactions = 0;
+
+  std::printf("%-22s %-10s %-10s %-10s %8s %8s %5s\n", "workload",
+              "unfused", "fused", "par-fused", "vis-u", "vis-f", "txn");
+  for (const auto &W : Suite) {
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = Timeout;
+    Config.RandSeedBase = Opts.RandSeedBase;
+
+    // Arm 1: pruned, unfused, sequential seq order.
+    smt::TermManager PlainTM;
+    prog::BuildResult Plain = prog::buildFromSource(W.Source, PlainTM);
+    if (!Plain.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), Plain.Error.c_str());
+      return 2;
+    }
+    analysis::pruneDeadEdges(*Plain.Program);
+    core::VerificationResult Unfused =
+        core::runSingleOrder(*Plain.Program, Config, "seq");
+
+    // Arm 2: pruned, fused, sequential seq order.
+    smt::TermManager FusedTM;
+    prog::BuildResult FusedBuild = prog::buildFromSource(W.Source, FusedTM);
+    if (!FusedBuild.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(),
+                   FusedBuild.Error.c_str());
+      return 2;
+    }
+    analysis::pruneDeadEdges(*FusedBuild.Program);
+    analysis::FusionStats FS =
+        analysis::fuseTransactions(*FusedBuild.Program);
+    core::VerificationResult Fused =
+        core::runSingleOrder(*FusedBuild.Program, Config, "seq");
+
+    // Arm 3: the parallel portfolio racing on the fused program (workers
+    // rebuild from source and replicate prune + fuse).
+    runtime::ParallelConfig PC;
+    PC.Jobs = Opts.Jobs;
+    PC.PruneDeadEdges = true;
+    PC.OctagonPrune = true;
+    PC.KarrPrune = true;
+    PC.FuseTransactions = true;
+    runtime::ParallelPortfolioResult Par =
+        runtime::runPortfolioParallel(W.Source, Config, PC);
+
+    bool Agree = Unfused.V == Fused.V && Unfused.V == Par.Best.V;
+    if (!Agree)
+      ++Mismatches;
+    VisitedUnfused += Unfused.Stats.get("visited_total");
+    VisitedFused += Fused.Stats.get("visited_total");
+    FusedEdges += static_cast<int64_t>(FS.FusedEdges);
+    Transactions += static_cast<int64_t>(FS.Transactions);
+    std::printf("%-22s %-10s %-10s %-10s %8lld %8lld %5lld%s\n",
+                W.Name.c_str(), core::verdictName(Unfused.V).c_str(),
+                core::verdictName(Fused.V).c_str(),
+                core::verdictName(Par.Best.V).c_str(),
+                static_cast<long long>(Unfused.Stats.get("visited_total")),
+                static_cast<long long>(Fused.Stats.get("visited_total")),
+                static_cast<long long>(FS.Transactions),
+                Agree ? "" : "  << VERDICT MISMATCH");
+  }
+
+  std::printf("\nfusion: %lld edge(s) into %lld transaction(s); DFS states "
+              "%lld unfused vs %lld fused",
+              static_cast<long long>(FusedEdges),
+              static_cast<long long>(Transactions),
+              static_cast<long long>(VisitedUnfused),
+              static_cast<long long>(VisitedFused));
+  if (VisitedUnfused > 0 && VisitedFused < VisitedUnfused)
+    std::printf(" (%.1f%% fewer)",
+                100.0 * static_cast<double>(VisitedUnfused - VisitedFused) /
+                    static_cast<double>(VisitedUnfused));
+  std::printf("\n");
+  if (Mismatches > 0) {
+    std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
+    return 1;
+  }
+  std::printf("all verdicts agree\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -609,6 +749,8 @@ int main(int argc, char **argv) {
     return runCheckParallel(Opts);
   if (Opts.CheckCache)
     return runCheckCache(Opts);
+  if (Opts.CheckFusion)
+    return runCheckFusion(Opts);
 
   std::ifstream In(Opts.File);
   if (!In) {
@@ -649,6 +791,23 @@ int main(int argc, char **argv) {
       std::printf("affine locations: %zu\n", Karr.numAffineLocations());
       return 0;
     }
+    if (Opts.AnalyzeFocus == "movers") {
+      // Classify against the program the verifier would actually run:
+      // pruning first makes the dead-edge vacuity rule bite.
+      if (!Opts.NoPrune)
+        analysis::pruneDeadEdges(P);
+      analysis::ProgramAnalysis PA(P);
+      std::vector<const analysis::InvariantSource *> Sources =
+          PA.invariantSources();
+      analysis::MoverAnalysis Movers(P, PA.locks(), PA.accesses(), Sources);
+      std::printf("%s", Movers.report().c_str());
+      analysis::FusionStats FS = analysis::fuseTransactions(P, Movers);
+      std::printf("fusion: %u edge(s) into %u transaction(s); alphabet "
+                  "%u -> %u, reachable locations %u -> %u\n",
+                  FS.FusedEdges, FS.Transactions, FS.AlphabetBefore,
+                  FS.AlphabetAfter, FS.StatesBefore, FS.StatesAfter);
+      return 0;
+    }
     analysis::ProgramAnalysis PA(P);
     std::printf("%s", PA.report().c_str());
     return PA.races().raceFree() ? 0 : 1;
@@ -669,6 +828,14 @@ int main(int argc, char **argv) {
         std::printf(" (%u affine-only)", KarrOnly);
       std::printf("\n");
     }
+  }
+
+  if (Opts.Fuse) {
+    analysis::FusionStats FS = analysis::fuseTransactions(P);
+    std::printf("fused %u edge(s) into %u transaction(s); alphabet "
+                "%u -> %u, reachable locations %u -> %u\n",
+                FS.FusedEdges, FS.Transactions, FS.AlphabetBefore,
+                FS.AlphabetAfter, FS.StatesBefore, FS.StatesAfter);
   }
 
   if (Opts.Simulate > 0) {
@@ -696,6 +863,7 @@ int main(int argc, char **argv) {
   Config.OctagonTier = !Opts.NoOctagon;
   Config.KarrTier = !Opts.NoKarr;
   Config.SeedProof = Opts.SeedProof;
+  Config.FuseTransactions = Opts.Fuse;
   Config.MinimizeProof = Opts.Minimize;
   Config.Source = Opts.Source == "interp"
                       ? core::PredicateSource::Interpolation
@@ -723,6 +891,7 @@ int main(int argc, char **argv) {
     PC.PruneDeadEdges = !Opts.NoPrune;
     PC.OctagonPrune = !Opts.NoOctagon;
     PC.KarrPrune = !Opts.NoOctagon && !Opts.NoKarr;
+    PC.FuseTransactions = Opts.Fuse;
     runtime::ParallelPortfolioResult R =
         runtime::runPortfolioParallel(Buffer.str(), Config, PC);
     report(R.Best, P, Opts, R.BestOrder);
