@@ -83,6 +83,8 @@ public:
     if (!Config.StaticTier)
       Commut.disableStaticTier();
     Commut.setStatistics(&Stats);
+    if (Config.SharedCommut)
+      Commut.setSharedOracle(Config.SharedCommut);
     // Semantic commutativity queries are the most expensive step between
     // two DFS polls; have the checker poll the same stop conditions.
     if (Config.Cancel)

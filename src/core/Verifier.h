@@ -127,6 +127,14 @@ struct VerifierConfig {
   /// Cap on predicates accepted from one cache record (bounds the Hoare
   /// query burst an adversarial or bloated record can cause).
   size_t MaxCachePredicates = 4096;
+  /// Shared commutativity oracle (reduction/CommutOracle.h): a second-level
+  /// memo table under manager-independent canonical keys, installed into
+  /// this verifier's CommutativityChecker. Non-owning; the caller keeps the
+  /// oracle alive for the run and decides its scope — the parallel
+  /// portfolio shares one across all workers (ParallelConfig::SharedCommut),
+  /// the CLI optionally binds it to disk (--commut-cache). Null keeps the
+  /// historical private-cache-only behavior.
+  red::CommutOracle *SharedCommut = nullptr;
   int MaxRounds = 500;
   /// Per-run deadline; mapped onto the cancellation mechanism (the verifier
   /// arms an internal runtime::CancellationToken deadline and polls it at

@@ -22,6 +22,11 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
     return true;
   count("commut_queries");
 
+  // A literal `true` context is the unconditional query: canonicalize it
+  // to nullptr so both spellings share one cache (and one oracle) entry.
+  if (Phi && Phi->kind() == smt::TermKind::BoolConst && Phi->boolValue())
+    Phi = nullptr;
+
   // Syntactic sufficient condition is independent of Phi.
   if (!ActA.footprintConflictsWith(ActB)) {
     count("commut_syntactic");
@@ -30,11 +35,61 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
   if (M == Mode::Syntactic)
     return false;
 
-  auto Key = std::make_tuple(std::min(A, B), std::max(A, B), Phi);
+  Letter MinL = std::min(A, B), MaxL = std::max(A, B);
+  auto Key = std::make_tuple(MinL, MaxL, Phi);
   auto It = Cache.find(Key);
   if (It != Cache.end()) {
     count("commut_cache_hits");
     return It->second;
+  }
+
+  // Second-level shared oracle (CommutOracle.h): a manager-independent
+  // lookup over the canonical query text, fed by every checker sharing the
+  // table — portfolio workers, earlier rounds, prior runs via disk. A hit
+  // is an already-proven answer; copy it into the private cache so repeat
+  // queries stay pointer-keyed.
+  persist::Fingerprint SKey;
+  if (Shared) {
+    SKey = sharedKey(Phi, MinL, MaxL);
+    switch (Shared->lookup(SKey)) {
+    case OracleAnswer::Commutes:
+      count("commut_shared_hits");
+      Cache.emplace(Key, true);
+      return true;
+    case OracleAnswer::Dependent:
+      count("commut_shared_hits");
+      Cache.emplace(Key, false);
+      return false;
+    case OracleAnswer::Unknown:
+      // Subsumption fallback: a pair proven to commute with *no* context
+      // commutes under every Phi (unsatisfiable obligations stay
+      // unsatisfiable when conjuncts are added), so the pair's
+      // context-free entry answers this query too. Only the positive
+      // transfers — "dependent under true" says nothing about a stronger
+      // context.
+      if (Phi && Shared->lookup(sharedKey(nullptr, MinL, MaxL)) ==
+                     OracleAnswer::Commutes) {
+        count("commut_shared_hits");
+        count("commut_shared_subsumed");
+        Cache.emplace(Key, true);
+        return true;
+      }
+      count("commut_shared_misses");
+      break;
+    }
+  }
+
+  // The private context-free screen (semanticCheck's per-pair memo) may
+  // already have settled this pair for every context — cheaper than
+  // re-running even the static tier.
+  {
+    auto MemoIt = PairMemo.find({MinL, MaxL});
+    if (MemoIt != PairMemo.end() &&
+        MemoIt->second.CF == PairObligations::CtxFree::Commutes) {
+      count("commut_cache_hits");
+      Cache.emplace(Key, true);
+      return true;
+    }
   }
 
   // Solver-free middle tier: proves the same obligations the semantic tier
@@ -47,8 +102,15 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
     case analysis::StaticTierVerdict::Interval:
       count("commut_static");
       Cache.emplace(Key, true);
+      publishShared(SKey, true);
       return true;
     case analysis::StaticTierVerdict::Octagon:
+      // Octagon and Karr proofs conjoin *location* invariants of the two
+      // letters' source locations — facts about where the letters sit in
+      // the CFG, which the location-blind canonical key cannot see. Two
+      // pairs with identical action text at different locations may get
+      // different invariant-conditional answers, so these proofs stay in
+      // the private (letter-keyed) cache and are never published.
       count("commut_octagon");
       Cache.emplace(Key, true);
       return true;
@@ -62,67 +124,148 @@ bool CommutativityChecker::commutesUnder(Term Phi, Letter A, Letter B) {
   }
   if (M == Mode::Static) {
     // No solver available: undecided pairs are conservatively dependent.
+    // Private-cache only — "undecided here" is not a fact about the query,
+    // so it must not reach checkers that do have a solver.
     Cache.emplace(Key, false);
     return false;
   }
 
   // Cancellation/deadline poll before handing the query to the solver: a
   // cancelled run answers "dependent" (sound — it only weakens the
-  // reduction) and skips the cache so a live run re-decides the pair.
+  // reduction) and skips the private cache *and* the shared oracle, so a
+  // live run re-decides the pair instead of inheriting a panic answer.
   if (stopRequested()) {
     count("commut_cancelled");
     return false;
   }
 
   count("commut_semantic");
-  bool Result = semanticCheck(Phi, P.action(std::min(A, B)),
-                              P.action(std::max(A, B)));
+  bool Result = semanticCheck(Phi, MinL, MaxL);
+  // A negative computed while a cancellation raced in may reflect an
+  // interrupted solver, not the query: drop it exactly like the pre-check
+  // above — no private cache, no publication — so a live run re-decides.
+  if (!Result && stopRequested()) {
+    count("commut_cancelled");
+    return false;
+  }
   Cache.emplace(Key, Result);
+  // A negative may be a solver give-up rather than a disproof — still
+  // sound to share (consumers only weaken the reduction on "dependent").
+  publishShared(SKey, Result);
+  // The context-free screen inside semanticCheck settles the pair for
+  // every context at once; publish that stronger fact under the pair's
+  // context-free key, where any worker with any Phi can find it.
+  if (Shared && Phi) {
+    PairObligations &Obl = PairMemo[{MinL, MaxL}];
+    if (Obl.CF != PairObligations::CtxFree::Unknown && !Obl.CFPublished) {
+      Obl.CFPublished = true;
+      publishShared(sharedKey(nullptr, MinL, MaxL),
+                    Obl.CF == PairObligations::CtxFree::Commutes);
+    }
+  }
   return Result;
 }
 
-bool CommutativityChecker::semanticCheck(Term Phi, const Action &A,
-                                         const Action &B) {
+persist::Fingerprint CommutativityChecker::sharedKey(Term Phi, Letter MinL,
+                                                     Letter MaxL) {
+  const TermManager &TM = P.termManager();
+  auto TextOf = [&](Letter L) -> const std::string & {
+    auto [It, Inserted] = ActionTexts.try_emplace(L);
+    if (Inserted)
+      It->second = canonicalActionText(TM, P.action(L));
+    return It->second;
+  };
+  static const std::string TrueText = "true";
+  const std::string *PhiText = &TrueText;
+  if (Phi) {
+    auto [It, Inserted] = PhiTexts.try_emplace(Phi);
+    if (Inserted)
+      It->second = TM.str(Phi);
+    PhiText = &It->second;
+  }
+  return CommutOracle::makeKey(TextOf(MinL), TextOf(MaxL), *PhiText);
+}
+
+void CommutativityChecker::publishShared(const persist::Fingerprint &Key,
+                                         bool Commutes) {
+  if (!Shared)
+    return;
+  Shared->publish(Key, Commutes);
+  count("commut_shared_stores");
+}
+
+bool CommutativityChecker::semanticCheck(Term Phi, Letter MinL, Letter MaxL) {
   ++SemanticChecks;
   TermManager &TM = QE.termManager();
 
-  // Compose symbolically in both orders. Havoc primitives use canonical
-  // fresh variables keyed by (letter, prim index) so the two orders produce
-  // comparable symbols.
-  std::map<std::pair<Letter, size_t>, Term> Havocs;
-  SymbolicState AB = prog::symbolicIdentity(TM);
-  applySymbolic(TM, A, AB, Havocs);
-  applySymbolic(TM, B, AB, Havocs);
-  SymbolicState BA = prog::symbolicIdentity(TM);
-  applySymbolic(TM, B, BA, Havocs);
-  applySymbolic(TM, A, BA, Havocs);
+  // The proof obligations depend only on the pair, not on Phi: build the
+  // two symbolic compositions once per (min, max) and reuse them for every
+  // context — only the unsat checks below re-run.
+  auto [MemoIt, MemoInserted] = PairMemo.try_emplace({MinL, MaxL});
+  PairObligations &Obl = MemoIt->second;
+  if (MemoInserted) {
+    const Action &A = P.action(MinL);
+    const Action &B = P.action(MaxL);
+    // Compose symbolically in both orders. Havoc primitives use canonical
+    // fresh variables keyed by (letter, prim index) so the two orders
+    // produce comparable symbols.
+    std::map<std::pair<Letter, size_t>, Term> Havocs;
+    SymbolicState AB = prog::symbolicIdentity(TM);
+    applySymbolic(TM, A, AB, Havocs);
+    applySymbolic(TM, B, AB, Havocs);
+    SymbolicState BA = prog::symbolicIdentity(TM);
+    applySymbolic(TM, B, BA, Havocs);
+    applySymbolic(TM, A, BA, Havocs);
 
-  Term Context = Phi ? Phi : TM.mkTrue();
+    Obl.CommonGuard = AB.Guard;
+    Obl.GuardsDiffer = TM.mkNot(TM.mkIff(AB.Guard, BA.Guard));
 
-  // Guards must agree under Phi: Phi /\ (G_ab xor G_ba) unsat.
-  Term GuardsDiffer = TM.mkNot(TM.mkIff(AB.Guard, BA.Guard));
-  if (!QE.isUnsat(TM.mkAnd(Context, GuardsDiffer)))
-    return false;
-
-  // Final values of all written variables must agree under Phi and the
-  // (now common) guard.
-  std::vector<Term> Written;
-  Written.insert(Written.end(), A.Writes.begin(), A.Writes.end());
-  Written.insert(Written.end(), B.Writes.begin(), B.Writes.end());
-  std::sort(Written.begin(), Written.end(),
-            [](Term X, Term Y) { return X->id() < Y->id(); });
-  Written.erase(std::unique(Written.begin(), Written.end()), Written.end());
-
-  for (Term Var : Written) {
-    Term ValuesDiffer;
-    if (Var->sort() == smt::Sort::Int) {
-      ValuesDiffer = TM.mkNot(
-          TM.mkEq(AB.intValue(TM, Var), BA.intValue(TM, Var)));
-    } else {
-      ValuesDiffer = TM.mkNot(TM.mkIff(AB.boolValue(Var), BA.boolValue(Var)));
+    // Final values of all written variables must agree.
+    std::vector<Term> Written;
+    Written.insert(Written.end(), A.Writes.begin(), A.Writes.end());
+    Written.insert(Written.end(), B.Writes.begin(), B.Writes.end());
+    std::sort(Written.begin(), Written.end(),
+              [](Term X, Term Y) { return X->id() < Y->id(); });
+    Written.erase(std::unique(Written.begin(), Written.end()), Written.end());
+    Obl.ValuesDiffer.reserve(Written.size());
+    for (Term Var : Written) {
+      if (Var->sort() == smt::Sort::Int)
+        Obl.ValuesDiffer.push_back(TM.mkNot(
+            TM.mkEq(AB.intValue(TM, Var), BA.intValue(TM, Var))));
+      else
+        Obl.ValuesDiffer.push_back(
+            TM.mkNot(TM.mkIff(AB.boolValue(Var), BA.boolValue(Var))));
     }
-    if (!QE.isUnsat(TM.mkAnd({Context, AB.Guard, ValuesDiffer})))
-      return false;
+  } else {
+    count("commut_sym_memo_hits");
   }
+
+  // Context-free screen, once per pair: discharge the obligations with no
+  // context at all. A positive is the strongest possible answer — the
+  // pair commutes under *every* Phi (monotonicity of unsat under added
+  // conjuncts) — and it is what commutesUnder publishes to the shared
+  // oracle under the pair's context-free key. Only a Dependent verdict
+  // falls through to the per-Phi check below.
+  if (Obl.CF == PairObligations::CtxFree::Unknown)
+    Obl.CF = dischargeObligations(TM.mkTrue(), Obl)
+                 ? PairObligations::CtxFree::Commutes
+                 : PairObligations::CtxFree::Dependent;
+  if (Obl.CF == PairObligations::CtxFree::Commutes)
+    return true;
+  if (!Phi)
+    return false;
+  return dischargeObligations(Phi, Obl);
+}
+
+bool CommutativityChecker::dischargeObligations(Term Context,
+                                                const PairObligations &Obl) {
+  TermManager &TM = QE.termManager();
+  // Guards must agree under the context: Context /\ (G_ab xor G_ba) unsat.
+  if (!QE.isUnsat(TM.mkAnd(Context, Obl.GuardsDiffer)))
+    return false;
+  // Values must agree under the context and the (now common) guard.
+  for (Term ValuesDiffer : Obl.ValuesDiffer)
+    if (!QE.isUnsat(TM.mkAnd({Context, Obl.CommonGuard, ValuesDiffer})))
+      return false;
   return true;
 }

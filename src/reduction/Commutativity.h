@@ -27,6 +27,7 @@
 #include "analysis/StaticCommutativity.h"
 #include "program/Program.h"
 #include "program/Semantics.h"
+#include "reduction/CommutOracle.h"
 #include "runtime/Cancellation.h"
 #include "smt/Solver.h"
 #include "support/Statistics.h"
@@ -34,6 +35,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace seqver {
@@ -70,6 +72,21 @@ public:
       Watched.push_back(Token);
   }
 
+  /// Installs the shared oracle (CommutOracle.h) as a second-level cache
+  /// between the private per-checker cache and the static tier: misses
+  /// consult it under the manager-independent canonical key, and proven
+  /// answers are published back. Publication is restricted to answers
+  /// that are pure functions of the key — interval-tier proofs, semantic
+  /// results, and the context-free screen's verdicts. Location-dependent
+  /// proofs (octagon/Karr sub-tiers, which assume the letters' source-
+  /// location invariants) and undecided answers (Mode::Static
+  /// fall-throughs, cancelled queries) are never published: the former are
+  /// invisible to the location-blind key, the latter are conservative
+  /// placeholders, not facts. Null detaches. Counters: commut_shared_hits
+  /// / commut_shared_misses / commut_shared_subsumed /
+  /// commut_shared_stores.
+  void setSharedOracle(CommutOracle *Oracle) { Shared = Oracle; }
+
   /// Disables the static tier (for tier-comparison runs; Semantic mode then
   /// behaves exactly like the historical two-tier checker).
   void disableStaticTier() { Static.reset(); }
@@ -103,10 +120,24 @@ public:
   uint64_t numStaticProofs() const {
     return Static ? Static->numProofs() : 0;
   }
+  /// Distinct (pair, context) keys in the private cache (regression seam
+  /// for the nullptr-vs-mkTrue key canonicalization).
+  size_t numCachedQueries() const { return Cache.size(); }
 
 private:
-  bool semanticCheck(smt::Term Phi, const prog::Action &A,
-                     const prog::Action &B);
+  bool semanticCheck(smt::Term Phi, automata::Letter MinL,
+                     automata::Letter MaxL);
+  /// Runs the unsat checks of Obl strengthened by Context; true iff every
+  /// obligation is discharged (false may be a solver give-up).
+  struct PairObligations;
+  bool dischargeObligations(smt::Term Context, const PairObligations &Obl);
+  /// Canonical key of the (already Phi-canonicalized, letter-ordered)
+  /// query; the per-letter action texts and per-term Phi texts are
+  /// memoized, so repeat queries hash without re-rendering.
+  persist::Fingerprint sharedKey(smt::Term Phi, automata::Letter MinL,
+                                 automata::Letter MaxL);
+  /// Publishes a proven answer to the shared oracle (no-op when detached).
+  void publishShared(const persist::Fingerprint &Key, bool Commutes);
   void count(const char *Name) {
     if (Stats)
       Stats->add(Name);
@@ -123,10 +154,38 @@ private:
   Mode M;
   std::unique_ptr<analysis::StaticCommutativity> Static;
   Statistics *Stats = nullptr;
+  CommutOracle *Shared = nullptr;
   std::vector<const runtime::CancellationToken *> Watched;
-  /// Cache key: (min letter, max letter, condition or nullptr).
+  /// Cache key: (min letter, max letter, condition or nullptr). A literal
+  /// `true` condition is canonicalized to nullptr before keying, so the
+  /// unconditional entry is shared with trivial-context callers.
   std::map<std::tuple<automata::Letter, automata::Letter, smt::Term>, bool>
       Cache;
+  /// Memoized canonical action texts (by letter) and context texts (by
+  /// interned term) for the shared-oracle key.
+  std::map<automata::Letter, std::string> ActionTexts;
+  std::map<smt::Term, std::string> PhiTexts;
+  /// Per-pair symbolic compositions: the guard-equivalence and per-written-
+  /// variable value-equivalence obligations of (min, max), built once and
+  /// reused across every Phi context — only the unsat checks re-run.
+  struct PairObligations {
+    /// The context-free screen's memoized verdict: whether the obligations
+    /// are unsatisfiable with *no* context at all. Commutes is the
+    /// strongest possible answer — unsatisfiability is monotone under
+    /// added conjuncts, so the pair commutes under *every* Phi — and is
+    /// what the shared oracle stores under the pair's context-free key.
+    /// Dependent (which may be a solver give-up) only says the trivial
+    /// context could not discharge the obligations; stronger contexts are
+    /// still checked individually.
+    enum class CtxFree : uint8_t { Unknown, Commutes, Dependent };
+    smt::Term CommonGuard = nullptr;  ///< AB.Guard (== BA.Guard when used)
+    smt::Term GuardsDiffer = nullptr; ///< !(G_ab <=> G_ba)
+    std::vector<smt::Term> ValuesDiffer; ///< one per written variable
+    CtxFree CF = CtxFree::Unknown;
+    bool CFPublished = false; ///< context-free key already sent to oracle
+  };
+  std::map<std::pair<automata::Letter, automata::Letter>, PairObligations>
+      PairMemo;
   uint64_t SemanticChecks = 0;
 };
 

@@ -36,7 +36,7 @@ VerificationResult verifyOneOrder(const std::string &Source,
                                   const VerifierConfig &Base,
                                   size_t OrderIdx, bool Prune,
                                   analysis::PrunePreset Preset, bool Fuse,
-                                  bool UseCache,
+                                  bool UseCache, red::CommutOracle *Oracle,
                                   const CancellationToken *Race,
                                   Statistics *Sink) {
   smt::TermManager TM;
@@ -80,6 +80,7 @@ VerificationResult verifyOneOrder(const std::string &Source,
   VerifierConfig Config = Base;
   Config.Order = Orders[OrderIdx].get();
   Config.Cancel = Race;
+  Config.SharedCommut = Oracle;
   if (!UseCache)
     Config.CacheDir.clear();
   core::Verifier V(*Build.Program, Config);
@@ -137,11 +138,12 @@ ParallelPortfolioResult seqver::runtime::runPortfolioParallel(
                             : analysis::PrunePreset::IntervalOnly;
       Futures.push_back(Pool.submit(
           [&Source, &Base, I, Prune = PC.PruneDeadEdges, Preset,
-           Fuse = PC.FuseTransactions, UseCache = PC.UseProofCache, Race,
+           Fuse = PC.FuseTransactions, UseCache = PC.UseProofCache,
+           Oracle = PC.SharedCommut, Race,
            Sink = Sinks[I]]() -> VerificationResult {
             VerificationResult R =
                 verifyOneOrder(Source, Base, I, Prune, Preset, Fuse,
-                               UseCache, Race.get(), Sink);
+                               UseCache, Oracle, Race.get(), Sink);
             // First decisive verdict stops the race; calling this for
             // every decisive finisher is idempotent.
             if (core::isDecisive(R.V))

@@ -69,6 +69,17 @@ struct ParallelConfig {
   /// the shared cache working as intended. False forces every worker cold
   /// (the differential gate's cold arm) without touching the base config.
   bool UseProofCache = true;
+  /// Shared commutativity oracle for the whole race
+  /// (reduction/CommutOracle.h): every worker's CommutativityChecker
+  /// consults and feeds one memo table under manager-independent canonical
+  /// keys, so a pair any worker settles is settled for the fleet — the
+  /// per-worker hit/miss/store traffic lands in the sinks as
+  /// commut_shared_hits / commut_shared_misses / commut_shared_stores and
+  /// merges through the hub. Non-owning; null keeps workers on their
+  /// private caches. Sound to share across workers because they all build
+  /// the identical program (same source, same preprocessing flags), and
+  /// the canonical key fully determines the query's answer.
+  red::CommutOracle *SharedCommut = nullptr;
 };
 
 struct ParallelPortfolioResult {

@@ -225,12 +225,17 @@ public:
   /// bumped (docs/PERSIST.md).
   std::string str(Term Formula) const;
 
+  /// Canonical text of a linear sum (the sum fragment of str()'s grammar).
+  /// Part of the same canonical-form contract: the shared commutativity
+  /// oracle keys assignment right-hand sides with it
+  /// (reduction/CommutOracle.h).
+  std::string strSum(const LinSum &Sum) const;
+
   /// Number of interned nodes (monotone; used by tests and stats).
   size_t numTerms() const { return Nodes.size(); }
 
 private:
   Term intern(TermNode &&Node);
-  std::string strSum(const LinSum &Sum) const;
 
   std::vector<std::unique_ptr<TermNode>> Nodes;
   std::unordered_map<std::string, Term> VarByName;

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Commutativity-oracle agreement gate: every workload suite is verified by
+# the parallel portfolio with the shared commutativity oracle off, with
+# one shared in-memory table, and persisted (cold flush + warm reload),
+# and all verdicts must agree. Sharing only short-circuits already-proven
+# answers under the canonical query key, so a disagreement is a soundness
+# bug (e.g. a location-dependent proof leaking through the location-blind
+# key). The gate also requires the aggregate semantic solver calls to
+# drop strictly on both the shared and the persisted-warm arms.
+#
+# Usage: tools/check_commut.sh [build-dir] [--quick] [--jobs=N]
+#   build-dir  defaults to ./build
+#   --quick    sample every third workload (what the ctest target runs)
+#   --jobs=N   worker threads (default: hardware concurrency)
+set -eu
+
+BUILD_DIR=build
+MODE=--check-commut
+JOBS=
+for arg in "$@"; do
+  case "$arg" in
+    --quick) MODE=--check-commut=quick ;;
+    --jobs=*) JOBS=$arg ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+SEQVER="$BUILD_DIR/tools/seqver"
+if [ ! -x "$SEQVER" ]; then
+  echo "error: $SEQVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+"$SEQVER" "$MODE" ${JOBS:+"$JOBS"}

@@ -67,3 +67,32 @@ case "$MERGED" in
     exit 1
     ;;
 esac
+
+# Shared-oracle merge probe: racing-timing shared hits are nondeterministic,
+# so the probe is run twice with a persisted oracle instead — the second
+# run's workers deterministically warm-start from the disk-loaded table,
+# and the hub-merged commut_shared_hits must come out nonzero with two
+# jobs. Catches both a broken oracle wiring in the parallel runtime and a
+# dropped counter in the statistics-hub merge.
+CDIR=$(mktemp -d /tmp/seqver_commut_probe.XXXXXX)
+trap 'rm -f "$PROBE"; rm -rf "$CDIR"' EXIT
+"$SEQVER" --portfolio=parallel --jobs=2 --commut-cache=persist \
+          --cache-dir="$CDIR" "$PROBE" >/dev/null
+MERGED=$("$SEQVER" --portfolio=parallel --jobs=2 --commut-cache=persist \
+                   --cache-dir="$CDIR" --stats "$PROBE" \
+           | grep '^merged stats:' || true)
+case "$MERGED" in
+  *commut_shared_hits=0*|*commut_shared_hits=,*|"")
+    echo "error: commut_shared_hits did not merge under --portfolio=parallel --commut-cache=persist" >&2
+    echo "       merged line: ${MERGED:-<missing>}" >&2
+    exit 1
+    ;;
+  *commut_shared_hits=*)
+    echo "commut-oracle warm probe: ok (nonzero hub-merged commut_shared_hits)"
+    ;;
+  *)
+    echo "error: commut_shared_hits absent from merged stats" >&2
+    echo "       merged line: ${MERGED:-<missing>}" >&2
+    exit 1
+    ;;
+esac

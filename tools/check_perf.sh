@@ -31,6 +31,9 @@ CURRENT="$BUILD_DIR/BENCH_hotpath.json"
 FUSION_BENCH="$BUILD_DIR/bench/bench_fusion"
 FUSION_BASELINE="$REPO_DIR/BENCH_fusion.json"
 FUSION_CURRENT="$BUILD_DIR/BENCH_fusion.json"
+COMMUT_BENCH="$BUILD_DIR/bench/bench_commut_oracle"
+COMMUT_BASELINE="$REPO_DIR/BENCH_commut_oracle.json"
+COMMUT_CURRENT="$BUILD_DIR/BENCH_commut_oracle.json"
 TOLERANCE="${SEQVER_PERF_TOLERANCE_PCT:-15}"
 
 if [ ! -x "$BENCH" ]; then
@@ -60,6 +63,13 @@ run_fusion_bench() {
   }
 }
 
+run_commut_bench() {
+  "$COMMUT_BENCH" "$COMMUT_CURRENT" >/dev/null || {
+    echo "error: bench_commut_oracle failed" >&2
+    exit 2
+  }
+}
+
 run_bench
 
 if [ "$UPDATE" = 1 ]; then
@@ -69,6 +79,11 @@ if [ "$UPDATE" = 1 ]; then
     run_fusion_bench
     cp "$FUSION_CURRENT" "$FUSION_BASELINE"
     echo "baseline updated: $FUSION_BASELINE"
+  fi
+  if [ -x "$COMMUT_BENCH" ]; then
+    run_commut_bench
+    cp "$COMMUT_CURRENT" "$COMMUT_BASELINE"
+    echo "baseline updated: $COMMUT_BASELINE"
   fi
   exit 0
 fi
@@ -143,6 +158,48 @@ if [ -x "$FUSION_BENCH" ] && [ -f "$FUSION_BASELINE" ]; then
       exit 1
     }
   done
+fi
+
+# Commutativity-oracle gate: the shared and persisted-warm arms of
+# bench_commut_oracle must keep their semantic-query savings. The counts
+# are race-timing dependent, so the gate checks drop *floors* (shared
+# >= 30%, persisted-warm >= 70% — a safety margin under the 40%/80% the
+# checked-in baseline demonstrates) plus a generous ceiling on the shared
+# arm's absolute query count against the baseline, with one retry for
+# scheduler noise. Verdict agreement is tools/check_commut.sh's job; here
+# only the savings are gated.
+if [ -x "$COMMUT_BENCH" ] && [ -f "$COMMUT_BASELINE" ]; then
+  COMMUT_TOL="${SEQVER_COMMUT_TOLERANCE_PCT:-50}"
+  check_commut() {
+    BASE_SEM=$(json_field "$COMMUT_BASELINE" commut_semantic_shared)
+    CURR_SEM=$(json_field "$COMMUT_CURRENT" commut_semantic_shared)
+    SHARED_DROP=$(json_field "$COMMUT_CURRENT" shared_drop_pct)
+    WARM_DROP=$(json_field "$COMMUT_CURRENT" warm_drop_pct)
+    if [ -z "$BASE_SEM" ] || [ -z "$CURR_SEM" ] || [ -z "$SHARED_DROP" ] \
+       || [ -z "$WARM_DROP" ]; then
+      echo "error: commut oracle fields missing from baseline or current JSON" >&2
+      exit 2
+    fi
+    awk -v base="$BASE_SEM" -v curr="$CURR_SEM" -v shared="$SHARED_DROP" \
+        -v warm="$WARM_DROP" -v tol="$COMMUT_TOL" '
+      BEGIN {
+        limit = base * (1 + tol / 100)
+        printf "commut oracle: shared arm %d semantic queries (baseline %d, tolerance %s%%), drops shared=%.1f%% warm=%.1f%%\n", \
+               curr, base, tol, shared, warm
+        exit (curr <= limit && shared >= 30 && warm >= 70) ? 0 : 1
+      }'
+  }
+  run_commut_bench
+  if check_commut; then
+    :
+  else
+    echo "commut gate failed; retrying once to rule out race-timing noise..."
+    run_commut_bench
+    if ! check_commut; then
+      echo "FAIL: shared commutativity oracle lost its semantic-query savings" >&2
+      exit 1
+    fi
+  fi
 fi
 
 # Informational: the interning speedups this run measured (the baseline

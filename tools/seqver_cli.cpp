@@ -64,6 +64,25 @@
 ///                         soundness) and write decisive results back
 ///   --no-cache            ignore any --cache-dir given earlier
 ///   --cache-stats         print the cache counters after the run
+///   --commut-cache=<off|shared|persist|conservative>
+///                         shared commutativity oracle
+///                         (reduction/CommutOracle.h) for --order and
+///                         --portfolio=parallel runs. off: private
+///                         per-checker caches only. shared (default): one
+///                         in-memory table for all portfolio workers.
+///                         persist: additionally load/flush settled
+///                         answers beside the proof cache under
+///                         --cache-dir. conservative: like persist but
+///                         reuse persisted negative ("dependent") answers
+///                         only. The sequential portfolio always stays
+///                         private so its as-if-parallel aggregate stays
+///                         comparable.
+///   --check-commut[=quick]
+///                         verify the workload suites with the parallel
+///                         portfolio under three oracle arms (off, shared,
+///                         persisted-warm); fail on any verdict mismatch
+///                         or if sharing does not strictly reduce the
+///                         aggregate semantic solver calls
 ///   --check-cache[=quick] verify the workload suites cold then warm
 ///                         against one cache directory; fail if any verdict
 ///                         changes or if a poisoned cache entry (safe proof
@@ -85,6 +104,7 @@
 #include "core/Portfolio.h"
 #include "persist/Fingerprint.h"
 #include "persist/ProofCache.h"
+#include "reduction/CommutOracle.h"
 #include "program/CfgBuilder.h"
 #include "program/Interpreter.h"
 #include "runtime/ParallelPortfolio.h"
@@ -139,6 +159,9 @@ struct CliOptions {
   bool CacheStats = false;
   bool CheckCache = false;
   bool CheckCacheQuick = false;
+  std::string CommutCache = "shared";
+  bool CheckCommut = false;
+  bool CheckCommutQuick = false;
 };
 
 void printUsage() {
@@ -148,6 +171,7 @@ void printUsage() {
       "       seqver --check-parallel[=quick]\n"
       "       seqver --check-cache[=quick]\n"
       "       seqver --check-fusion[=quick]\n"
+      "       seqver --check-commut[=quick]\n"
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
       "  --portfolio=<sequential|parallel> --jobs=<n> --rand-seed=<n>\n"
       "  --analyze[=karr|movers] --no-sleep --no-persistent\n"
@@ -155,6 +179,7 @@ void printUsage() {
       "  --no-static --no-octagon --no-karr --seed-proof --no-seed\n"
       "  --no-prune --fuse --no-fuse\n"
       "  --cache-dir=<dir> --no-cache --cache-stats\n"
+      "  --commut-cache=<off|shared|persist|conservative>\n"
       "  --minimize\n"
       "  --source=<wp|interp|both>\n"
       "  --timeout=<seconds> --witness --proof --stats\n");
@@ -240,6 +265,20 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     } else if (Arg == "--check-cache=quick") {
       Opts.CheckCache = true;
       Opts.CheckCacheQuick = true;
+    } else if (Arg.rfind("--commut-cache=", 0) == 0) {
+      Opts.CommutCache = Arg.substr(15);
+      if (Opts.CommutCache != "off" && Opts.CommutCache != "shared" &&
+          Opts.CommutCache != "persist" &&
+          Opts.CommutCache != "conservative") {
+        std::fprintf(stderr, "unknown commut-cache mode '%s'\n",
+                     Opts.CommutCache.c_str());
+        return false;
+      }
+    } else if (Arg == "--check-commut") {
+      Opts.CheckCommut = true;
+    } else if (Arg == "--check-commut=quick") {
+      Opts.CheckCommut = true;
+      Opts.CheckCommutQuick = true;
     } else if (Arg == "--witness") {
       Opts.PrintWitness = true;
     } else if (Arg == "--proof") {
@@ -274,7 +313,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     }
   }
   return Opts.CheckTiers || Opts.CheckParallel || Opts.CheckCache ||
-         Opts.CheckFusion || !Opts.File.empty();
+         Opts.CheckFusion || Opts.CheckCommut || !Opts.File.empty();
 }
 
 /// Prints the proof-cache counters of Stats on one line.
@@ -735,6 +774,166 @@ int runCheckFusion(const CliOptions &Opts) {
   return 0;
 }
 
+/// Differential gate for the shared commutativity oracle: every workload
+/// is verified with the parallel portfolio under three arms — oracle off
+/// (private per-checker caches), one shared in-memory table, and
+/// persisted-warm (a cold run flushes the table to disk, a fresh table
+/// reloads it) — and all verdicts must agree. Sharing only short-circuits
+/// already-proven answers, so any disagreement is a bug. Also enforces the
+/// optimisation's reason to exist: the aggregate semantic solver calls of
+/// the shared arm must be strictly below the off arm's. Returns the
+/// process exit code.
+int runCheckCommut(const CliOptions &Opts) {
+  std::vector<workloads::WorkloadInstance> Suite =
+      workloads::svcompLikeSuite();
+  std::vector<workloads::WorkloadInstance> Weaver =
+      workloads::weaverLikeSuite();
+  Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  std::vector<workloads::WorkloadInstance> LoopHeavy =
+      workloads::loopHeavySuite();
+  Suite.insert(Suite.end(), LoopHeavy.begin(), LoopHeavy.end());
+  std::vector<workloads::WorkloadInstance> Affine =
+      workloads::affineSuite();
+  Suite.insert(Suite.end(), Affine.begin(), Affine.end());
+  if (Opts.CheckCommutQuick) {
+    std::vector<workloads::WorkloadInstance> Sample;
+    for (size_t I = 0; I < Suite.size(); I += 3)
+      Sample.push_back(Suite[I]);
+    Suite = std::move(Sample);
+  }
+
+  // Scratch directory for the persisted arms (a user --cache-dir is also
+  // acceptable — this writes .commut records only).
+  bool OwnDir = Opts.CacheDir.empty();
+  std::string CacheDir =
+      OwnDir ? (std::filesystem::temp_directory_path() /
+                ("seqver-check-commut-" + std::to_string(getpid())))
+                   .string()
+             : Opts.CacheDir;
+  std::error_code EC;
+  if (OwnDir)
+    std::filesystem::remove_all(CacheDir, EC);
+
+  core::VerifierConfig Base;
+  Base.TimeoutSeconds = Opts.TimeoutSet ? Opts.Timeout : 10;
+  Base.RandSeedBase = Opts.RandSeedBase;
+  runtime::ParallelConfig PC;
+  PC.Jobs = Opts.Jobs;
+
+  int Mismatches = 0;
+  int64_t SemOff = 0, SemShared = 0, SemCold = 0, SemWarm = 0;
+  int64_t SharedHits = 0, WarmHits = 0, WarmLoaded = 0;
+
+  std::printf("%-22s %-9s %-9s %-9s %7s %7s %7s %6s\n", "workload", "off",
+              "shared", "warm", "sem-off", "sem-sh", "sem-w", "hits");
+  for (const auto &W : Suite) {
+    // The persisted arms fingerprint the same program the workers build:
+    // built from source, no pruning or fusion (default ParallelConfig).
+    smt::TermManager TM;
+    prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
+    if (!Build.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), Build.Error.c_str());
+      return 2;
+    }
+    persist::Fingerprint FP = persist::fingerprintProgram(*Build.Program);
+
+    // Arm 1: oracle off — every worker on its private cache.
+    PC.SharedCommut = nullptr;
+    runtime::ParallelPortfolioResult Off =
+        runtime::runPortfolioParallel(W.Source, Base, PC);
+
+    // Arm 2: one shared in-memory table for the race.
+    red::CommutOracle Shared;
+    PC.SharedCommut = &Shared;
+    runtime::ParallelPortfolioResult SharedRun =
+        runtime::runPortfolioParallel(W.Source, Base, PC);
+
+    // Arm 3a (cold): fresh table bound to disk, flushed after the race.
+    red::CommutOracle Cold;
+    Cold.bindDisk(CacheDir, FP);
+    PC.SharedCommut = &Cold;
+    runtime::ParallelPortfolioResult ColdRun =
+        runtime::runPortfolioParallel(W.Source, Base, PC);
+    Cold.flushDisk();
+
+    // Arm 3b (warm): a fresh table reloads the flushed answers.
+    red::CommutOracle Warm;
+    WarmLoaded += static_cast<int64_t>(Warm.bindDisk(CacheDir, FP));
+    PC.SharedCommut = &Warm;
+    runtime::ParallelPortfolioResult WarmRun =
+        runtime::runPortfolioParallel(W.Source, Base, PC);
+
+    bool Agree = Off.Best.V == SharedRun.Best.V &&
+                 Off.Best.V == ColdRun.Best.V &&
+                 Off.Best.V == WarmRun.Best.V;
+    if (!Agree)
+      ++Mismatches;
+    SemOff += Off.Merged.get("commut_semantic");
+    SemShared += SharedRun.Merged.get("commut_semantic");
+    SemCold += ColdRun.Merged.get("commut_semantic");
+    SemWarm += WarmRun.Merged.get("commut_semantic");
+    SharedHits += SharedRun.Merged.get("commut_shared_hits");
+    WarmHits += WarmRun.Merged.get("commut_shared_hits");
+    std::printf("%-22s %-9s %-9s %-9s %7lld %7lld %7lld %6lld%s\n",
+                W.Name.c_str(), core::verdictName(Off.Best.V).c_str(),
+                core::verdictName(SharedRun.Best.V).c_str(),
+                core::verdictName(WarmRun.Best.V).c_str(),
+                static_cast<long long>(Off.Merged.get("commut_semantic")),
+                static_cast<long long>(
+                    SharedRun.Merged.get("commut_semantic")),
+                static_cast<long long>(
+                    WarmRun.Merged.get("commut_semantic")),
+                static_cast<long long>(
+                    SharedRun.Merged.get("commut_shared_hits")),
+                Agree ? "" : "  << VERDICT MISMATCH");
+  }
+
+  std::printf("\nsemantic solver calls (aggregate across workers): %lld "
+              "off, %lld shared",
+              static_cast<long long>(SemOff),
+              static_cast<long long>(SemShared));
+  if (SemOff > 0)
+    std::printf(" (%.1f%% saved, %lld shared hit(s))",
+                100.0 * static_cast<double>(SemOff - SemShared) /
+                    static_cast<double>(SemOff),
+                static_cast<long long>(SharedHits));
+  std::printf("\npersisted: %lld cold, %lld warm",
+              static_cast<long long>(SemCold),
+              static_cast<long long>(SemWarm));
+  if (SemCold > 0)
+    std::printf(" (%.1f%% saved; %lld entr%s loaded, %lld hit(s))",
+                100.0 * static_cast<double>(SemCold - SemWarm) /
+                    static_cast<double>(SemCold),
+                static_cast<long long>(WarmLoaded),
+                WarmLoaded == 1 ? "y" : "ies",
+                static_cast<long long>(WarmHits));
+  std::printf("\n");
+  if (OwnDir)
+    std::filesystem::remove_all(CacheDir, EC);
+  if (Mismatches > 0) {
+    std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
+    return 1;
+  }
+  if (SemShared >= SemOff) {
+    std::fprintf(stderr,
+                 "error: shared oracle did not reduce aggregate semantic "
+                 "solver calls (%lld shared vs %lld off)\n",
+                 static_cast<long long>(SemShared),
+                 static_cast<long long>(SemOff));
+    return 1;
+  }
+  if (SemWarm >= SemCold) {
+    std::fprintf(stderr,
+                 "error: persisted-warm run did not reduce semantic solver "
+                 "calls (%lld warm vs %lld cold)\n",
+                 static_cast<long long>(SemWarm),
+                 static_cast<long long>(SemCold));
+    return 1;
+  }
+  std::printf("all verdicts agree across oracle arms\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -751,6 +950,8 @@ int main(int argc, char **argv) {
     return runCheckCache(Opts);
   if (Opts.CheckFusion)
     return runCheckFusion(Opts);
+  if (Opts.CheckCommut)
+    return runCheckCommut(Opts);
 
   std::ifstream In(Opts.File);
   if (!In) {
@@ -870,6 +1071,25 @@ int main(int argc, char **argv) {
                   : Opts.Source == "both" ? core::PredicateSource::Both
                                           : core::PredicateSource::WpChain;
 
+  // Shared commutativity oracle (reduction/CommutOracle.h). Created here,
+  // after pruning and fusion, so the disk namespace fingerprint is taken
+  // from the very program the verifiers run (parallel workers rebuild the
+  // identical program: same source, same preprocessing flags). The table
+  // outlives both branches below; workers hold non-owning pointers.
+  red::CommutOracle CommutTable;
+  red::CommutOracle *Oracle =
+      Opts.CommutCache == "off" ? nullptr : &CommutTable;
+  bool CommutDisk = (Opts.CommutCache == "persist" ||
+                     Opts.CommutCache == "conservative") &&
+                    !Opts.CacheDir.empty();
+  if (CommutDisk) {
+    size_t Loaded =
+        CommutTable.bindDisk(Opts.CacheDir, persist::fingerprintProgram(P),
+                             Opts.CommutCache == "conservative");
+    if (Opts.CacheStats)
+      std::printf("commut cache: loaded %zu persisted answer(s)\n", Loaded);
+  }
+
   int Exit = 0;
   if (!Opts.Order.empty()) {
     if (Opts.Order == "baseline") {
@@ -877,6 +1097,7 @@ int main(int argc, char **argv) {
       Config.UsePersistentSets = false;
       Config.ProofSensitive = false;
     }
+    Config.SharedCommut = Oracle;
     core::VerificationResult R = core::runSingleOrder(P, Config, Opts.Order);
     report(R, P, Opts, Opts.Order);
     if (Opts.CacheStats)
@@ -892,6 +1113,7 @@ int main(int argc, char **argv) {
     PC.OctagonPrune = !Opts.NoOctagon;
     PC.KarrPrune = !Opts.NoOctagon && !Opts.NoKarr;
     PC.FuseTransactions = Opts.Fuse;
+    PC.SharedCommut = Oracle;
     runtime::ParallelPortfolioResult R =
         runtime::runPortfolioParallel(Buffer.str(), Config, PC);
     report(R.Best, P, Opts, R.BestOrder);
@@ -920,6 +1142,12 @@ int main(int argc, char **argv) {
     Exit = R.Best.V == core::Verdict::Correct      ? 0
            : R.Best.V == core::Verdict::Incorrect ? 1
                                                   : 3;
+  }
+  if (CommutDisk) {
+    CommutTable.flushDisk();
+    if (Opts.CacheStats)
+      std::printf("commut cache: flushed %zu answer(s)\n",
+                  CommutTable.size());
   }
   return Exit;
 }
