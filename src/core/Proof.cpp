@@ -54,6 +54,20 @@ Term ProofAutomaton::conjunction(const PredSet &S) {
   return Result;
 }
 
+bool ProofAutomaton::hoareHolds(HoareSession &HS, Term Pre, uint32_t PostId,
+                                Term Post) {
+  // Same fast paths as QueryEngine::implies, so the incremental gate gives
+  // literally the verdicts the fresh path would.
+  if (Pre == TM.mkFalse() || Post == TM.mkTrue() || Pre == Post)
+    return true;
+  if (!HS.Sess)
+    HS.Sess = QE.openSession();
+  auto [It, Inserted] = HS.NegPost.try_emplace(PostId);
+  if (Inserted)
+    It->second = HS.Sess->prepare(TM.mkNot(Post));
+  return HS.Sess->isUnsatUnder({HS.Sess->prepare(Pre), It->second});
+}
+
 PredSet ProofAutomaton::initialSet() {
   Term Init = P.initialConstraint();
   PredSet Out;
@@ -61,7 +75,10 @@ PredSet ProofAutomaton::initialSet() {
     if (!isEnabled(Id))
       continue;
     ++HoareQueries;
-    if (QE.implies(Init, Predicates[Id]))
+    bool Holds = Incremental
+                     ? hoareHolds(InitSession, Init, Id, Predicates[Id])
+                     : QE.implies(Init, Predicates[Id]);
+    if (Holds)
       Out.push_back(Id);
   }
   return Out;
@@ -89,11 +106,14 @@ const PredSet &ProofAutomaton::step(const PredSet &S, Letter L) {
     // False is preserved by every action.
     Out.push_back(FalseId);
   } else {
+    HoareSession *HS = Incremental ? &LetterSessions[L] : nullptr;
     for (uint32_t Id = 0; Id < Predicates.size(); ++Id) {
       if (!isEnabled(Id))
         continue;
       ++HoareQueries;
-      if (QE.implies(Pre, wpCached(L, Id)))
+      Term Wp = wpCached(L, Id);
+      bool Holds = HS ? hoareHolds(*HS, Pre, Id, Wp) : QE.implies(Pre, Wp);
+      if (Holds)
         Out.push_back(Id);
     }
   }
@@ -103,7 +123,10 @@ const PredSet &ProofAutomaton::step(const PredSet &S, Letter L) {
 void ProofAutomaton::invalidateCaches() {
   StepCache.clear();
   // Conj and wp caches stay valid: they are keyed by content that does not
-  // change when the pool grows.
+  // change when the pool grows. The incremental Hoare sessions also survive
+  // on purpose — their premise handles and verdict memos are keyed by
+  // terms/ids whose meaning is round-independent, and reusing them is the
+  // whole point of the incremental gate.
 }
 
 void ProofAutomaton::setEnabledMask(std::vector<bool> Mask) {

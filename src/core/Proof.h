@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace seqver {
@@ -85,9 +86,28 @@ public:
 
   uint64_t numHoareQueries() const { return HoareQueries; }
 
+  /// Enables incremental SMT for the Hoare gate: one smt::Session per
+  /// transition letter (plus one for initialSet), with each negated
+  /// postcondition prepared once as an assumable premise and each
+  /// precondition one more assumption. Verdicts match the fresh-instance
+  /// path exactly; sessions survive invalidateCaches(), which is where the
+  /// cross-round savings come from. Off by default.
+  void setIncremental(bool On) { Incremental = On; }
+
 private:
+  /// One session per letter (or the initial-constraint gate): the premise
+  /// handles of the negated postconditions, keyed by predicate id.
+  struct HoareSession {
+    std::unique_ptr<smt::Session> Sess;
+    std::map<uint32_t, smt::Session::Handle> NegPost;
+  };
+
   /// wp(a, psi), cached per (letter, predicate).
   smt::Term wpCached(automata::Letter L, uint32_t PredId);
+  /// {Pre} -> Post via HS's session, replicating QueryEngine::implies's
+  /// fast paths so incremental and fresh verdicts agree literally.
+  bool hoareHolds(HoareSession &HS, smt::Term Pre, uint32_t PostId,
+                  smt::Term Post);
 
   smt::TermManager &TM;
   smt::QueryEngine &QE;
@@ -104,7 +124,10 @@ private:
   std::map<PredSet, smt::Term> ConjCache;
   std::map<std::pair<PredSet, automata::Letter>, PredSet> StepCache;
   std::map<std::pair<automata::Letter, uint32_t>, smt::Term> WpCache;
+  std::map<automata::Letter, HoareSession> LetterSessions;
+  HoareSession InitSession;
   uint64_t HoareQueries = 0;
+  bool Incremental = false;
 };
 
 } // namespace core

@@ -90,6 +90,14 @@ public:
     if (Config.Cancel)
       Commut.watchCancellation(Config.Cancel);
     Commut.watchCancellation(&OwnDeadline);
+    // The query engine propagates the tokens into every solver it creates
+    // (fresh-path instances and sessions), so even a single long DPLL(T)
+    // search notices a portfolio cancel mid-solve.
+    if (Config.Cancel)
+      QE.watchCancellation(Config.Cancel);
+    QE.watchCancellation(&OwnDeadline);
+    Commut.setIncremental(Config.IncrementalSmt);
+    Proof.setIncremental(Config.IncrementalSmt);
     if (Config.UsePersistentSets) {
       // Precompute the static independence relation once so the persistent
       // set construction consults a bitset instead of re-deciding pairs.
@@ -629,6 +637,18 @@ VerificationResult Verifier::Impl::run() {
   Stats.add("hoare_queries",
             static_cast<int64_t>(Proof.numHoareQueries()));
   Stats.add("smt_queries", static_cast<int64_t>(QE.numQueries()));
+  Stats.add("smt_cache_hits", static_cast<int64_t>(QE.numCacheHits()));
+  Stats.add("smt_sessions", static_cast<int64_t>(QE.numSessions()));
+  Stats.add("smt_assumption_solves",
+            static_cast<int64_t>(QE.numAssumptionSolves()));
+  Stats.add("smt_clauses_retained",
+            static_cast<int64_t>(QE.numClausesRetained()));
+  Stats.add("smt_theory_rounds", static_cast<int64_t>(QE.numTheoryRounds()));
+  Stats.add("smt_tableau_warm_pivots",
+            static_cast<int64_t>(QE.numWarmPivots()));
+  Stats.add("smt_tableau_warm_starts",
+            static_cast<int64_t>(QE.numWarmStarts()));
+  Stats.add("smt_solver_us", static_cast<int64_t>(QE.solverMicros()));
   Stats.add("semantic_commut_checks",
             static_cast<int64_t>(Commut.numSemanticChecks()));
   // Export the static tier's internal counters as statistics entries so

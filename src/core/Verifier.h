@@ -135,6 +135,15 @@ struct VerifierConfig {
   /// the CLI optionally binds it to disk (--commut-cache). Null keeps the
   /// historical private-cache-only behavior.
   red::CommutOracle *SharedCommut = nullptr;
+  /// Incremental SMT (docs/PERF.md §7): commutativity and Hoare queries run
+  /// through per-pair / per-letter smt::Sessions, so the encoding, learned
+  /// clauses, and warm simplex tableau persist across the query stream
+  /// instead of being rebuilt per query. Verdict-neutral by construction
+  /// (assumption-based activation never changes satisfiability, and the
+  /// consumers replicate the fresh path's fast paths); the differential
+  /// gate (--check-incremental) enforces this. Disable with
+  /// --no-incremental to get one fresh solver instance per query.
+  bool IncrementalSmt = true;
   int MaxRounds = 500;
   /// Per-run deadline; mapped onto the cancellation mechanism (the verifier
   /// arms an internal runtime::CancellationToken deadline and polls it at

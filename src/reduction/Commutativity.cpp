@@ -258,14 +258,39 @@ bool CommutativityChecker::semanticCheck(Term Phi, Letter MinL, Letter MaxL) {
 }
 
 bool CommutativityChecker::dischargeObligations(Term Context,
-                                                const PairObligations &Obl) {
+                                                PairObligations &Obl) {
   TermManager &TM = QE.termManager();
-  // Guards must agree under the context: Context /\ (G_ab xor G_ba) unsat.
-  if (!QE.isUnsat(TM.mkAnd(Context, Obl.GuardsDiffer)))
+  if (!Incremental) {
+    // Fresh-instance path: one throwaway solver per query, results cached
+    // at the formula level inside the engine.
+    // Guards must agree under the context: Context /\ (G_ab xor G_ba) unsat.
+    if (!QE.isUnsat(TM.mkAnd(Context, Obl.GuardsDiffer)))
+      return false;
+    // Values must agree under the context and the (now common) guard.
+    for (Term ValuesDiffer : Obl.ValuesDiffer)
+      if (!QE.isUnsat(TM.mkAnd({Context, Obl.CommonGuard, ValuesDiffer})))
+        return false;
+    return true;
+  }
+
+  // Incremental path: the pair's session encodes each obligation once; the
+  // context is one more assumable premise, so checks under a new Phi reuse
+  // everything the previous contexts taught the solver. An Unknown answer
+  // (budget or cancellation) reads as "not discharged", exactly like the
+  // fresh path's isUnsat.
+  if (!Obl.Sess) {
+    Obl.Sess = QE.openSession();
+    Obl.HGuardsDiffer = Obl.Sess->prepare(Obl.GuardsDiffer);
+    Obl.HCommonGuard = Obl.Sess->prepare(Obl.CommonGuard);
+    Obl.HValuesDiffer.reserve(Obl.ValuesDiffer.size());
+    for (Term ValuesDiffer : Obl.ValuesDiffer)
+      Obl.HValuesDiffer.push_back(Obl.Sess->prepare(ValuesDiffer));
+  }
+  smt::Session::Handle HCtx = Obl.Sess->prepare(Context);
+  if (!Obl.Sess->isUnsatUnder({HCtx, Obl.HGuardsDiffer}))
     return false;
-  // Values must agree under the context and the (now common) guard.
-  for (Term ValuesDiffer : Obl.ValuesDiffer)
-    if (!QE.isUnsat(TM.mkAnd({Context, Obl.CommonGuard, ValuesDiffer})))
+  for (smt::Session::Handle HValuesDiffer : Obl.HValuesDiffer)
+    if (!Obl.Sess->isUnsatUnder({HCtx, Obl.HCommonGuard, HValuesDiffer}))
       return false;
   return true;
 }

@@ -87,6 +87,14 @@ public:
   /// commut_shared_stores.
   void setSharedOracle(CommutOracle *Oracle) { Shared = Oracle; }
 
+  /// Enables incremental SMT: one smt::Session per letter pair, created on
+  /// the pair's first semantic query. The obligations are encoded once as
+  /// assumable premises; each context phi is just another assumption, so
+  /// every re-query of the pair under a new context reuses the encoding,
+  /// learned clauses, and warm tableau. Off by default (the fresh-instance
+  /// path through QueryEngine::isUnsat); verdicts are identical either way.
+  void setIncremental(bool On) { Incremental = On; }
+
   /// Disables the static tier (for tier-comparison runs; Semantic mode then
   /// behaves exactly like the historical two-tier checker).
   void disableStaticTier() { Static.reset(); }
@@ -128,9 +136,11 @@ private:
   bool semanticCheck(smt::Term Phi, automata::Letter MinL,
                      automata::Letter MaxL);
   /// Runs the unsat checks of Obl strengthened by Context; true iff every
-  /// obligation is discharged (false may be a solver give-up).
+  /// obligation is discharged (false may be a solver give-up). In
+  /// incremental mode this lazily opens the pair's session and routes the
+  /// checks through it (hence the non-const obligations).
   struct PairObligations;
-  bool dischargeObligations(smt::Term Context, const PairObligations &Obl);
+  bool dischargeObligations(smt::Term Context, PairObligations &Obl);
   /// Canonical key of the (already Phi-canonicalized, letter-ordered)
   /// query; the per-letter action texts and per-term Phi texts are
   /// memoized, so repeat queries hash without re-rendering.
@@ -183,10 +193,17 @@ private:
     std::vector<smt::Term> ValuesDiffer; ///< one per written variable
     CtxFree CF = CtxFree::Unknown;
     bool CFPublished = false; ///< context-free key already sent to oracle
+    /// Incremental mode only: the pair's solver session and the premise
+    /// handles of the obligations above (created on first semantic query).
+    std::unique_ptr<smt::Session> Sess;
+    smt::Session::Handle HGuardsDiffer = 0;
+    smt::Session::Handle HCommonGuard = 0;
+    std::vector<smt::Session::Handle> HValuesDiffer;
   };
   std::map<std::pair<automata::Letter, automata::Letter>, PairObligations>
       PairMemo;
   uint64_t SemanticChecks = 0;
+  bool Incremental = false;
 };
 
 } // namespace red

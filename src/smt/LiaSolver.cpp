@@ -2,7 +2,7 @@
 
 #include "smt/LiaSolver.h"
 
-#include "smt/Simplex.h"
+#include "support/InternTable.h"
 
 #include <algorithm>
 #include <cassert>
@@ -33,20 +33,51 @@ std::vector<Term> collectVars(const std::vector<LiaAtom> &Atoms,
   return Vars;
 }
 
-} // namespace
+uint64_t hashSum(uint64_t H, const LinSum &Sum) {
+  for (const auto &[Var, Coeff] : Sum.Terms) {
+    H = hashCombine(H, Var->id());
+    H = hashCombine(H, static_cast<uint64_t>(Coeff));
+  }
+  return hashCombine(H, static_cast<uint64_t>(Sum.Constant));
+}
 
-LiaResult LiaSolver::solveRec(const std::vector<LiaAtom> &Atoms,
-                              const std::vector<Term> &Vars,
-                              std::vector<Bound> &Extra,
-                              std::vector<Rational> &ModelOut,
-                              uint64_t &NodeBudget) {
-  if (NodeBudget == 0)
-    return LiaResult::Unknown;
-  --NodeBudget;
+/// Hash of the exact theory problem; collisions are harmless because the
+/// warm-cache probe also compares the stored vectors for equality.
+uint64_t hashProblem(const std::vector<LiaAtom> &Atoms,
+                     const std::vector<LinSum> &Diseqs) {
+  uint64_t H = hashMix(Atoms.size() * 2654435761ULL + Diseqs.size());
+  for (const LiaAtom &Atom : Atoms)
+    H = hashCombine(hashSum(H, Atom.Sum), Atom.IsEq ? 3 : 5);
+  for (const LinSum &Sum : Diseqs)
+    H = hashSum(H, Sum);
+  return H;
+}
 
-  // Build a fresh simplex for this node. Rebuilding keeps the code simple;
-  // the tableaux in verification queries are small.
-  Simplex Splx;
+bool sameSum(const LinSum &A, const LinSum &B) {
+  return A.Constant == B.Constant && A.Terms == B.Terms;
+}
+
+bool sameProblem(const std::vector<LiaAtom> &Atoms,
+                 const std::vector<LinSum> &Diseqs,
+                 const std::vector<LiaAtom> &CachedAtoms,
+                 const std::vector<LinSum> &CachedDiseqs) {
+  if (Atoms.size() != CachedAtoms.size() ||
+      Diseqs.size() != CachedDiseqs.size())
+    return false;
+  for (size_t I = 0; I < Atoms.size(); ++I)
+    if (Atoms[I].IsEq != CachedAtoms[I].IsEq ||
+        !sameSum(Atoms[I].Sum, CachedAtoms[I].Sum))
+      return false;
+  for (size_t I = 0; I < Diseqs.size(); ++I)
+    if (!sameSum(Diseqs[I], CachedDiseqs[I]))
+      return false;
+  return true;
+}
+
+/// Builds the root tableau: one column per variable, one slack row per
+/// atom, bounds carrying the atoms' constants.
+void buildRoot(Simplex &Splx, const std::vector<LiaAtom> &Atoms,
+               const std::vector<Term> &Vars) {
   std::map<Term, int> VarIndex;
   for (size_t I = 0; I < Vars.size(); ++I) {
     int Col = Splx.addVar();
@@ -66,20 +97,18 @@ LiaResult LiaSolver::solveRec(const std::vector<LiaAtom> &Atoms,
     if (Atom.IsEq)
       Splx.setLower(Slack, Bound);
   }
-  for (const Bound &B : Extra) {
-    if (B.IsUpper)
-      Splx.setUpper(static_cast<int>(B.VarIndex), Rational(B.Value));
-    else
-      Splx.setLower(static_cast<int>(B.VarIndex), Rational(B.Value));
-  }
+}
 
-  if (Splx.check() == Simplex::Result::Unsat)
-    return LiaResult::Unsat;
+} // namespace
 
-  // Find a fractional variable to branch on.
+LiaResult LiaSolver::solveRec(const Simplex &Solved,
+                              const std::vector<Term> &Vars,
+                              std::vector<Rational> &ModelOut,
+                              uint64_t &NodeBudget) {
+  // Solved is rationally feasible; find a fractional variable to branch on.
   size_t Fractional = Vars.size();
   for (size_t I = 0; I < Vars.size(); ++I) {
-    if (!Splx.value(static_cast<int>(I)).isIntegral()) {
+    if (!Solved.value(static_cast<int>(I)).isIntegral()) {
       Fractional = I;
       break;
     }
@@ -87,32 +116,82 @@ LiaResult LiaSolver::solveRec(const std::vector<LiaAtom> &Atoms,
   if (Fractional == Vars.size()) {
     ModelOut.resize(Vars.size());
     for (size_t I = 0; I < Vars.size(); ++I)
-      ModelOut[I] = Splx.value(static_cast<int>(I));
+      ModelOut[I] = Solved.value(static_cast<int>(I));
     return LiaResult::Sat;
   }
+  Rational Value = Solved.value(static_cast<int>(Fractional));
 
-  const Rational &Value = Splx.value(static_cast<int>(Fractional));
+  // Each branch copies the solved parent and tightens one bound, so the
+  // child's check() re-pivots from the parent's basis instead of rebuilding
+  // the tableau from scratch.
   // Left branch: x <= floor(value).
-  Extra.push_back({Fractional, /*IsUpper=*/true, Value.floor()});
-  LiaResult Left = solveRec(Atoms, Vars, Extra, ModelOut, NodeBudget);
-  Extra.pop_back();
-  if (Left == LiaResult::Sat || Left == LiaResult::Unknown)
-    return Left;
+  {
+    if (NodeBudget == 0)
+      return LiaResult::Unknown;
+    --NodeBudget;
+    Simplex Child = Solved;
+    Child.setUpper(static_cast<int>(Fractional), Rational(Value.floor()));
+    uint64_t Before = Child.numPivots();
+    bool ChildSat = Child.check() == Simplex::Result::Sat;
+    WarmPivots += Child.numPivots() - Before;
+    if (ChildSat) {
+      LiaResult Left = solveRec(Child, Vars, ModelOut, NodeBudget);
+      if (Left == LiaResult::Sat || Left == LiaResult::Unknown)
+        return Left;
+    }
+  }
   // Right branch: x >= ceil(value).
-  Extra.push_back({Fractional, /*IsUpper=*/false, Value.ceil()});
-  LiaResult Right = solveRec(Atoms, Vars, Extra, ModelOut, NodeBudget);
-  Extra.pop_back();
-  return Right;
+  if (NodeBudget == 0)
+    return LiaResult::Unknown;
+  --NodeBudget;
+  Simplex Child = Solved;
+  Child.setLower(static_cast<int>(Fractional), Rational(Value.ceil()));
+  uint64_t Before = Child.numPivots();
+  bool ChildSat = Child.check() == Simplex::Result::Sat;
+  WarmPivots += Child.numPivots() - Before;
+  if (!ChildSat)
+    return LiaResult::Unsat;
+  return solveRec(Child, Vars, ModelOut, NodeBudget);
 }
 
 LiaResult LiaSolver::check(const std::vector<LiaAtom> &Atoms,
                            const std::vector<LinSum> &Diseqs,
                            Assignment *Model, size_t *ViolatedDiseq) {
   std::vector<Term> Vars = collectVars(Atoms, Diseqs);
-  std::vector<Bound> Extra;
-  std::vector<Rational> Values;
   uint64_t Budget = MaxNodes;
-  LiaResult Result = solveRec(Atoms, Vars, Extra, Values, Budget);
+  if (Budget == 0)
+    return LiaResult::Unknown;
+  --Budget; // the root check is the first node
+
+  uint64_t Key = CacheEnabled ? hashProblem(Atoms, Diseqs) : 0;
+  Simplex Root;
+  bool Warm = CacheEnabled && WarmValid && Key == WarmKey &&
+              sameProblem(Atoms, Diseqs, WarmAtoms, WarmDiseqs);
+  if (Warm) {
+    Root = WarmRoot;
+    ++WarmStarts;
+  } else {
+    buildRoot(Root, Atoms, Vars);
+  }
+  uint64_t Before = Root.numPivots();
+  bool RootSat = Root.check() == Simplex::Result::Sat;
+  if (Warm)
+    WarmPivots += Root.numPivots() - Before;
+  if (!RootSat)
+    return LiaResult::Unsat;
+  if (CacheEnabled) {
+    // Cache the solved root for the next identical problem (session query
+    // streams re-derive the same theory conjunction across rounds).
+    WarmValid = true;
+    WarmKey = Key;
+    WarmAtoms = Atoms;
+    WarmDiseqs = Diseqs;
+    WarmVars = Vars;
+    WarmRoot = Root;
+  }
+
+  std::vector<Rational> Values;
+  LiaResult Result = solveRec(Root, Vars, Values, Budget);
   if (Result != LiaResult::Sat)
     return Result;
 
@@ -140,16 +219,18 @@ std::vector<size_t> LiaSolver::unsatCore(const std::vector<LiaAtom> &Atoms) {
   for (size_t I = 0; I < Atoms.size(); ++I)
     Kept[I] = I;
 
-  // Deletion filter: drop an atom if the rest stays Unsat. Unknown results
-  // conservatively keep the atom (the core stays an over-approximation,
-  // which is sound for blocking clauses).
+  // Deletion filter on a scratch solver (the subset probes would otherwise
+  // thrash this instance's warm root cache): drop an atom if the rest stays
+  // Unsat. Unknown results conservatively keep the atom (the core stays an
+  // over-approximation, which is sound for blocking clauses).
+  LiaSolver Scratch(MaxNodes);
   for (size_t I = 0; I < Kept.size();) {
     std::vector<LiaAtom> Candidate;
     Candidate.reserve(Kept.size() - 1);
     for (size_t K = 0; K < Kept.size(); ++K)
       if (K != I)
         Candidate.push_back(Atoms[Kept[K]]);
-    if (check(Candidate, {}, nullptr, nullptr) == LiaResult::Unsat)
+    if (Scratch.check(Candidate, {}, nullptr, nullptr) == LiaResult::Unsat)
       Kept.erase(Kept.begin() + static_cast<ptrdiff_t>(I));
     else
       ++I;

@@ -18,7 +18,50 @@ uint32_t SatSolver::newVar() {
   Watches.emplace_back();
   Watches.emplace_back();
   SeenFlags.push_back(0);
+  HeapPos.push_back(UINT32_MAX);
+  heapInsert(Var);
   return Var;
+}
+
+void SatSolver::heapUp(size_t Index) {
+  uint32_t Var = Heap[Index];
+  while (Index > 0) {
+    size_t Parent = (Index - 1) / 2;
+    if (Activities[Heap[Parent]] >= Activities[Var])
+      break;
+    Heap[Index] = Heap[Parent];
+    HeapPos[Heap[Index]] = static_cast<uint32_t>(Index);
+    Index = Parent;
+  }
+  Heap[Index] = Var;
+  HeapPos[Var] = static_cast<uint32_t>(Index);
+}
+
+void SatSolver::heapDown(size_t Index) {
+  uint32_t Var = Heap[Index];
+  for (;;) {
+    size_t Child = 2 * Index + 1;
+    if (Child >= Heap.size())
+      break;
+    if (Child + 1 < Heap.size() &&
+        Activities[Heap[Child + 1]] > Activities[Heap[Child]])
+      ++Child;
+    if (Activities[Heap[Child]] <= Activities[Var])
+      break;
+    Heap[Index] = Heap[Child];
+    HeapPos[Heap[Index]] = static_cast<uint32_t>(Index);
+    Index = Child;
+  }
+  Heap[Index] = Var;
+  HeapPos[Var] = static_cast<uint32_t>(Index);
+}
+
+void SatSolver::heapInsert(uint32_t Var) {
+  if (HeapPos[Var] != UINT32_MAX)
+    return;
+  Heap.push_back(Var);
+  HeapPos[Var] = static_cast<uint32_t>(Heap.size() - 1);
+  heapUp(Heap.size() - 1);
 }
 
 bool SatSolver::addClause(std::vector<Lit> ClauseLits) {
@@ -127,10 +170,13 @@ SatSolver::ClauseRef SatSolver::propagate() {
 void SatSolver::bumpVar(uint32_t Var) {
   Activities[Var] += ActivityInc;
   if (Activities[Var] > 1e100) {
+    // Uniform rescale preserves the heap order.
     for (double &A : Activities)
       A *= 1e-100;
     ActivityInc *= 1e-100;
   }
+  if (HeapPos[Var] != UINT32_MAX)
+    heapUp(HeapPos[Var]);
 }
 
 void SatSolver::decayActivities() { ActivityInc *= (1.0 / 0.95); }
@@ -190,6 +236,33 @@ void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
     std::swap(Learnt[1], Learnt[MaxIndex]);
 }
 
+void SatSolver::analyzeFinal(Lit FailedAssumption) {
+  // The failed assumption is false on the current trail; every decision
+  // reachable through the implication graph of its negation is itself an
+  // assumption (assumption extension pushes them as the only decisions), so
+  // walking the trail backwards marks exactly the responsible subset.
+  ConflictCore.clear();
+  ConflictCore.push_back(FailedAssumption);
+  if (TrailLimits.empty())
+    return; // falsified by the clause set alone
+  std::fill(SeenFlags.begin(), SeenFlags.end(), 0);
+  SeenFlags[litVar(FailedAssumption)] = 1;
+  for (size_t I = Trail.size(); I > TrailLimits[0]; --I) {
+    uint32_t Var = litVar(Trail[I - 1]);
+    if (!SeenFlags[Var])
+      continue;
+    SeenFlags[Var] = 0;
+    if (Reasons[Var] == InvalidClause) {
+      ConflictCore.push_back(Trail[I - 1]);
+      continue;
+    }
+    const Clause &C = Clauses[Reasons[Var]];
+    for (size_t K = 1; K < C.Lits.size(); ++K)
+      if (Levels[litVar(C.Lits[K])] > 0)
+        SeenFlags[litVar(C.Lits[K])] = 1;
+  }
+}
+
 void SatSolver::backtrack(uint32_t Level) {
   if (TrailLimits.size() <= Level)
     return;
@@ -199,6 +272,7 @@ void SatSolver::backtrack(uint32_t Level) {
     SavedPhase[Var] = Assigns[Var];
     Assigns[Var] = ValUnassigned;
     Reasons[Var] = InvalidClause;
+    heapInsert(Var);
   }
   Trail.resize(Target);
   TrailLimits.resize(Level);
@@ -206,20 +280,21 @@ void SatSolver::backtrack(uint32_t Level) {
 }
 
 bool SatSolver::pickBranch(Lit &Decision) {
-  uint32_t Best = UINT32_MAX;
-  double BestActivity = -1;
-  for (uint32_t Var = 0; Var < numVars(); ++Var) {
-    if (Assigns[Var] != ValUnassigned)
-      continue;
-    if (Activities[Var] > BestActivity) {
-      BestActivity = Activities[Var];
-      Best = Var;
+  while (!Heap.empty()) {
+    uint32_t Var = Heap[0];
+    HeapPos[Var] = UINT32_MAX;
+    Heap[0] = Heap.back();
+    Heap.pop_back();
+    if (!Heap.empty()) {
+      HeapPos[Heap[0]] = 0;
+      heapDown(0);
     }
+    if (Assigns[Var] != ValUnassigned)
+      continue; // assigned since insertion; dropped lazily
+    Decision = mkLit(Var, SavedPhase[Var] == ValFalse);
+    return true;
   }
-  if (Best == UINT32_MAX)
-    return false;
-  Decision = mkLit(Best, SavedPhase[Best] == ValFalse);
-  return true;
+  return false;
 }
 
 uint32_t SatSolver::lubyRestartLimit(uint64_t RestartCount) const {
@@ -239,10 +314,74 @@ uint32_t SatSolver::lubyRestartLimit(uint64_t RestartCount) const {
   }
 }
 
-SatResult SatSolver::solve() {
+void SatSolver::reduceLearnedDb() {
+  assert(TrailLimits.empty() && "reduction only runs at level 0");
+  // Removable: learned, longer than ternary, and not the reason of a
+  // current (level-0) assignment. Keeping reasons locked means the trail's
+  // implication graph stays intact.
+  std::vector<ClauseRef> Candidates;
+  for (ClauseRef Ref = 0; Ref < Clauses.size(); ++Ref)
+    if (Clauses[Ref].Learned && Clauses[Ref].Lits.size() > 3)
+      Candidates.push_back(Ref);
+  if (Candidates.size() <= MaxLearned)
+    return;
+  std::vector<uint8_t> Locked(Clauses.size(), 0);
+  for (Lit L : Trail)
+    if (Reasons[litVar(L)] != InvalidClause)
+      Locked[Reasons[litVar(L)]] = 1;
+  // Worst half first: high LBD, then long. Stable order keeps runs
+  // deterministic.
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [this](ClauseRef A, ClauseRef B) {
+                     const Clause &CA = Clauses[A], &CB = Clauses[B];
+                     if (CA.Lbd != CB.Lbd)
+                       return CA.Lbd > CB.Lbd;
+                     return CA.Lits.size() > CB.Lits.size();
+                   });
+  std::vector<uint8_t> Remove(Clauses.size(), 0);
+  size_t Removed = 0, Target = Candidates.size() / 2;
+  for (ClauseRef Ref : Candidates) {
+    if (Removed >= Target)
+      break;
+    if (Locked[Ref])
+      continue;
+    Remove[Ref] = 1;
+    ++Removed;
+  }
+  if (Removed == 0)
+    return;
+  NumLearned -= Removed;
+
+  // Compact the clause arena and remap references in watches and reasons.
+  std::vector<ClauseRef> NewRef(Clauses.size(), InvalidClause);
+  std::vector<Clause> Compacted;
+  Compacted.reserve(Clauses.size() - Removed);
+  for (ClauseRef Ref = 0; Ref < Clauses.size(); ++Ref) {
+    if (Remove[Ref])
+      continue;
+    NewRef[Ref] = static_cast<ClauseRef>(Compacted.size());
+    Compacted.push_back(std::move(Clauses[Ref]));
+  }
+  Clauses = std::move(Compacted);
+  for (std::vector<ClauseRef> &WatchList : Watches)
+    WatchList.clear();
+  for (ClauseRef Ref = 0; Ref < Clauses.size(); ++Ref)
+    attachClause(Ref);
+  for (Lit L : Trail) {
+    ClauseRef &Reason = Reasons[litVar(L)];
+    if (Reason != InvalidClause)
+      Reason = NewRef[Reason];
+  }
+}
+
+SatResult SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions) {
+  ConflictCore.clear();
   if (TriviallyUnsat)
     return SatResult::Unsat;
   backtrack(0);
+  // Lemmas surviving from earlier calls are this call's head start.
+  if (Conflicts > 0)
+    RetainedTotal += NumLearned;
   if (propagate() != InvalidClause) {
     TriviallyUnsat = true;
     return SatResult::Unsat;
@@ -251,12 +390,21 @@ SatResult SatSolver::solve() {
   uint64_t RestartCount = 0;
   uint64_t ConflictsSinceRestart = 0;
   uint64_t RestartLimit = lubyRestartLimit(RestartCount);
+  uint64_t ConflictsSincePoll = 0;
+  std::vector<Lit> LbdScratch;
 
   for (;;) {
     ClauseRef Conflict = propagate();
     if (Conflict != InvalidClause) {
       ++Conflicts;
       ++ConflictsSinceRestart;
+      if (++ConflictsSincePoll >= 2048) {
+        ConflictsSincePoll = 0;
+        if (stopRequested()) {
+          backtrack(0);
+          return SatResult::Cancelled;
+        }
+      }
       if (TrailLimits.empty()) {
         TriviallyUnsat = true;
         return SatResult::Unsat;
@@ -271,7 +419,16 @@ SatResult SatSolver::solve() {
         Clause C;
         C.Lits = std::move(Learnt);
         C.Learned = true;
+        // LBD: distinct decision levels among the clause's literals.
+        LbdScratch.clear();
+        for (Lit Q : C.Lits)
+          LbdScratch.push_back(Levels[litVar(Q)]);
+        std::sort(LbdScratch.begin(), LbdScratch.end());
+        C.Lbd = static_cast<uint32_t>(
+            std::unique(LbdScratch.begin(), LbdScratch.end()) -
+            LbdScratch.begin());
         Clauses.push_back(std::move(C));
+        ++NumLearned;
         ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
         attachClause(Ref);
         enqueue(Clauses[Ref].Lits[0], Ref);
@@ -285,6 +442,24 @@ SatResult SatSolver::solve() {
       ConflictsSinceRestart = 0;
       RestartLimit = lubyRestartLimit(RestartCount);
       backtrack(0);
+      reduceLearnedDb();
+      continue;
+    }
+
+    // Re-establish assumptions as pseudo-decisions at successive levels
+    // (already-true assumptions get an empty level so level indices still
+    // line up with assumption indices).
+    if (TrailLimits.size() < Assumptions.size()) {
+      Lit A = Assumptions[TrailLimits.size()];
+      uint8_t V = value(A);
+      if (V == ValFalse) {
+        analyzeFinal(A);
+        backtrack(0);
+        return SatResult::Unsat;
+      }
+      TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+      if (V == ValUnassigned)
+        enqueue(A, InvalidClause);
       continue;
     }
 

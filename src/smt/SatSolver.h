@@ -6,10 +6,20 @@
 /// phase saving, and Luby restarts. It is the boolean engine underneath the
 /// lazy DPLL(T) loop in smt::Solver.
 ///
+/// The solver is incremental in the MiniSat style: solveUnderAssumptions()
+/// decides the clause set under a set of assumption literals (pushed as
+/// pseudo-decisions at successive levels), and a failing assumption triggers
+/// final-conflict analysis that exposes the responsible assumption subset
+/// through conflictCore(). Learned clauses persist across calls; a size/LBD-
+/// ranked reduction pass bounds database growth so long query streams do not
+/// accumulate unbounded lemmas.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEQVER_SMT_SATSOLVER_H
 #define SEQVER_SMT_SATSOLVER_H
+
+#include "runtime/Cancellation.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -27,11 +37,16 @@ inline Lit negate(Lit L) { return L ^ 1; }
 inline uint32_t litVar(Lit L) { return L >> 1; }
 inline bool litNegated(Lit L) { return (L & 1) != 0; }
 
-enum class SatResult { Sat, Unsat };
+enum class SatResult {
+  Sat,
+  Unsat,
+  Cancelled, ///< a watched cancellation token fired mid-search
+};
 
-/// Non-incremental CDCL solver over clauses added via addClause(). The
-/// DPLL(T) loop calls solve() repeatedly, adding theory blocking clauses
-/// between calls; learned clauses persist across calls.
+/// Incremental CDCL solver over clauses added via addClause(). The DPLL(T)
+/// loop calls solveUnderAssumptions() repeatedly, adding theory blocking
+/// clauses between calls; learned clauses persist across calls (subject to
+/// the reduction policy below).
 class SatSolver {
 public:
   /// Returns the index of a fresh variable.
@@ -44,13 +59,36 @@ public:
   bool addClause(std::vector<Lit> Clause);
 
   /// Solves the current clause set. After Sat, modelValue() is valid.
-  SatResult solve();
+  SatResult solve() { return solveUnderAssumptions({}); }
+
+  /// Solves the clause set under the given assumption literals. After an
+  /// Unsat answer caused by the assumptions (not the clause set alone),
+  /// conflictCore() holds a subset of the assumptions that is jointly
+  /// inconsistent with the clauses; after a clause-set-level Unsat the core
+  /// is empty. Assumptions do not survive the call: the next call starts
+  /// from the bare clause set again.
+  SatResult solveUnderAssumptions(const std::vector<Lit> &Assumptions);
+
+  /// Failed-assumption subset of the last Unsat answer (see above).
+  const std::vector<Lit> &conflictCore() const { return ConflictCore; }
 
   /// Value of variable Var in the last model.
   bool modelValue(uint32_t Var) const { return Model[Var]; }
 
   /// Total conflicts seen (statistic).
   uint64_t numConflicts() const { return Conflicts; }
+
+  /// Learned clauses carried over from previous solve calls, accumulated
+  /// over the solver's lifetime (statistic: each call counts the lemmas it
+  /// inherited).
+  uint64_t numClausesRetained() const { return RetainedTotal; }
+
+  /// Adds a cancellation token polled every few thousand conflicts; a
+  /// fired token makes the running solve return SatResult::Cancelled.
+  void watchCancellation(const runtime::CancellationToken *Token) {
+    if (Token)
+      Watched.push_back(Token);
+  }
 
 private:
   // Truth values: 0 = true, 1 = false, 2 = unassigned (lbool encoding).
@@ -61,6 +99,7 @@ private:
   struct Clause {
     std::vector<Lit> Lits;
     bool Learned = false;
+    uint32_t Lbd = 0; ///< distinct decision levels at learn time
     double Activity = 0;
   };
   using ClauseRef = uint32_t;
@@ -73,16 +112,27 @@ private:
     return V ^ static_cast<uint8_t>(litNegated(L));
   }
 
+  void heapUp(size_t Index);
+  void heapDown(size_t Index);
+  void heapInsert(uint32_t Var);
   void enqueue(Lit L, ClauseRef Reason);
   ClauseRef propagate();
   void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
                uint32_t &BacktrackLevel);
+  void analyzeFinal(Lit FailedAssumption);
   void backtrack(uint32_t Level);
   bool pickBranch(Lit &Decision);
   void bumpVar(uint32_t Var);
   void decayActivities();
   void attachClause(ClauseRef Ref);
   uint32_t lubyRestartLimit(uint64_t RestartCount) const;
+  void reduceLearnedDb();
+  bool stopRequested() const {
+    for (const runtime::CancellationToken *T : Watched)
+      if (T->stopRequested())
+        return true;
+    return false;
+  }
 
   std::vector<Clause> Clauses;
   std::vector<std::vector<ClauseRef>> Watches; // indexed by literal
@@ -91,6 +141,12 @@ private:
   std::vector<uint32_t> Levels;                // indexed by var
   std::vector<ClauseRef> Reasons;              // indexed by var
   std::vector<double> Activities;              // indexed by var
+  /// Activity-ordered max-heap of decision candidates. Vars are inserted on
+  /// creation and re-inserted on backtrack; assigned vars are skipped lazily
+  /// when popped. Keeps pickBranch O(log n) so a long-lived incremental
+  /// solver does not pay a full-variable scan per decision.
+  std::vector<uint32_t> Heap;
+  std::vector<uint32_t> HeapPos; // indexed by var; UINT32_MAX = not in heap
   std::vector<Lit> Trail;
   std::vector<uint32_t> TrailLimits; // decision level boundaries
   size_t PropagationHead = 0;
@@ -98,6 +154,14 @@ private:
   uint64_t Conflicts = 0;
   bool TriviallyUnsat = false;
   std::vector<bool> Model;
+  std::vector<Lit> ConflictCore;
+  std::vector<const runtime::CancellationToken *> Watched;
+  uint64_t RetainedTotal = 0;
+  uint64_t NumLearned = 0; ///< learned clauses currently in the database
+  /// Learned-clause cap: when the count of removable learned clauses
+  /// exceeds this, the worst half (by LBD, then size) is dropped. Grows
+  /// geometrically so hard instances still converge.
+  size_t MaxLearned = 2048;
 
   // Scratch buffers for analyze().
   std::vector<uint8_t> SeenFlags;

@@ -2,8 +2,9 @@
 
 #include "smt/Solver.h"
 
-#include "smt/LiaSolver.h"
+#include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace seqver;
@@ -89,6 +90,42 @@ Lit Solver::encode(Term Formula) {
   return Result;
 }
 
+const std::vector<uint32_t> &Solver::formulaAtomVars(Term Formula) {
+  auto It = FormulaAtomVars.find(Formula);
+  if (It != FormulaAtomVars.end())
+    return It->second;
+  std::vector<uint32_t> Vars;
+  std::vector<Term> Stack{Formula};
+  std::unordered_set<Term, TermIdHash> Seen;
+  while (!Stack.empty()) {
+    Term F = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(F).second)
+      continue;
+    switch (F->kind()) {
+    case TermKind::BoolVar:
+    case TermKind::AtomLe:
+    case TermKind::AtomEq:
+      Vars.push_back(atomVar(F));
+      break;
+    case TermKind::Not:
+      Stack.push_back(F->child(0));
+      break;
+    case TermKind::And:
+    case TermKind::Or:
+    case TermKind::Iff:
+      for (Term Child : F->children())
+        Stack.push_back(Child);
+      break;
+    default:
+      break;
+    }
+  }
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return FormulaAtomVars.emplace(Formula, std::move(Vars)).first->second;
+}
+
 void Solver::assertFormula(Term Formula) {
   if (Formula == TM.mkTrue())
     return;
@@ -101,17 +138,98 @@ void Solver::assertFormula(Term Formula) {
     TriviallyUnsat = true;
 }
 
-SolverResult Solver::check() {
+Lit Solver::activationFor(Term Formula) {
+  auto It = SelectorOf.find(Formula);
+  if (It != SelectorOf.end())
+    return It->second;
+  uint32_t Var = Sat.newVar();
+  VarToAtom.resize(Var + 1, nullptr);
+  Lit Sel = mkLit(Var, false);
+  if (Formula == TM.mkFalse()) {
+    // sel -> false: assuming the selector fails immediately, which is
+    // exactly "this premise is unsatisfiable" without poisoning the solver.
+    Sat.addClause({negate(Sel)});
+  } else if (Formula != TM.mkTrue()) {
+    Lit Enc = encode(Formula);
+    if (!Sat.addClause({negate(Sel), Enc}))
+      TriviallyUnsat = true;
+  }
+  SelectorOf.emplace(Formula, Sel);
+  SelectorTerm.emplace(Sel, Formula);
+  return Sel;
+}
+
+void Solver::pushContext(Term Formula) {
+  ContextStack.push_back(activationFor(Formula));
+}
+
+void Solver::pop() {
+  assert(!ContextStack.empty() && "pop without matching pushContext");
+  ContextStack.pop_back();
+}
+
+SolverResult Solver::checkUnder(const std::vector<Lit> &ExtraAssumptions) {
   if (TriviallyUnsat)
     return SolverResult::Unsat;
   TheoryRounds = 0;
 
-  for (;;) {
-    if (Sat.solve() == SatResult::Unsat)
-      return SolverResult::Unsat;
-    ++TheoryRounds;
+  std::vector<Lit> Assumptions = ContextStack;
+  Assumptions.insert(Assumptions.end(), ExtraAssumptions.begin(),
+                     ExtraAssumptions.end());
 
-    // Collect the theory constraints implied by the boolean model.
+  // Active-set restriction: the theory only needs the atoms of premises
+  // active in THIS check (asserted, assumed, or introduced by lemmas).
+  // Everything else the SAT model assigns is residue of premises a
+  // long-lived solver once saw; handing it to the theory would make every
+  // round cost proportional to the session's lifetime instead of the
+  // query. Sound and complete: active formulas mention only active atoms,
+  // so a boolean model that is theory-consistent on the active set yields
+  // a T-model of the active formulas regardless of stale-atom values.
+  bool RestrictActive = true;
+  ++ActiveGen;
+  ActiveMark.resize(Sat.numVars(), 0);
+  ActiveMarkLimit = Sat.numVars();
+  ActiveList.clear();
+  auto MarkVar = [this](uint32_t V) {
+    if (V < ActiveMarkLimit && ActiveMark[V] != ActiveGen) {
+      ActiveMark[V] = ActiveGen;
+      ActiveList.push_back(V);
+    }
+  };
+  auto MarkFormula = [this, &MarkVar](Term F) {
+    for (uint32_t V : formulaAtomVars(F))
+      MarkVar(V);
+  };
+  for (Term F : Assertions)
+    MarkFormula(F);
+  for (uint32_t V : LemmaAtomVars)
+    MarkVar(V);
+  for (Lit A : Assumptions) {
+    auto SelIt = SelectorTerm.find(A);
+    if (SelIt == SelectorTerm.end()) {
+      // A raw (non-selector) assumption: no formula to attribute it to, so
+      // fall back to the unrestricted theory view.
+      RestrictActive = false;
+      break;
+    }
+    MarkFormula(SelIt->second);
+  }
+
+  for (;;) {
+    SatResult SatAnswer = Sat.solveUnderAssumptions(Assumptions);
+    if (SatAnswer == SatResult::Unsat)
+      return SolverResult::Unsat;
+    if (SatAnswer == SatResult::Cancelled)
+      return SolverResult::Unknown;
+    ++TheoryRounds;
+    ++TheoryRoundsTotal;
+    if (stopRequested())
+      return SolverResult::Unknown;
+
+    // Collect the theory constraints implied by the boolean model. The model
+    // assigns *every* atom the solver has ever seen — including atoms of
+    // currently inactive premises — which keeps the loop sound: lemmas
+    // derived from them are theory-valid regardless of what is assumed.
     std::vector<LiaAtom> Atoms;
     std::vector<Lit> AtomBlockingLits; // parallel to Atoms
     std::vector<LinSum> Diseqs;
@@ -119,14 +237,14 @@ SolverResult Solver::check() {
     std::vector<Term> DiseqEqAtoms;     // parallel to Diseqs
     Assignment BoolModel;
 
-    for (uint32_t Var = 0; Var < Sat.numVars(); ++Var) {
+    auto CollectVar = [&](uint32_t Var) {
       Term Atom = Var < VarToAtom.size() ? VarToAtom[Var] : nullptr;
       if (!Atom)
-        continue;
+        return;
       bool Value = Sat.modelValue(Var);
       if (Atom->kind() == TermKind::BoolVar) {
         BoolModel.BoolValues[Atom] = Value;
-        continue;
+        return;
       }
       if (Atom->kind() == TermKind::AtomLe) {
         LiaAtom A;
@@ -139,7 +257,7 @@ SolverResult Solver::check() {
         }
         Atoms.push_back(std::move(A));
         AtomBlockingLits.push_back(mkLit(Var, !Value));
-        continue;
+        return;
       }
       assert(Atom->kind() == TermKind::AtomEq && "unexpected atom kind");
       if (Value) {
@@ -153,9 +271,19 @@ SolverResult Solver::check() {
         DiseqBlockingLits.push_back(mkLit(Var, true));
         DiseqEqAtoms.push_back(Atom);
       }
+    };
+    if (RestrictActive) {
+      for (uint32_t Var : ActiveList)
+        CollectVar(Var);
+      // Vars born after the marking (this check's split-lemma atoms) count
+      // as active.
+      for (uint32_t Var = ActiveMarkLimit; Var < Sat.numVars(); ++Var)
+        CollectVar(Var);
+    } else {
+      for (uint32_t Var = 0; Var < Sat.numVars(); ++Var)
+        CollectVar(Var);
     }
 
-    LiaSolver Lia;
     Assignment IntModel;
     size_t ViolatedDiseq = 0;
     LiaResult Result = Lia.check(Atoms, Diseqs, &IntModel, &ViolatedDiseq);
@@ -168,13 +296,17 @@ SolverResult Solver::check() {
     case LiaResult::Unknown:
       return SolverResult::Unknown;
     case LiaResult::Unsat: {
+      // The blocking clause is a theory tautology, so adding it permanently
+      // is sound for every future context and assumption set.
       std::vector<size_t> Core = Lia.unsatCore(Atoms);
       std::vector<Lit> Blocking;
       Blocking.reserve(Core.size());
       for (size_t Index : Core)
         Blocking.push_back(negate(AtomBlockingLits[Index]));
-      if (!Sat.addClause(std::move(Blocking)))
+      if (!Sat.addClause(std::move(Blocking))) {
+        TriviallyUnsat = true;
         return SolverResult::Unsat;
+      }
       break;
     }
     case LiaResult::Diseq: {
@@ -193,12 +325,25 @@ SolverResult Solver::check() {
         // The tightened atoms may fold to constants for singleton sums.
         if (LeAtom == TM.mkTrue() || GeAtom == TM.mkTrue())
           break; // lemma trivially true: should not happen with a diseq
-        if (LeAtom != TM.mkFalse())
-          Lemma.push_back(mkLit(atomVar(LeAtom), false));
-        if (GeAtom != TM.mkFalse())
-          Lemma.push_back(mkLit(atomVar(GeAtom), false));
-        if (!Sat.addClause(std::move(Lemma)))
+        // The strict atoms join the active set immediately: one may reuse a
+        // var encoded for a currently-inactive premise, and the theory must
+        // see it in this check's remaining rounds or the violation repeats.
+        if (LeAtom != TM.mkFalse()) {
+          uint32_t V = atomVar(LeAtom);
+          LemmaAtomVars.push_back(V);
+          MarkVar(V);
+          Lemma.push_back(mkLit(V, false));
+        }
+        if (GeAtom != TM.mkFalse()) {
+          uint32_t V = atomVar(GeAtom);
+          LemmaAtomVars.push_back(V);
+          MarkVar(V);
+          Lemma.push_back(mkLit(V, false));
+        }
+        if (!Sat.addClause(std::move(Lemma))) {
+          TriviallyUnsat = true;
           return SolverResult::Unsat;
+        }
       } else {
         // Once the split lemma for this equality is in the clause set, every
         // boolean model either asserts the equality (no disequality) or
@@ -220,18 +365,40 @@ SolverResult QueryEngine::checkSat(Term Formula) {
     return It->second;
   }
   ++Queries;
+  // The clock covers construction and encoding, not just the search: a
+  // fresh instance pays both per query, and the incremental comparison is
+  // only honest if that cost is on the meter.
+  Timer Clock;
   Solver S(TM);
+  for (const runtime::CancellationToken *Token : Watched)
+    S.watchCancellation(Token);
   S.assertFormula(Formula);
   SolverResult Result = S.check();
-  SatCache.emplace(Formula, Result);
+  SolverMicros += static_cast<uint64_t>(Clock.seconds() * 1e6);
+  TheoryRoundsTotal += S.numTheoryRoundsTotal();
+  ClausesRetained += S.numClausesRetained();
+  WarmPivots += S.numWarmPivots();
+  WarmStarts += S.numWarmStarts();
+  // Unknowns from budget exhaustion are deterministic and cacheable; an
+  // Unknown (or anything else) produced while cancellation fired is not.
+  if (!stopRequested())
+    SatCache.emplace(Formula, Result);
   return Result;
 }
 
 SolverResult QueryEngine::checkSatModel(Term Formula, Assignment &ModelOut) {
   ++Queries;
+  Timer Clock;
   Solver S(TM);
+  for (const runtime::CancellationToken *Token : Watched)
+    S.watchCancellation(Token);
   S.assertFormula(Formula);
   SolverResult Result = S.check();
+  SolverMicros += static_cast<uint64_t>(Clock.seconds() * 1e6);
+  TheoryRoundsTotal += S.numTheoryRoundsTotal();
+  ClausesRetained += S.numClausesRetained();
+  WarmPivots += S.numWarmPivots();
+  WarmStarts += S.numWarmStarts();
   if (Result == SolverResult::Sat)
     ModelOut = S.model();
   return Result;
@@ -247,6 +414,159 @@ bool QueryEngine::implies(Term Left, Term Right) {
     return It->second;
   }
   bool Result = isUnsat(TM.mkAnd(Left, TM.mkNot(Right)));
-  ImplCache.emplace(Key, Result);
+  if (!stopRequested())
+    ImplCache.emplace(Key, Result);
+  return Result;
+}
+
+std::unique_ptr<Session> QueryEngine::openSession() {
+  ++Sessions;
+  return std::make_unique<Session>(*this);
+}
+
+Solver &Session::solver() {
+  if (S && S->numVars() > kEpochVarLimit) {
+    // Epoch reset: the accumulated encoding (stale atoms slow every theory
+    // round) outweighs what incrementality saves. Verdict memoization
+    // survives; encodings are rebuilt lazily from the stored terms.
+    flushCounters();
+    S.reset();
+  }
+  if (!S) {
+    S = std::make_unique<Solver>(QE.TM);
+    S->enableTheoryRootCache();
+    for (const runtime::CancellationToken *Token : QE.Watched)
+      S->watchCancellation(Token);
+    for (Term F : Permanent)
+      S->assertFormula(F);
+    SeenRounds = SeenRetained = SeenWarm = SeenWarmStarts = 0;
+  }
+  return *S;
+}
+
+void Session::flushCounters() {
+  if (!S)
+    return;
+  QE.TheoryRoundsTotal += S->numTheoryRoundsTotal() - SeenRounds;
+  QE.ClausesRetained += S->numClausesRetained() - SeenRetained;
+  QE.WarmPivots += S->numWarmPivots() - SeenWarm;
+  QE.WarmStarts += S->numWarmStarts() - SeenWarmStarts;
+  SeenRounds = S->numTheoryRoundsTotal();
+  SeenRetained = S->numClausesRetained();
+  SeenWarm = S->numWarmPivots();
+  SeenWarmStarts = S->numWarmStarts();
+}
+
+Session::Handle Session::prepare(Term Formula) {
+  auto It = HandleOf.find(Formula);
+  if (It != HandleOf.end())
+    return It->second;
+  Handle H = static_cast<Handle>(HandleTerms.size());
+  HandleTerms.push_back(Formula);
+  HandleOf.emplace(Formula, H);
+  return H;
+}
+
+void Session::assertAlways(Term Formula) {
+  Permanent.push_back(Formula);
+  if (S)
+    S->assertFormula(Formula);
+  // Permanent premises change what every memoized verdict means.
+  Memo.clear();
+}
+
+void Session::pushContext(Term Formula) { ContextTerms.push_back(Formula); }
+
+void Session::pop() {
+  assert(!ContextTerms.empty() && "pop without matching pushContext");
+  ContextTerms.pop_back();
+}
+
+SolverResult Session::checkUnder(const std::vector<Handle> &Assumed,
+                                 Assignment *ModelOut) {
+  // The memo key is the exact active premise set: context handles plus the
+  // explicit ones, deduplicated (activation is idempotent).
+  std::vector<uint32_t> Key;
+  Key.reserve(ContextTerms.size() + Assumed.size());
+  for (Term F : ContextTerms)
+    Key.push_back(prepare(F));
+  Key.insert(Key.end(), Assumed.begin(), Assumed.end());
+  std::sort(Key.begin(), Key.end());
+  Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+
+  if (!ModelOut) {
+    auto It = Memo.find(Key);
+    if (It != Memo.end()) {
+      ++QE.CacheHits;
+      return It->second;
+    }
+  }
+
+  // Without permanent assertions the premise set IS the query, so the
+  // engine-wide SatCache applies under the canonical conjunction key:
+  // another session — or the fresh path — may have answered it already,
+  // and mkAnd's folding settles trivial queries without a solve.
+  Term Conj = nullptr;
+  if (Permanent.empty()) {
+    std::vector<Term> Premises;
+    Premises.reserve(Key.size());
+    for (uint32_t H : Key)
+      Premises.push_back(HandleTerms[H]);
+    Conj = QE.TM.mkAnd(std::move(Premises));
+    if (Conj == QE.TM.mkFalse()) {
+      ++QE.CacheHits;
+      Memo.emplace(std::move(Key), SolverResult::Unsat);
+      return SolverResult::Unsat;
+    }
+    if (Conj == QE.TM.mkTrue() && !ModelOut) {
+      ++QE.CacheHits;
+      Memo.emplace(std::move(Key), SolverResult::Sat);
+      return SolverResult::Sat;
+    }
+    if (!ModelOut) {
+      auto It = QE.SatCache.find(Conj);
+      if (It != QE.SatCache.end()) {
+        ++QE.CacheHits;
+        Memo.emplace(std::move(Key), It->second);
+        return It->second;
+      }
+    }
+  }
+
+  // Clock the whole query — activation encoding included — to mirror what
+  // the fresh path charges per checkSat.
+  Timer Clock;
+  Solver &Sv = solver();
+  std::vector<Lit> Lits;
+  Lits.reserve(Key.size());
+  for (uint32_t H : Key)
+    Lits.push_back(Sv.activationFor(HandleTerms[H]));
+
+  uint64_t R0 = Sv.numTheoryRoundsTotal();
+  uint64_t C0 = Sv.numClausesRetained();
+  uint64_t W0 = Sv.numWarmPivots();
+  uint64_t WS0 = Sv.numWarmStarts();
+  SolverResult Result = Sv.checkUnder(Lits);
+  QE.noteSessionSolve(static_cast<uint64_t>(Clock.seconds() * 1e6),
+                      Sv.numTheoryRoundsTotal() - R0,
+                      Sv.numClausesRetained() - C0, Sv.numWarmPivots() - W0,
+                      Sv.numWarmStarts() - WS0);
+  SeenRounds = Sv.numTheoryRoundsTotal();
+  SeenRetained = Sv.numClausesRetained();
+  SeenWarm = Sv.numWarmPivots();
+  SeenWarmStarts = Sv.numWarmStarts();
+
+  if (Result == SolverResult::Sat && ModelOut)
+    *ModelOut = Sv.model();
+  // Non-cancelled verdicts are worth remembering — including Unknown, which
+  // is deterministic budget exhaustion here (the Hoare gate re-poses every
+  // unproven triple each refinement round, and re-exhausting the budget each
+  // time is pure waste). A cancelled Unknown is nondeterministic and must
+  // not be cached.
+  if (!QE.stopRequested()) {
+    if (Conj)
+      QE.SatCache.emplace(Conj, Result);
+    Memo.emplace(std::move(Key), Result);
+  }
   return Result;
 }

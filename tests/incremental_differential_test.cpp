@@ -1,0 +1,128 @@
+//===- tests/incremental_differential_test.cpp - Sessions vs fresh gate ---===//
+///
+/// \file
+/// Differential suite for the incremental SMT sessions (smt::Session): for
+/// every tier-1 workload, the verifier must reach the same verdict with
+/// VerifierConfig::IncrementalSmt on (the default: one persistent solver
+/// per letter pair / transition letter, queries posed as assumptions) as
+/// with it off (one throwaway solver per query). Sessions only change how
+/// queries are posed, never their meaning, so a flip means incremental
+/// state — a learned clause, a retained theory lemma, a stale memo entry —
+/// leaked into a query it does not hold for.
+///
+/// Every third workload additionally sweeps the four --check-tiers arm
+/// configurations (full static stack, Karr off, proof seeding on, interval
+/// only) under both modes: the tier configuration decides which queries
+/// reach the solver at all, so each arm exercises a different session
+/// query stream.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Portfolio.h"
+#include "program/CfgBuilder.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace seqver;
+
+namespace {
+
+core::VerifierConfig gateConfig() {
+  core::VerifierConfig Config;
+  Config.TimeoutSeconds = 20;
+  return Config;
+}
+
+/// Runs W under Config with sessions on and off; both verdicts must agree
+/// (and match ground truth when decisive).
+void runBothModes(const workloads::WorkloadInstance &W,
+                  core::VerifierConfig Config, const char *Arm) {
+  smt::TermManager TM;
+  prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
+  ASSERT_TRUE(Build.ok()) << W.Name << ": " << Build.Error;
+
+  Config.IncrementalSmt = true;
+  core::VerificationResult Inc =
+      core::runSingleOrder(*Build.Program, Config, "seq");
+  Config.IncrementalSmt = false;
+  core::VerificationResult Fresh =
+      core::runSingleOrder(*Build.Program, Config, "seq");
+
+  EXPECT_EQ(Inc.V, Fresh.V)
+      << W.Name << " (" << Arm << "): incremental "
+      << core::verdictName(Inc.V) << " vs fresh "
+      << core::verdictName(Fresh.V);
+  if (core::isDecisive(Inc.V)) {
+    EXPECT_EQ(Inc.V == core::Verdict::Correct, W.ExpectedCorrect)
+        << W.Name << " (" << Arm << ")";
+  }
+  // The incremental arm must actually have used sessions (unless no query
+  // ever reached the solver).
+  if (Fresh.Stats.get("smt_queries") > 0) {
+    EXPECT_GT(Inc.Stats.get("smt_sessions"), 0)
+        << W.Name << " (" << Arm << ")";
+  }
+}
+
+void runSuite(const std::vector<workloads::WorkloadInstance> &Suite) {
+  for (const auto &W : Suite)
+    runBothModes(W, gateConfig(), "full");
+}
+
+TEST(IncrementalDifferential, SvcompLikeSuite) {
+  runSuite(workloads::svcompLikeSuite());
+}
+
+TEST(IncrementalDifferential, WeaverLikeSuite) {
+  runSuite(workloads::weaverLikeSuite());
+}
+
+TEST(IncrementalDifferential, LoopHeavySuite) {
+  runSuite(workloads::loopHeavySuite());
+}
+
+TEST(IncrementalDifferential, AffineSuite) {
+  runSuite(workloads::affineSuite());
+}
+
+/// The four --check-tiers arms, every third workload of the concatenated
+/// tier-1 suites: each arm routes a different query mix into the sessions.
+TEST(IncrementalDifferential, TierArms) {
+  std::vector<workloads::WorkloadInstance> Suite =
+      workloads::svcompLikeSuite();
+  std::vector<workloads::WorkloadInstance> Weaver =
+      workloads::weaverLikeSuite();
+  Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  std::vector<workloads::WorkloadInstance> LoopHeavy =
+      workloads::loopHeavySuite();
+  Suite.insert(Suite.end(), LoopHeavy.begin(), LoopHeavy.end());
+  std::vector<workloads::WorkloadInstance> Affine =
+      workloads::affineSuite();
+  Suite.insert(Suite.end(), Affine.begin(), Affine.end());
+
+  for (size_t I = 0; I < Suite.size(); I += 3) {
+    const auto &W = Suite[I];
+
+    core::VerifierConfig Full = gateConfig();
+    runBothModes(W, Full, "full");
+
+    core::VerifierConfig NoKarr = gateConfig();
+    NoKarr.KarrTier = false;
+    runBothModes(W, NoKarr, "no-karr");
+
+    core::VerifierConfig Seeded = gateConfig();
+    Seeded.SeedProof = true;
+    runBothModes(W, Seeded, "seeded");
+
+    core::VerifierConfig IntOnly = gateConfig();
+    IntOnly.OctagonTier = false;
+    IntOnly.KarrTier = false;
+    runBothModes(W, IntOnly, "int-only");
+  }
+}
+
+} // namespace

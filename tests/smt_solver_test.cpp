@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace seqver;
 using namespace seqver::smt;
 
@@ -143,6 +145,95 @@ TEST_P(SatRandomCnf, AgreesWithBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomCnf, ::testing::Range(0, 120));
+
+//===----------------------------------------------------------------------===//
+// Incremental SAT: solving under assumptions
+//===----------------------------------------------------------------------===//
+
+TEST(SatSolverTest, AssumptionCoreExplainsConflict) {
+  SatSolver S;
+  uint32_t A = S.newVar();
+  uint32_t B = S.newVar();
+  uint32_t C = S.newVar();
+  S.addClause({mkLit(A, true), mkLit(B, false)}); // a -> b
+  ASSERT_EQ(S.solveUnderAssumptions(
+                {mkLit(A, false), mkLit(B, true), mkLit(C, false)}),
+            SatResult::Unsat);
+  const std::vector<Lit> &Core = S.conflictCore();
+  EXPECT_FALSE(Core.empty());
+  for (Lit L : Core) {
+    EXPECT_TRUE(L == mkLit(A, false) || L == mkLit(B, true));
+    EXPECT_NE(litVar(L), C) << "c plays no part in the conflict";
+  }
+  // The same instance stays usable: the assumptions did not persist.
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+/// Property sweep: one incremental solver answers a stream of assumption
+/// sets; every answer must match brute force, models must satisfy the
+/// assumptions, and Unsat cores must be inconsistent assumption subsets.
+class SatAssumptionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatAssumptionSweep, AgreesWithBruteForce) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 2654435761ull + 17);
+  uint32_t NumVars = 4 + static_cast<uint32_t>(R.below(6)); // 4..9
+  size_t NumClauses = 6 + R.below(30);                      // 6..35
+  std::vector<std::vector<Lit>> Clauses;
+  for (size_t I = 0; I < NumClauses; ++I) {
+    std::vector<Lit> Clause;
+    size_t Width = 1 + R.below(3);
+    for (size_t K = 0; K < Width; ++K)
+      Clause.push_back(
+          mkLit(static_cast<uint32_t>(R.below(NumVars)), R.flip()));
+    Clauses.push_back(std::move(Clause));
+  }
+
+  SatSolver S;
+  for (uint32_t V = 0; V < NumVars; ++V)
+    S.newVar();
+  bool AddOk = true;
+  for (auto Clause : Clauses)
+    AddOk = S.addClause(std::move(Clause)) && AddOk;
+
+  for (int Round = 0; Round < 8; ++Round) {
+    std::vector<Lit> Assumptions;
+    size_t N = R.below(5);
+    for (size_t K = 0; K < N; ++K)
+      Assumptions.push_back(
+          mkLit(static_cast<uint32_t>(R.below(NumVars)), R.flip()));
+
+    std::vector<std::vector<Lit>> WithUnits = Clauses;
+    for (Lit A : Assumptions)
+      WithUnits.push_back({A});
+    bool Expected = AddOk && bruteForceSat(NumVars, WithUnits);
+
+    SatResult Result = S.solveUnderAssumptions(Assumptions);
+    ASSERT_EQ(Result == SatResult::Sat, Expected)
+        << "round " << Round << ": retained lemmas flipped the verdict";
+    if (Result == SatResult::Sat) {
+      for (const auto &Clause : WithUnits) {
+        bool ClauseSat = false;
+        for (Lit L : Clause)
+          if (S.modelValue(litVar(L)) != litNegated(L))
+            ClauseSat = true;
+        EXPECT_TRUE(ClauseSat);
+      }
+    } else {
+      // The conflict core must be a subset of the assumptions that is
+      // already inconsistent with the clause set on its own.
+      std::vector<std::vector<Lit>> WithCore = Clauses;
+      for (Lit L : S.conflictCore()) {
+        EXPECT_NE(std::find(Assumptions.begin(), Assumptions.end(), L),
+                  Assumptions.end())
+            << "core literal is not an assumption";
+        WithCore.push_back({L});
+      }
+      EXPECT_FALSE(AddOk && bruteForceSat(NumVars, WithCore));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatAssumptionSweep, ::testing::Range(0, 80));
 
 //===----------------------------------------------------------------------===//
 // DPLL(T) with linear integer arithmetic
@@ -361,5 +452,85 @@ TEST_P(SolverRandomFormula, AgreesWithBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverRandomFormula, ::testing::Range(0, 150));
+
+//===----------------------------------------------------------------------===//
+// Incremental sessions
+//===----------------------------------------------------------------------===//
+
+TEST_F(SolverTest, SessionPushPopRestoresSatisfiability) {
+  QueryEngine QE(TM);
+  auto Sess = QE.openSession();
+  Session::Handle H = Sess->prepare(TM.mkGe(sx(), c(1)));
+  EXPECT_EQ(Sess->checkUnder({H}), SolverResult::Sat);
+  Sess->pushContext(TM.mkLe(sx(), c(0)));
+  EXPECT_EQ(Sess->checkUnder({H}), SolverResult::Unsat);
+  Sess->pop();
+  EXPECT_EQ(Sess->checkUnder({H}), SolverResult::Sat);
+}
+
+TEST_F(SolverTest, SessionRetainedClausesNeverFlip) {
+  QueryEngine QE(TM);
+  auto Sess = QE.openSession();
+  Session::Handle GeFive = Sess->prepare(TM.mkGe(sx(), c(5)));
+  Session::Handle LeThree = Sess->prepare(TM.mkLe(sx(), c(3)));
+  Session::Handle LeSeven = Sess->prepare(TM.mkLe(sx(), c(7)));
+  // Alternate conflicting and satisfiable queries on one solver: lemmas
+  // learned from the unsat pair must never contaminate the sat ones.
+  for (int I = 0; I < 10; ++I) {
+    EXPECT_TRUE(Sess->isUnsatUnder({GeFive, LeThree}));
+    EXPECT_EQ(Sess->checkUnder({GeFive, LeSeven}), SolverResult::Sat);
+    EXPECT_EQ(Sess->checkUnder({LeThree}), SolverResult::Sat);
+  }
+  // Model queries bypass the verdict memo and must produce a real model.
+  Assignment Model;
+  ASSERT_EQ(Sess->checkUnder({GeFive, LeSeven}, &Model), SolverResult::Sat);
+  EXPECT_GE(Model.intValue(X), 5);
+  EXPECT_LE(Model.intValue(X), 7);
+}
+
+TEST_F(SolverTest, SessionInterleavedPushPopStress) {
+  QueryEngine QE(TM);
+  auto Sess = QE.openSession();
+  Rng R(20260809);
+  // Premise pool: overlapping bounds over x and y so pushes conflict often.
+  std::vector<Term> Pool;
+  for (int B = -2; B <= 2; ++B) {
+    Pool.push_back(TM.mkLe(sx(), c(B)));
+    Pool.push_back(TM.mkGe(sx(), c(B)));
+    Pool.push_back(TM.mkLe(sy(), c(B)));
+    Pool.push_back(TM.mkGe(sy(), c(B)));
+  }
+  Term Link = TM.mkEq(TermManager::sumSub(sx(), sy()), c(1)); // x == y + 1
+  Session::Handle LinkH = Sess->prepare(Link);
+
+  std::vector<Term> Stack;
+  for (int Step = 0; Step < 120; ++Step) {
+    switch (R.below(3)) {
+    case 0:
+      Stack.push_back(Pool[R.below(Pool.size())]);
+      Sess->pushContext(Stack.back());
+      break;
+    case 1:
+      if (!Stack.empty()) {
+        Sess->pop();
+        Stack.pop_back();
+      }
+      break;
+    default:
+      break;
+    }
+    std::vector<Session::Handle> Assumed;
+    if (R.flip())
+      Assumed.push_back(LinkH);
+    SolverResult Incremental = Sess->checkUnder(Assumed);
+    // Reference: a throwaway solver on the same conjunction.
+    Solver Fresh(TM);
+    for (Term F : Stack)
+      Fresh.assertFormula(F);
+    if (!Assumed.empty())
+      Fresh.assertFormula(Link);
+    EXPECT_EQ(Incremental, Fresh.check()) << "step " << Step;
+  }
+}
 
 } // namespace

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Incremental-session agreement gate: every workload is verified with
+# incremental SMT sessions (the default) and with the pre-session
+# one-throwaway-solver-per-query path — sequentially, and (every third
+# workload) under the 2-job parallel portfolio in both modes — and all
+# verdicts must agree. Sessions only change how queries are posed to the
+# solver (assumptions over a persistent instance vs fresh encodings), never
+# their meaning, so a disagreement is a soundness bug (e.g. a learned
+# clause or retained theory lemma leaking into a query it does not hold
+# for). The gate also reports the solver wall-second savings and fails if
+# the incremental arm never opened a session.
+#
+# Usage: tools/check_incremental.sh [build-dir] [--quick]
+#   build-dir  defaults to ./build
+#   --quick    sample every third workload (what the ctest target runs)
+set -eu
+
+BUILD_DIR=build
+MODE=--check-incremental
+for arg in "$@"; do
+  case "$arg" in
+    --quick) MODE=--check-incremental=quick ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+SEQVER="$BUILD_DIR/tools/seqver"
+if [ ! -x "$SEQVER" ]; then
+  echo "error: $SEQVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+"$SEQVER" "$MODE"

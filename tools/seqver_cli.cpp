@@ -88,6 +88,15 @@
 ///                         changes or if a poisoned cache entry (safe proof
 ///                         stored under the buggy program's fingerprint)
 ///                         survives the Hoare gate
+///   --no-incremental      discard the SMT solver after every query instead
+///                         of reusing incremental sessions (docs/PERF.md §7;
+///                         --incremental restores the default)
+///   --check-incremental[=quick]
+///                         verify the workload suites with incremental SMT
+///                         sessions and with the fresh-instance path —
+///                         sequentially and with the 2-job parallel
+///                         portfolio — fail on any verdict mismatch, report
+///                         the solver wall-second savings
 ///   --timeout=<seconds>   per-analysis timeout (default 60)
 ///   --witness             print the error trace for incorrect programs
 ///   --proof               print the final proof assertions
@@ -162,6 +171,9 @@ struct CliOptions {
   std::string CommutCache = "shared";
   bool CheckCommut = false;
   bool CheckCommutQuick = false;
+  bool Incremental = true;
+  bool CheckIncremental = false;
+  bool CheckIncrementalQuick = false;
 };
 
 void printUsage() {
@@ -172,6 +184,7 @@ void printUsage() {
       "       seqver --check-cache[=quick]\n"
       "       seqver --check-fusion[=quick]\n"
       "       seqver --check-commut[=quick]\n"
+      "       seqver --check-incremental[=quick]\n"
       "  --order=<seq|lockstep|rand(1)|rand(2)|rand(3)|baseline>\n"
       "  --portfolio=<sequential|parallel> --jobs=<n> --rand-seed=<n>\n"
       "  --analyze[=karr|movers] --no-sleep --no-persistent\n"
@@ -180,6 +193,7 @@ void printUsage() {
       "  --no-prune --fuse --no-fuse\n"
       "  --cache-dir=<dir> --no-cache --cache-stats\n"
       "  --commut-cache=<off|shared|persist|conservative>\n"
+      "  --no-incremental --incremental\n"
       "  --minimize\n"
       "  --source=<wp|interp|both>\n"
       "  --timeout=<seconds> --witness --proof --stats\n");
@@ -279,6 +293,15 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     } else if (Arg == "--check-commut=quick") {
       Opts.CheckCommut = true;
       Opts.CheckCommutQuick = true;
+    } else if (Arg == "--no-incremental") {
+      Opts.Incremental = false;
+    } else if (Arg == "--incremental") {
+      Opts.Incremental = true;
+    } else if (Arg == "--check-incremental") {
+      Opts.CheckIncremental = true;
+    } else if (Arg == "--check-incremental=quick") {
+      Opts.CheckIncremental = true;
+      Opts.CheckIncrementalQuick = true;
     } else if (Arg == "--witness") {
       Opts.PrintWitness = true;
     } else if (Arg == "--proof") {
@@ -313,7 +336,8 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     }
   }
   return Opts.CheckTiers || Opts.CheckParallel || Opts.CheckCache ||
-         Opts.CheckFusion || Opts.CheckCommut || !Opts.File.empty();
+         Opts.CheckFusion || Opts.CheckCommut || Opts.CheckIncremental ||
+         !Opts.File.empty();
 }
 
 /// Prints the proof-cache counters of Stats on one line.
@@ -934,6 +958,128 @@ int runCheckCommut(const CliOptions &Opts) {
   return 0;
 }
 
+/// Differential gate for the incremental DPLL(T) sessions: every workload
+/// is verified with incremental SMT sessions and with the fresh-instance
+/// path — sequentially, and (every third workload) with the 2-job parallel
+/// portfolio under both modes — and all verdicts must agree. Sessions only
+/// change how queries are posed to the solver, never their meaning, so any
+/// disagreement is a bug. Also reports the solver wall-second savings the
+/// sessions buy and the session counters. Returns the process exit code.
+int runCheckIncremental(const CliOptions &Opts) {
+  std::vector<workloads::WorkloadInstance> Suite =
+      workloads::svcompLikeSuite();
+  std::vector<workloads::WorkloadInstance> Weaver =
+      workloads::weaverLikeSuite();
+  Suite.insert(Suite.end(), Weaver.begin(), Weaver.end());
+  std::vector<workloads::WorkloadInstance> LoopHeavy =
+      workloads::loopHeavySuite();
+  Suite.insert(Suite.end(), LoopHeavy.begin(), LoopHeavy.end());
+  std::vector<workloads::WorkloadInstance> Affine =
+      workloads::affineSuite();
+  Suite.insert(Suite.end(), Affine.begin(), Affine.end());
+  if (Opts.CheckIncrementalQuick) {
+    std::vector<workloads::WorkloadInstance> Sample;
+    for (size_t I = 0; I < Suite.size(); I += 3)
+      Sample.push_back(Suite[I]);
+    Suite = std::move(Sample);
+  }
+
+  double Timeout = Opts.TimeoutSet ? Opts.Timeout : 10;
+  int Mismatches = 0;
+  int64_t SolverUsInc = 0, SolverUsFresh = 0;
+  int64_t Sessions = 0, AssumptionSolves = 0, Retained = 0, WarmPivots = 0;
+  size_t ParallelArms = 0;
+
+  std::printf("%-22s %-10s %-10s %9s %9s %6s %6s\n", "workload",
+              "incremental", "fresh", "slv-inc", "slv-frsh", "sess",
+              "asolve");
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    const auto &W = Suite[I];
+    smt::TermManager TM;
+    prog::BuildResult Build = prog::buildFromSource(W.Source, TM);
+    if (!Build.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), Build.Error.c_str());
+      return 2;
+    }
+    core::VerifierConfig Config;
+    Config.TimeoutSeconds = Timeout;
+    Config.RandSeedBase = Opts.RandSeedBase;
+
+    // Arm 1: incremental sessions (the default path).
+    Config.IncrementalSmt = true;
+    core::VerificationResult Inc =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+    // Arm 2: one throwaway solver per query (the pre-session path).
+    Config.IncrementalSmt = false;
+    core::VerificationResult Fresh =
+        core::runSingleOrder(*Build.Program, Config, "seq");
+
+    bool Agree = Inc.V == Fresh.V;
+
+    // Every third workload additionally races the 2-job parallel portfolio
+    // under both modes: sessions live inside each worker's verifier, and
+    // cancellation (a worker losing the race) must still never flip or
+    // publish a wrong verdict.
+    if (I % 3 == 0) {
+      runtime::ParallelConfig PC;
+      PC.Jobs = 2;
+      core::VerifierConfig ParConfig = Config;
+      ParConfig.IncrementalSmt = true;
+      runtime::ParallelPortfolioResult ParInc =
+          runtime::runPortfolioParallel(W.Source, ParConfig, PC);
+      ParConfig.IncrementalSmt = false;
+      runtime::ParallelPortfolioResult ParFresh =
+          runtime::runPortfolioParallel(W.Source, ParConfig, PC);
+      Agree = Agree && Inc.V == ParInc.Best.V && Inc.V == ParFresh.Best.V;
+      ++ParallelArms;
+    }
+
+    if (!Agree)
+      ++Mismatches;
+    SolverUsInc += Inc.Stats.get("smt_solver_us");
+    SolverUsFresh += Fresh.Stats.get("smt_solver_us");
+    Sessions += Inc.Stats.get("smt_sessions");
+    AssumptionSolves += Inc.Stats.get("smt_assumption_solves");
+    Retained += Inc.Stats.get("smt_clauses_retained");
+    WarmPivots += Inc.Stats.get("smt_tableau_warm_pivots");
+    std::printf("%-22s %-10s %-10s %8.3fs %8.3fs %6lld %6lld%s\n",
+                W.Name.c_str(), core::verdictName(Inc.V).c_str(),
+                core::verdictName(Fresh.V).c_str(),
+                static_cast<double>(Inc.Stats.get("smt_solver_us")) / 1e6,
+                static_cast<double>(Fresh.Stats.get("smt_solver_us")) / 1e6,
+                static_cast<long long>(Inc.Stats.get("smt_sessions")),
+                static_cast<long long>(
+                    Inc.Stats.get("smt_assumption_solves")),
+                Agree ? "" : "  << VERDICT MISMATCH");
+  }
+
+  std::printf("\nsolver wall-seconds: %.3fs incremental, %.3fs fresh",
+              static_cast<double>(SolverUsInc) / 1e6,
+              static_cast<double>(SolverUsFresh) / 1e6);
+  if (SolverUsFresh > 0)
+    std::printf(" (%.1f%% saved)",
+                100.0 * static_cast<double>(SolverUsFresh - SolverUsInc) /
+                    static_cast<double>(SolverUsFresh));
+  std::printf("\nsessions: %lld opened, %lld assumption solve(s), %lld "
+              "learned clause(s) retained, %lld warm pivot(s); %zu "
+              "parallel arm(s)\n",
+              static_cast<long long>(Sessions),
+              static_cast<long long>(AssumptionSolves),
+              static_cast<long long>(Retained),
+              static_cast<long long>(WarmPivots), ParallelArms);
+  if (Mismatches > 0) {
+    std::fprintf(stderr, "error: %d verdict mismatch(es)\n", Mismatches);
+    return 1;
+  }
+  if (Sessions == 0) {
+    std::fprintf(stderr,
+                 "error: incremental arm never opened a session\n");
+    return 1;
+  }
+  std::printf("all verdicts agree across incremental arms\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -952,6 +1098,8 @@ int main(int argc, char **argv) {
     return runCheckFusion(Opts);
   if (Opts.CheckCommut)
     return runCheckCommut(Opts);
+  if (Opts.CheckIncremental)
+    return runCheckIncremental(Opts);
 
   std::ifstream In(Opts.File);
   if (!In) {
@@ -1065,6 +1213,7 @@ int main(int argc, char **argv) {
   Config.KarrTier = !Opts.NoKarr;
   Config.SeedProof = Opts.SeedProof;
   Config.FuseTransactions = Opts.Fuse;
+  Config.IncrementalSmt = Opts.Incremental;
   Config.MinimizeProof = Opts.Minimize;
   Config.Source = Opts.Source == "interp"
                       ? core::PredicateSource::Interpolation
